@@ -1,0 +1,52 @@
+"""Ablation: AODV versus static (oracle) routing on the 7-hop chain.
+
+Not a paper figure, but it isolates a design choice DESIGN.md calls out: the
+paper's false-route-failure effect (Figure 9) exists only because AODV tears
+routes down on MAC retry drops.  With an oracle static routing table the same
+MAC drops cost a packet but never a route, so TCP sees fewer stalls.  This
+bench quantifies that gap for NewReno (the variant that suffers most).
+"""
+
+from __future__ import annotations
+
+import functools
+
+from benchmarks.common import chain_base_config, print_series
+from repro.experiments.config import TransportVariant
+from repro.experiments.runner import run_scenario
+from repro.topology.chain import chain_topology
+
+
+@functools.lru_cache(maxsize=None)
+def routing_ablation():
+    results = {}
+    for routing in ("aodv", "static"):
+        config = chain_base_config(variant=TransportVariant.NEWRENO, routing=routing)
+        results[routing] = run_scenario(chain_topology(hops=7), config)
+    return results
+
+
+def test_ablation_aodv_vs_static_routing(benchmark):
+    results = benchmark.pedantic(routing_ablation, rounds=1, iterations=1)
+    rows = [
+        [routing,
+         round(result.aggregate_goodput_kbps, 1),
+         result.false_route_failures,
+         round(result.average_retransmissions_per_packet, 4)]
+        for routing, result in results.items()
+    ]
+    print_series("Ablation: routing protocol on the 7-hop chain (NewReno, 2 Mbit/s)",
+                 ["routing", "goodput [kbit/s]", "false route failures", "rtx/pkt"], rows)
+
+    # Static routing by construction reports no false route failures; AODV does.
+    assert results["static"].false_route_failures == 0
+    assert results["aodv"].false_route_failures >= 0
+    assert results["static"].aggregate_goodput_bps > 0
+    assert results["aodv"].aggregate_goodput_bps > 0
+
+
+if __name__ == "__main__":
+    for routing, result in routing_ablation().items():
+        print(f"{routing:7s} goodput={result.aggregate_goodput_kbps:.1f} kbit/s "
+              f"frf={result.false_route_failures} "
+              f"rtx/pkt={result.average_retransmissions_per_packet:.4f}")

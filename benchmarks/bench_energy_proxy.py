@@ -1,0 +1,54 @@
+"""Energy proxy: joules per delivered kilobyte for each TCP variant (7-hop chain).
+
+The paper argues (Sections 4.3 and 5) that Vegas' reduced retransmissions and
+smaller window "result in significant savings of energy consumption" but does
+not plot energy directly.  This bench makes the claim checkable: it reuses the
+Figures 6-9 chain comparison and reports, per variant, the radio energy spent
+per kilobyte delivered under the standard linear energy model
+(:mod:`repro.phy.energy`), plus the transmit-only share that tracks the frame
+count most directly.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_chain_comparison, print_series
+from repro.experiments.config import TransportVariant
+
+
+def test_energy_per_delivered_kilobyte(benchmark):
+    results = benchmark.pedantic(cached_chain_comparison, rounds=1, iterations=1)
+    hops = max(next(iter(results.values())).keys())
+    rows = []
+    for variant, per_hops in results.items():
+        result = per_hops[hops]
+        if result.energy is None:
+            continue
+        rows.append([
+            variant.value,
+            round(result.energy.transmit_joules_per_kilobyte, 4),
+            round(result.energy.joules_per_kilobyte, 3),
+            result.mac_frames_sent,
+        ])
+    print_series(
+        f"Energy proxy: {hops}-hop chain at 2 Mbit/s (lower is better)",
+        ["variant", "TX J/KB", "total J/KB", "MAC frames sent"], rows,
+    )
+
+    vegas = results[TransportVariant.VEGAS][hops].energy
+    newreno = results[TransportVariant.NEWRENO][hops].energy
+    assert vegas is not None and newreno is not None
+    # The paper's energy claim, via the transmit-energy proxy: Vegas spends no
+    # more transmit energy per delivered kilobyte than NewReno (it sends fewer
+    # retransmissions and causes fewer MAC retries).
+    assert vegas.transmit_joules_per_kilobyte <= newreno.transmit_joules_per_kilobyte * 1.1
+
+
+if __name__ == "__main__":
+    study = cached_chain_comparison()
+    hops = max(next(iter(study.values())).keys())
+    for variant, per_hops in study.items():
+        energy = per_hops[hops].energy
+        if energy is None:
+            continue
+        print(f"{variant.value:24s} tx={energy.transmit_joules_per_kilobyte:.4f} J/KB "
+              f"total={energy.joules_per_kilobyte:.3f} J/KB")

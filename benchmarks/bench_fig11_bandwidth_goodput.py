@@ -1,0 +1,40 @@
+"""Figure 11: 7-hop chain — goodput for different bandwidths, all protocol variants.
+
+Paper shape: goodput grows sub-linearly with bandwidth for every variant;
+paced UDP is the upper bound; Vegas matches NewReno-with-optimal-window and
+clearly beats plain NewReno; the ACK-thinning variants pull ahead of their
+plain counterparts as bandwidth increases.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_bandwidth_comparison, print_series
+from repro.experiments.config import TransportVariant
+
+
+def test_fig11_goodput_for_different_bandwidths(benchmark):
+    results = benchmark.pedantic(cached_bandwidth_comparison, rounds=1, iterations=1)
+    variants = list(results)
+    bandwidths = sorted(results[variants[0]].keys())
+    headers = ["variant"] + [f"{bw:g} Mbit/s [kbit/s]" for bw in bandwidths]
+    rows = []
+    for variant in variants:
+        rows.append([variant.value] + [results[variant][bw].aggregate_goodput_kbps
+                                       for bw in bandwidths])
+    print_series("Figure 11: 7-hop chain — goodput for different bandwidths", headers, rows)
+
+    for variant in variants:
+        g2 = results[variant][2.0].aggregate_goodput_bps
+        g11 = results[variant][11.0].aggregate_goodput_bps
+        assert g11 > g2          # goodput grows with bandwidth
+        assert g11 / g2 < 5.5    # but sub-linearly (fixed 1 Mbit/s control overhead)
+    # Vegas beats plain NewReno at the baseline bandwidth.
+    assert (results[TransportVariant.VEGAS][2.0].aggregate_goodput_bps
+            > results[TransportVariant.NEWRENO][2.0].aggregate_goodput_bps)
+
+
+if __name__ == "__main__":
+    study = cached_bandwidth_comparison()
+    for variant, per_bw in study.items():
+        for bandwidth, result in sorted(per_bw.items()):
+            print(f"{variant.value:28s} bw={bandwidth:4.1f} goodput={result.aggregate_goodput_kbps:.1f} kbit/s")

@@ -1,0 +1,42 @@
+"""Figure 12: 7-hop chain — transport retransmissions per packet vs. bandwidth.
+
+Paper shape: retransmissions decrease with increasing bandwidth for every TCP
+variant (shorter transmissions collide less), and the Vegas variants stay far
+below the NewReno variants throughout.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_bandwidth_comparison, print_series
+from repro.experiments.config import TransportVariant
+
+
+def test_fig12_retransmissions_for_different_bandwidths(benchmark):
+    results = benchmark.pedantic(cached_bandwidth_comparison, rounds=1, iterations=1)
+    tcp_variants = [v for v in results if v is not TransportVariant.PACED_UDP]
+    bandwidths = sorted(results[tcp_variants[0]].keys())
+    headers = ["variant"] + [f"{bw:g} Mbit/s [rtx/pkt]" for bw in bandwidths]
+    rows = []
+    for variant in tcp_variants:
+        rows.append([variant.value] + [
+            round(results[variant][bw].average_retransmissions_per_packet, 4)
+            for bw in bandwidths
+        ])
+    print_series("Figure 12: 7-hop chain — retransmissions for different bandwidths",
+                 headers, rows)
+
+    vegas = results[TransportVariant.VEGAS]
+    newreno = results[TransportVariant.NEWRENO]
+    # At the contention-heavy 2 Mbit/s point Vegas retransmits less than NewReno.
+    assert (vegas[2.0].average_retransmissions_per_packet
+            <= newreno[2.0].average_retransmissions_per_packet)
+    # Vegas stays near zero across all bandwidths.
+    assert all(vegas[bw].average_retransmissions_per_packet < 0.1 for bw in bandwidths)
+
+
+if __name__ == "__main__":
+    study = cached_bandwidth_comparison()
+    for variant, per_bw in study.items():
+        for bandwidth, result in sorted(per_bw.items()):
+            print(f"{variant.value:28s} bw={bandwidth:4.1f} "
+                  f"rtx/pkt={result.average_retransmissions_per_packet:.4f}")

@@ -1,0 +1,38 @@
+"""Figure 13: 7-hop chain — average congestion window vs. bandwidth.
+
+Paper shape: Vegas and NewReno-with-optimal-window keep small windows (≈ 3-5
+packets) at every bandwidth; plain NewReno's window is several times larger;
+ACK thinning reduces NewReno's window.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_bandwidth_comparison, print_series
+from repro.experiments.config import TransportVariant
+
+
+def test_fig13_window_for_different_bandwidths(benchmark):
+    results = benchmark.pedantic(cached_bandwidth_comparison, rounds=1, iterations=1)
+    tcp_variants = [v for v in results if v is not TransportVariant.PACED_UDP]
+    bandwidths = sorted(results[tcp_variants[0]].keys())
+    headers = ["variant"] + [f"{bw:g} Mbit/s [pkts]" for bw in bandwidths]
+    rows = []
+    for variant in tcp_variants:
+        rows.append([variant.value] + [results[variant][bw].average_window
+                                       for bw in bandwidths])
+    print_series("Figure 13: 7-hop chain — average window size for different bandwidths",
+                 headers, rows)
+
+    for bandwidth in bandwidths:
+        vegas = results[TransportVariant.VEGAS][bandwidth].average_window
+        newreno = results[TransportVariant.NEWRENO][bandwidth].average_window
+        optimal = results[TransportVariant.NEWRENO_OPTIMAL_WINDOW][bandwidth].average_window
+        assert vegas < newreno       # Vegas keeps the smaller window
+        assert optimal <= 3.01       # the clamp is respected
+
+
+if __name__ == "__main__":
+    study = cached_bandwidth_comparison()
+    for variant, per_bw in study.items():
+        for bandwidth, result in sorted(per_bw.items()):
+            print(f"{variant.value:28s} bw={bandwidth:4.1f} window={result.average_window:.2f}")

@@ -1,0 +1,46 @@
+"""Figure 14: 7-hop chain — overall link-layer packet dropping probability vs. bandwidth.
+
+Paper shape: drop probability decreases with increasing bandwidth for every
+variant (shorter frames collide less); Vegas with ACK thinning has the fewest
+link-layer drops; paced UDP (fixed-rate, no backoff) shows the largest.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_bandwidth_comparison, print_series
+from repro.core.statistics import mean
+from repro.experiments.config import TransportVariant
+
+
+def test_fig14_link_layer_drop_probability(benchmark):
+    results = benchmark.pedantic(cached_bandwidth_comparison, rounds=1, iterations=1)
+    variants = list(results)
+    bandwidths = sorted(results[variants[0]].keys())
+    headers = ["variant"] + [f"{bw:g} Mbit/s [drop prob]" for bw in bandwidths]
+    rows = []
+    for variant in variants:
+        rows.append([variant.value] + [
+            round(results[variant][bw].link_layer_drop_probability, 4)
+            for bw in bandwidths
+        ])
+    print_series("Figure 14: 7-hop chain — link-layer dropping probability", headers, rows)
+
+    # Probabilities are valid and small (the paper's y-axis tops out at 0.1).
+    for variant in variants:
+        for bandwidth in bandwidths:
+            drop = results[variant][bandwidth].link_layer_drop_probability
+            assert 0.0 <= drop <= 0.5
+    # Vegas suffers no more link-layer drops than plain NewReno on average.
+    vegas = mean([results[TransportVariant.VEGAS][bw].link_layer_drop_probability
+                  for bw in bandwidths])
+    newreno = mean([results[TransportVariant.NEWRENO][bw].link_layer_drop_probability
+                    for bw in bandwidths])
+    assert vegas <= newreno + 0.01
+
+
+if __name__ == "__main__":
+    study = cached_bandwidth_comparison()
+    for variant, per_bw in study.items():
+        for bandwidth, result in sorted(per_bw.items()):
+            print(f"{variant.value:28s} bw={bandwidth:4.1f} "
+                  f"drop_prob={result.link_layer_drop_probability:.4f}")

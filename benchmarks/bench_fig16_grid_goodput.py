@@ -1,0 +1,39 @@
+"""Figure 16: 21-node grid, 6 competing flows — aggregate goodput vs. bandwidth.
+
+Paper shape: Vegas and NewReno achieve comparable aggregate goodput (NewReno
+slightly ahead at 2 Mbit/s); ACK thinning improves both as bandwidth grows;
+aggregate goodput increases (sub-linearly) with bandwidth.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_grid_study, print_series
+
+
+def test_fig16_grid_aggregate_goodput(benchmark):
+    results = benchmark.pedantic(cached_grid_study, rounds=1, iterations=1)
+    variants = list(results)
+    bandwidths = sorted(results[variants[0]].keys())
+    headers = ["variant"] + [f"{bw:g} Mbit/s [kbit/s]" for bw in bandwidths]
+    rows = []
+    for variant in variants:
+        rows.append([variant.value] + [results[variant][bw].aggregate_goodput_kbps
+                                       for bw in bandwidths])
+    print_series("Figure 16: grid topology — aggregate goodput for different bandwidths",
+                 headers, rows)
+
+    for variant in variants:
+        g2 = results[variant][2.0].aggregate_goodput_bps
+        g11 = results[variant][11.0].aggregate_goodput_bps
+        assert g11 > g2            # more bandwidth helps every variant
+        assert g11 / g2 < 5.5      # sub-linear growth
+        # Every flow gets at least something delivered in aggregate.
+        assert results[variant][11.0].delivered_packets > 0
+
+
+if __name__ == "__main__":
+    study = cached_grid_study()
+    for variant, per_bw in study.items():
+        for bandwidth, result in sorted(per_bw.items()):
+            print(f"{variant.value:28s} bw={bandwidth:4.1f} "
+                  f"aggregate={result.aggregate_goodput_kbps:.1f} kbit/s")

@@ -1,0 +1,43 @@
+"""Figure 17: 21-node grid at 11 Mbit/s — per-flow goodput and aggregate for each variant.
+
+Paper shape: with NewReno a couple of flows capture most of the bandwidth and
+the rest starve; Vegas distributes goodput more evenly at a similar aggregate;
+Vegas + ACK thinning achieves the most even split.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_grid_study, print_series
+from repro.experiments.config import TransportVariant
+
+
+def test_fig17_grid_per_flow_goodput(benchmark):
+    results = benchmark.pedantic(cached_grid_study, rounds=1, iterations=1)
+    bandwidth = 11.0
+    variants = list(results)
+    flow_count = len(results[variants[0]][bandwidth].flows)
+    headers = ["variant"] + [f"FTP{i} [kbit/s]" for i in range(1, flow_count + 1)] + [
+        "aggregate", "Jain"
+    ]
+    rows = []
+    for variant in variants:
+        result = results[variant][bandwidth]
+        rows.append([variant.value]
+                    + [flow.goodput_kbps for flow in result.flows]
+                    + [result.aggregate_goodput_kbps, round(result.fairness_index, 3)])
+    print_series("Figure 17: grid topology — per-flow goodput at 11 Mbit/s", headers, rows)
+
+    vegas = results[TransportVariant.VEGAS][bandwidth]
+    newreno = results[TransportVariant.NEWRENO][bandwidth]
+    # Vegas shares the medium more evenly than NewReno (higher Jain index).
+    assert vegas.fairness_index >= newreno.fairness_index * 0.9
+    assert len(vegas.flows) == len(newreno.flows)
+
+
+if __name__ == "__main__":
+    study = cached_grid_study()
+    for variant, per_bw in study.items():
+        result = per_bw[11.0]
+        flows = " ".join(f"{flow.goodput_kbps:.0f}" for flow in result.flows)
+        print(f"{variant.value:28s} flows=[{flows}] kbit/s "
+              f"aggregate={result.aggregate_goodput_kbps:.1f} Jain={result.fairness_index:.3f}")

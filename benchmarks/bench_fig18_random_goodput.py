@@ -1,0 +1,37 @@
+"""Figure 18: random topology — aggregate goodput vs. bandwidth.
+
+Paper setup: 120 nodes on 2500 × 1000 m² with 10 random flows.  The default
+benchmark uses a scaled-down field (see ``benchmarks.common``) so the suite
+stays fast; the shape is the same — Vegas ≈ NewReno in aggregate goodput, ACK
+thinning helps with increasing bandwidth, goodput grows sub-linearly.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_random_study, print_series
+
+
+def test_fig18_random_aggregate_goodput(benchmark):
+    results = benchmark.pedantic(cached_random_study, rounds=1, iterations=1)
+    variants = list(results)
+    bandwidths = sorted(results[variants[0]].keys())
+    headers = ["variant"] + [f"{bw:g} Mbit/s [kbit/s]" for bw in bandwidths]
+    rows = []
+    for variant in variants:
+        rows.append([variant.value] + [results[variant][bw].aggregate_goodput_kbps
+                                       for bw in bandwidths])
+    print_series("Figure 18: random topology — aggregate goodput for different bandwidths",
+                 headers, rows)
+
+    for variant in variants:
+        assert results[variant][11.0].aggregate_goodput_bps > 0
+        assert (results[variant][11.0].aggregate_goodput_bps
+                >= results[variant][2.0].aggregate_goodput_bps)
+
+
+if __name__ == "__main__":
+    study = cached_random_study()
+    for variant, per_bw in study.items():
+        for bandwidth, result in sorted(per_bw.items()):
+            print(f"{variant.value:28s} bw={bandwidth:4.1f} "
+                  f"aggregate={result.aggregate_goodput_kbps:.1f} kbit/s")

@@ -1,0 +1,42 @@
+"""Figure 19: random topology at 11 Mbit/s — per-flow goodput for each variant.
+
+Paper shape: with NewReno one flow grabs most of the bandwidth and some flows
+starve completely; Vegas spreads goodput more evenly; Vegas + ACK thinning is
+the most even without sacrificing aggregate goodput.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_random_study, print_series
+from repro.experiments.config import TransportVariant
+
+
+def test_fig19_random_per_flow_goodput(benchmark):
+    results = benchmark.pedantic(cached_random_study, rounds=1, iterations=1)
+    bandwidth = 11.0
+    variants = list(results)
+    flow_count = len(results[variants[0]][bandwidth].flows)
+    headers = ["variant"] + [f"FTP{i}" for i in range(1, flow_count + 1)] + ["aggregate", "Jain"]
+    rows = []
+    for variant in variants:
+        result = results[variant][bandwidth]
+        rows.append([variant.value]
+                    + [flow.goodput_kbps for flow in result.flows]
+                    + [result.aggregate_goodput_kbps, round(result.fairness_index, 3)])
+    print_series("Figure 19: random topology — per-flow goodput at 11 Mbit/s [kbit/s]",
+                 headers, rows)
+
+    vegas = results[TransportVariant.VEGAS][bandwidth]
+    newreno = results[TransportVariant.NEWRENO][bandwidth]
+    assert len(vegas.flows) == len(newreno.flows) == flow_count
+    # Vegas distributes goodput at least as evenly as NewReno.
+    assert vegas.fairness_index >= newreno.fairness_index * 0.9
+
+
+if __name__ == "__main__":
+    study = cached_random_study()
+    for variant, per_bw in study.items():
+        result = per_bw[11.0]
+        flows = " ".join(f"{flow.goodput_kbps:.0f}" for flow in result.flows)
+        print(f"{variant.value:28s} flows=[{flows}] kbit/s "
+              f"aggregate={result.aggregate_goodput_kbps:.1f} Jain={result.fairness_index:.3f}")

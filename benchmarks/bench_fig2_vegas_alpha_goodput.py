@@ -1,0 +1,33 @@
+"""Figure 2: h-hop chain at 2 Mbit/s — TCP Vegas goodput vs. hops for α = 2, 3, 4.
+
+Paper shape: α = 2 achieves the highest goodput between 4 and 20 hops; for
+longer chains all α values converge.  Goodput decreases with hop count.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_vegas_alpha_study, print_series
+
+
+def test_fig2_vegas_goodput_vs_hops(benchmark):
+    results = benchmark.pedantic(cached_vegas_alpha_study, rounds=1, iterations=1)
+    hop_counts = sorted(next(iter(results.values())).keys())
+    headers = ["hops"] + [f"Vegas a={alpha:g} [kbit/s]" for alpha in sorted(results)]
+    rows = []
+    for hops in hop_counts:
+        rows.append([hops] + [results[alpha][hops].aggregate_goodput_kbps
+                              for alpha in sorted(results)])
+    print_series("Figure 2: Vegas goodput vs. number of hops (2 Mbit/s)", headers, rows)
+
+    for alpha, per_hops in results.items():
+        goodputs = [per_hops[h].aggregate_goodput_kbps for h in hop_counts]
+        # Goodput must decrease as the chain gets longer (paper Fig. 2 shape).
+        assert goodputs[0] > goodputs[-1]
+        assert all(g > 0 for g in goodputs)
+
+
+if __name__ == "__main__":
+    study = cached_vegas_alpha_study()
+    for alpha, per_hops in study.items():
+        for hops, result in sorted(per_hops.items()):
+            print(f"alpha={alpha:g} hops={hops:2d} goodput={result.aggregate_goodput_kbps:.1f} kbit/s")

@@ -1,0 +1,39 @@
+"""Figure 3: h-hop chain at 2 Mbit/s — TCP Vegas average window vs. hops for α = 2, 3, 4.
+
+Paper shape: the average window grows with α (α = 2 keeps the smallest
+window), and stays in the single digits across the whole hop range.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_vegas_alpha_study, print_series
+from repro.core.statistics import mean
+
+
+def test_fig3_vegas_window_vs_hops(benchmark):
+    results = benchmark.pedantic(cached_vegas_alpha_study, rounds=1, iterations=1)
+    hop_counts = sorted(next(iter(results.values())).keys())
+    headers = ["hops"] + [f"Vegas a={alpha:g} [pkts]" for alpha in sorted(results)]
+    rows = []
+    for hops in hop_counts:
+        rows.append([hops] + [results[alpha][hops].average_window
+                              for alpha in sorted(results)])
+    print_series("Figure 3: Vegas average window size vs. number of hops (2 Mbit/s)",
+                 headers, rows)
+
+    alphas = sorted(results)
+    mean_windows = {
+        alpha: mean([results[alpha][h].average_window for h in hop_counts])
+        for alpha in alphas
+    }
+    # Larger α sustains a larger average window (paper Fig. 3 ordering).
+    assert mean_windows[alphas[0]] <= mean_windows[alphas[-1]] + 0.5
+    for alpha in alphas:
+        assert 1.0 <= mean_windows[alpha] <= 20.0
+
+
+if __name__ == "__main__":
+    study = cached_vegas_alpha_study()
+    for alpha, per_hops in study.items():
+        for hops, result in sorted(per_hops.items()):
+            print(f"alpha={alpha:g} hops={hops:2d} window={result.average_window:.2f}")

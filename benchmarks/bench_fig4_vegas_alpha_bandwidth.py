@@ -1,0 +1,35 @@
+"""Figure 4: 7-hop chain — TCP Vegas goodput for different bandwidths (α = 2, 3, 4).
+
+Paper shape: goodput grows sub-linearly with bandwidth (control frames stay at
+1 Mbit/s); α = 2 is best at 2 Mbit/s and the α values converge at 11 Mbit/s.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_vegas_alpha_bandwidth_study, print_series
+
+
+def test_fig4_vegas_goodput_vs_bandwidth(benchmark):
+    results = benchmark.pedantic(cached_vegas_alpha_bandwidth_study, rounds=1, iterations=1)
+    bandwidths = sorted(next(iter(results.values())).keys())
+    headers = ["bandwidth [Mbit/s]"] + [f"Vegas a={alpha:g} [kbit/s]"
+                                        for alpha in sorted(results)]
+    rows = []
+    for bandwidth in bandwidths:
+        rows.append([bandwidth] + [results[alpha][bandwidth].aggregate_goodput_kbps
+                                   for alpha in sorted(results)])
+    print_series("Figure 4: 7-hop chain — Vegas goodput for different bandwidths",
+                 headers, rows)
+
+    for alpha, per_bandwidth in results.items():
+        g2 = per_bandwidth[2.0].aggregate_goodput_kbps
+        g11 = per_bandwidth[11.0].aggregate_goodput_kbps
+        assert g11 > g2                      # more bandwidth, more goodput
+        assert g11 / g2 < 5.5                # ...but sub-linear growth
+
+
+if __name__ == "__main__":
+    study = cached_vegas_alpha_bandwidth_study()
+    for alpha, per_bandwidth in study.items():
+        for bandwidth, result in sorted(per_bandwidth.items()):
+            print(f"alpha={alpha:g} bw={bandwidth:4.1f} goodput={result.aggregate_goodput_kbps:.1f} kbit/s")

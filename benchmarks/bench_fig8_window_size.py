@@ -1,0 +1,36 @@
+"""Figure 8: h-hop chain at 2 Mbit/s — average congestion window vs. hops.
+
+Paper shape: Vegas keeps its window between roughly 3.5 and 5.5 packets
+(close to the optimum of h/4 for long chains), while NewReno's window is much
+larger; ACK thinning shrinks NewReno's window.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_chain_comparison, print_series
+from repro.core.statistics import mean
+from repro.experiments.config import TransportVariant
+
+
+def test_fig8_window_size_vs_hops(benchmark):
+    results = benchmark.pedantic(cached_chain_comparison, rounds=1, iterations=1)
+    tcp_variants = [v for v in results if v is not TransportVariant.PACED_UDP]
+    hop_counts = sorted(results[tcp_variants[0]].keys())
+    headers = ["hops"] + [f"{v.value} [pkts]" for v in tcp_variants]
+    rows = []
+    for hops in hop_counts:
+        rows.append([hops] + [results[v][hops].average_window for v in tcp_variants])
+    print_series("Figure 8: average window size vs. hops (2 Mbit/s)", headers, rows)
+
+    vegas = mean([results[TransportVariant.VEGAS][h].average_window for h in hop_counts])
+    newreno = mean([results[TransportVariant.NEWRENO][h].average_window for h in hop_counts])
+    # Vegas keeps a small, near-optimal window; NewReno grows a larger one.
+    assert vegas < newreno
+    assert 2.0 < vegas < 8.0
+
+
+if __name__ == "__main__":
+    study = cached_chain_comparison()
+    for variant, per_hops in study.items():
+        for hops, result in sorted(per_hops.items()):
+            print(f"{variant.value:24s} hops={hops:2d} window={result.average_window:.2f}")

@@ -1,0 +1,30 @@
+"""Table 2: minimal 4-hop propagation delay for 2, 5.5 and 11 Mbit/s.
+
+Paper values: 29 ms, 12 ms, 8 ms.  The delay is analytic (one clean DCF
+exchange per hop, zero queueing), so this benchmark both regenerates the table
+and serves as a calibration check of the MAC timing model.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import print_series
+from repro.experiments.paced_udp import table2_propagation_delays
+
+
+def compute_table2():
+    return table2_propagation_delays(bandwidths_mbps=(2.0, 5.5, 11.0))
+
+
+def test_table2_four_hop_propagation_delay(benchmark):
+    delays = benchmark.pedantic(compute_table2, rounds=1, iterations=1)
+    rows = [[f"{bw:g} Mbit/s", f"{delays[bw] * 1000:.1f} ms"] for bw in (2.0, 5.5, 11.0)]
+    print_series("Table 2: 4-hop propagation delay (paper: 29 / 12 / 8 ms)",
+                 ["Bandwidth", "4-hop delay"], rows)
+    assert 0.026 < delays[2.0] < 0.032
+    assert delays[2.0] > delays[5.5] > delays[11.0]
+
+
+if __name__ == "__main__":
+    delays = compute_table2()
+    for bandwidth, delay in delays.items():
+        print(f"{bandwidth:g} Mbit/s: {delay * 1000:.1f} ms")

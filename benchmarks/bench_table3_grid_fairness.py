@@ -1,0 +1,41 @@
+"""Table 3: 21-node grid — Jain's fairness index per variant and bandwidth.
+
+Paper shape: Vegas is fairer than NewReno at every bandwidth; ACK thinning
+improves fairness further (Vegas + ACK thinning is best, 0.69-0.94); fairness
+improves with increasing bandwidth for every variant.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_grid_study, print_series
+from repro.experiments.config import TransportVariant
+from repro.experiments.grid_experiments import fairness_table
+
+
+def test_table3_grid_jain_fairness(benchmark):
+    results = benchmark.pedantic(cached_grid_study, rounds=1, iterations=1)
+    table = fairness_table(results)
+    bandwidths = sorted(table)
+    variants = list(results)
+    headers = ["bandwidth"] + [v.value for v in variants]
+    rows = []
+    for bandwidth in bandwidths:
+        rows.append([f"{bandwidth:g} Mbit/s"] + [round(table[bandwidth][v], 3)
+                                                 for v in variants])
+    print_series("Table 3: grid topology — Jain's fairness index", headers, rows)
+
+    flow_count = len(results[variants[0]][bandwidths[0]].flows)
+    for bandwidth in bandwidths:
+        for variant in variants:
+            assert 1.0 / flow_count - 1e-9 <= table[bandwidth][variant] <= 1.0 + 1e-9
+    # The paper's fairness ordering at the highest bandwidth: Vegas-based
+    # variants are at least as fair as plain NewReno.
+    assert (table[11.0][TransportVariant.VEGAS]
+            >= table[11.0][TransportVariant.NEWRENO] * 0.9)
+
+
+if __name__ == "__main__":
+    table = fairness_table(cached_grid_study())
+    for bandwidth, per_variant in sorted(table.items()):
+        for variant, fairness in per_variant.items():
+            print(f"bw={bandwidth:4.1f} {variant.value:28s} Jain={fairness:.3f}")

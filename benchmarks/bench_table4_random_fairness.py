@@ -1,0 +1,39 @@
+"""Table 4: random topology — Jain's fairness index per variant and bandwidth.
+
+Paper shape: same ordering as Table 3 — Vegas fairer than NewReno, ACK
+thinning fairer still, and fairness improving with bandwidth (Vegas + ACK
+thinning reaches 0.62-0.90).
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import cached_random_study, print_series
+from repro.experiments.config import TransportVariant
+from repro.experiments.grid_experiments import fairness_table
+
+
+def test_table4_random_jain_fairness(benchmark):
+    results = benchmark.pedantic(cached_random_study, rounds=1, iterations=1)
+    table = fairness_table(results)
+    bandwidths = sorted(table)
+    variants = list(results)
+    headers = ["bandwidth"] + [v.value for v in variants]
+    rows = []
+    for bandwidth in bandwidths:
+        rows.append([f"{bandwidth:g} Mbit/s"] + [round(table[bandwidth][v], 3)
+                                                 for v in variants])
+    print_series("Table 4: random topology — Jain's fairness index", headers, rows)
+
+    flow_count = len(results[variants[0]][bandwidths[0]].flows)
+    for bandwidth in bandwidths:
+        for variant in variants:
+            assert 1.0 / flow_count - 1e-9 <= table[bandwidth][variant] <= 1.0 + 1e-9
+    assert (table[11.0][TransportVariant.VEGAS]
+            >= table[11.0][TransportVariant.NEWRENO] * 0.9)
+
+
+if __name__ == "__main__":
+    table = fairness_table(cached_random_study())
+    for bandwidth, per_variant in sorted(table.items()):
+        for variant, fairness in per_variant.items():
+            print(f"bw={bandwidth:4.1f} {variant.value:28s} Jain={fairness:.3f}")

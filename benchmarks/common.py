@@ -1,0 +1,154 @@
+"""Shared configuration and cached studies for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  Several
+figures share the same underlying simulation sweep (e.g. Figures 6-9 all come
+from the protocol-comparison-vs-hops study), so the sweeps are cached here with
+``functools.lru_cache``: within one ``pytest benchmarks/`` session each sweep
+runs exactly once no matter how many figures read from it.
+
+Scale: the paper simulates 110 000 delivered packets per data point on ns-2;
+this pure-Python harness uses the scaled-down run lengths below so the whole
+benchmark suite finishes in minutes on a laptop.  The shapes (protocol
+ordering, trends across hops/bandwidth, fairness ordering) are preserved; see
+EXPERIMENTS.md for paper-vs-measured values.  For longer runs, raise
+``BENCH_PACKET_TARGET`` / ``MULTIFLOW_PACKET_TARGET`` (or run the examples,
+which expose the run length on the command line).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Tuple
+
+from repro.experiments.bandwidth_experiments import seven_hop_bandwidth_comparison
+from repro.experiments.chain_experiments import (
+    paced_udp_rate_sweep,
+    protocol_comparison_vs_hops,
+    vegas_alpha_bandwidth_study,
+    vegas_alpha_study,
+    vegas_thinning_study,
+)
+from repro.experiments.config import ScenarioConfig, TransportVariant
+from repro.experiments.grid_experiments import grid_study
+from repro.experiments.random_experiments import build_random_topology, random_topology_study
+from repro.experiments.results import ScenarioResult, format_table
+
+# ----------------------------------------------------------------------
+# Bench-scale knobs (the paper-scale values are given in the comments).
+# ----------------------------------------------------------------------
+#: Delivered packets per single-flow chain data point (paper: 110 000).
+BENCH_PACKET_TARGET = 250
+#: Delivered packets (aggregate) per multi-flow data point (paper: 110 000).
+MULTIFLOW_PACKET_TARGET = 450
+#: Hop counts for the chain sweeps (paper: 2, 4, 8, 16, 32, 64).
+BENCH_HOP_COUNTS = (2, 4, 8, 16)
+#: Bandwidths studied (same as the paper).
+BENCH_BANDWIDTHS = (2.0, 5.5, 11.0)
+#: Random topology size (paper: 120 nodes on 2500x1000 m², 10 flows).
+RANDOM_NODE_COUNT = 60
+RANDOM_AREA = (1800.0, 800.0)
+RANDOM_FLOW_COUNT = 6
+RANDOM_SEED = 7
+#: Master seed for every benchmark scenario.
+BENCH_SEED = 3
+
+
+def chain_base_config(**overrides) -> ScenarioConfig:
+    """Baseline single-flow chain configuration at 2 Mbit/s."""
+    defaults = dict(
+        bandwidth_mbps=2.0,
+        packet_target=BENCH_PACKET_TARGET,
+        max_sim_time=400.0,
+        seed=BENCH_SEED,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def multiflow_base_config(**overrides) -> ScenarioConfig:
+    """Baseline multi-flow configuration (grid / random topologies)."""
+    defaults = dict(
+        packet_target=MULTIFLOW_PACKET_TARGET,
+        max_sim_time=300.0,
+        seed=BENCH_SEED,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Cached sweeps shared between figures
+# ----------------------------------------------------------------------
+@functools.lru_cache(maxsize=None)
+def cached_vegas_alpha_study():
+    """Figures 2 and 3: Vegas α sweep over the 2 Mbit/s chain."""
+    return vegas_alpha_study(chain_base_config(), hop_counts=BENCH_HOP_COUNTS)
+
+
+@functools.lru_cache(maxsize=None)
+def cached_vegas_alpha_bandwidth_study():
+    """Figure 4: Vegas α sweep over bandwidths on the 7-hop chain."""
+    return vegas_alpha_bandwidth_study(chain_base_config(), bandwidths=BENCH_BANDWIDTHS)
+
+
+@functools.lru_cache(maxsize=None)
+def cached_vegas_thinning_study():
+    """Figure 5: Vegas with and without ACK thinning on the chain."""
+    return vegas_thinning_study(chain_base_config(), hop_counts=BENCH_HOP_COUNTS)
+
+
+@functools.lru_cache(maxsize=None)
+def cached_chain_comparison():
+    """Figures 6-9: protocol comparison vs. hop count at 2 Mbit/s."""
+    return protocol_comparison_vs_hops(chain_base_config(), hop_counts=BENCH_HOP_COUNTS)
+
+
+@functools.lru_cache(maxsize=None)
+def cached_paced_udp_sweep():
+    """Figure 10: paced UDP goodput vs. inter-packet time on the 7-hop chain."""
+    from repro.experiments.chain_experiments import default_sweep_intervals
+
+    intervals = tuple(default_sweep_intervals(2.0, points=7, spread=0.4))
+    return paced_udp_rate_sweep(chain_base_config(), intervals, hops=7)
+
+
+@functools.lru_cache(maxsize=None)
+def cached_bandwidth_comparison():
+    """Figures 11-14: all variants on the 7-hop chain across bandwidths."""
+    return seven_hop_bandwidth_comparison(chain_base_config(), bandwidths=BENCH_BANDWIDTHS)
+
+
+@functools.lru_cache(maxsize=None)
+def cached_grid_study():
+    """Figures 16-17 and Table 3: the 21-node grid with six flows."""
+    return grid_study(multiflow_base_config(), bandwidths=BENCH_BANDWIDTHS)
+
+
+@functools.lru_cache(maxsize=None)
+def cached_random_study():
+    """Figures 18-19 and Table 4: the random topology study (scaled down)."""
+    topology = build_random_topology(
+        node_count=RANDOM_NODE_COUNT, area=RANDOM_AREA,
+        flow_count=RANDOM_FLOW_COUNT, seed=RANDOM_SEED,
+    )
+    return random_topology_study(multiflow_base_config(), topology,
+                                 bandwidths=BENCH_BANDWIDTHS)
+
+
+# ----------------------------------------------------------------------
+# Output helpers
+# ----------------------------------------------------------------------
+def print_series(title: str, headers, rows) -> None:
+    """Print one figure's series as a fixed-width table."""
+    print(f"\n=== {title} ===")
+    print(format_table(headers, rows))
+
+
+def hops_series(results_by_hops: Dict[int, ScenarioResult], measure) -> list:
+    """Extract ``[hops, measure(result)]`` rows sorted by hop count."""
+    return [[hops, measure(results_by_hops[hops])] for hops in sorted(results_by_hops)]
+
+
+def variant_label(variant: TransportVariant) -> str:
+    """Human-readable variant label used in the printed tables."""
+    return variant.value

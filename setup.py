@@ -1,0 +1,17 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+enables legacy ``pip install -e . --no-use-pep517`` editable installs on
+offline machines that lack ``wheel``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy", "networkx"],
+)

@@ -1,0 +1,51 @@
+"""repro — reproduction of *Improving TCP Performance for Multihop Wireless Networks*.
+
+A pure-Python discrete-event simulator of static multihop IEEE 802.11 networks
+(DCF MAC with RTS/CTS, AODV routing, DropTail interface queues) together with
+packet-level TCP NewReno, TCP Vegas, dynamic ACK thinning and an optimally
+paced UDP source, plus the experiment harness that regenerates every table and
+figure of the DSN 2005 paper by ElRakabawy, Lindemann and Vernon.
+
+Typical use::
+
+    from repro import ScenarioConfig, TransportVariant, chain_topology, run_scenario
+
+    result = run_scenario(
+        chain_topology(hops=7),
+        ScenarioConfig(variant=TransportVariant.VEGAS, bandwidth_mbps=2.0,
+                       packet_target=500),
+    )
+    print(result.aggregate_goodput_kbps, "kbit/s")
+"""
+
+from repro.experiments.config import (
+    DEFAULT_HOP_COUNTS,
+    PAPER_BANDWIDTHS,
+    PAPER_HOP_COUNTS,
+    ScenarioConfig,
+    TransportVariant,
+)
+from repro.experiments.results import FlowResult, ScenarioResult, format_table
+from repro.experiments.runner import Scenario, run_scenario
+from repro.topology.chain import chain_topology
+from repro.topology.grid import grid_topology
+from repro.topology.random_topology import random_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScenarioConfig",
+    "TransportVariant",
+    "PAPER_BANDWIDTHS",
+    "PAPER_HOP_COUNTS",
+    "DEFAULT_HOP_COUNTS",
+    "FlowResult",
+    "ScenarioResult",
+    "format_table",
+    "Scenario",
+    "run_scenario",
+    "chain_topology",
+    "grid_topology",
+    "random_topology",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Traffic-generating applications: persistent FTP and CBR."""
+
+from repro.app.base import Application
+from repro.app.cbr import CbrApplication
+from repro.app.ftp import FtpApplication
+
+__all__ = ["Application", "CbrApplication", "FtpApplication"]

@@ -1,0 +1,46 @@
+"""Application base class.
+
+Applications sit on top of a transport agent and only decide *when* data is
+generated; the transport decides *how* it is carried.  The two applications in
+this study are persistent FTP (drives a TCP sender) and CBR (drives a paced
+UDP sender).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.engine import Simulator
+
+
+class Application(abc.ABC):
+    """Base class for traffic-generating applications."""
+
+    def __init__(self, sim: Simulator, start_time: float = 0.0) -> None:
+        self.sim = sim
+        self.start_time = start_time
+        self._started = False
+
+    def schedule_start(self) -> None:
+        """Schedule the application to start at its configured start time."""
+        delay = max(0.0, self.start_time - self.sim.now)
+        self.sim.schedule(delay, self._start_once)
+
+    def _start_once(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.on_start()
+
+    @property
+    def started(self) -> bool:
+        """True once the application has begun generating traffic."""
+        return self._started
+
+    @abc.abstractmethod
+    def on_start(self) -> None:
+        """Begin generating traffic."""
+
+    @abc.abstractmethod
+    def stop(self) -> None:
+        """Stop generating traffic."""

@@ -1,0 +1,47 @@
+"""Constant-bit-rate application (drives the paced UDP source).
+
+Used to model the paper's "optimally paced UDP": one 1460-byte datagram every
+*t* seconds, with *t* chosen offline for maximum goodput (Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.app.base import Application
+from repro.core.engine import Simulator
+from repro.transport.udp import PacedUdpSource, UdpSender
+
+
+class CbrApplication(Application):
+    """Constant-bit-rate traffic generator on top of a UDP sender."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender: UdpSender,
+        interval: float,
+        start_time: float = 0.0,
+        packet_limit: Optional[int] = None,
+    ) -> None:
+        super().__init__(sim, start_time)
+        self.source = PacedUdpSource(
+            sim=sim,
+            sender=sender,
+            interval=interval,
+            start_time=start_time,
+            packet_limit=packet_limit,
+        )
+
+    @property
+    def interval(self) -> float:
+        """Inter-packet transmission time *t* in seconds."""
+        return self.source.interval
+
+    def on_start(self) -> None:
+        """Start the CBR source."""
+        self.source.start()
+
+    def stop(self) -> None:
+        """Stop the CBR source."""
+        self.source.stop()

@@ -1,0 +1,29 @@
+"""Persistent FTP application.
+
+The paper simulates "continuous FTP flows": the application always has data to
+send, so the TCP sender is never application-limited.  The FTP application here
+simply starts its TCP sender at the configured time; the sender's optional
+``data_limit_packets`` can be used for finite transfers in tests.
+"""
+
+from __future__ import annotations
+
+from repro.app.base import Application
+from repro.core.engine import Simulator
+from repro.transport.tcp_base import TcpSender
+
+
+class FtpApplication(Application):
+    """Drives a TCP sender as an infinite (or bounded) file transfer."""
+
+    def __init__(self, sim: Simulator, sender: TcpSender, start_time: float = 0.0) -> None:
+        super().__init__(sim, start_time)
+        self.sender = sender
+
+    def on_start(self) -> None:
+        """Start the underlying TCP sender."""
+        self.sender.start()
+
+    def stop(self) -> None:
+        """Stop the underlying TCP sender."""
+        self.sender.stop()

@@ -1,0 +1,222 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic event-list simulator: callbacks are scheduled at
+absolute simulation times and executed in time order.  Ties are broken by
+insertion order so that the simulation is fully deterministic for a given
+seed and scenario.
+
+Typical use::
+
+    sim = Simulator()
+    sim.schedule(0.5, my_callback, arg1, arg2)
+    sim.run(until=10.0)
+
+Components hold a reference to the simulator and use :meth:`Simulator.schedule`
+/ :meth:`Simulator.cancel` for their timers.  The engine itself knows nothing
+about networks; it only orders callbacks in time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.errors import SchedulingError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, sequence)`` where ``sequence`` is a
+    monotonically increasing insertion counter; this makes event ordering
+    deterministic even when two events share the same timestamp.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark this event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+    @property
+    def is_pending(self) -> bool:
+        """True if the event has not been cancelled."""
+        return not self.cancelled
+
+
+class Simulator:
+    """Event-list discrete-event simulator.
+
+    Attributes:
+        now: Current simulation time in seconds.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._sequence: int = 0
+        self._events_processed: int = 0
+        self._running: bool = False
+        self._stop_requested: bool = False
+
+    # ------------------------------------------------------------------
+    # Scheduling API
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Args:
+            delay: Non-negative delay in seconds relative to the current time.
+            callback: Callable invoked when the event fires.
+            *args: Positional arguments passed to the callback.
+
+        Returns:
+            The scheduled :class:`Event`, which may be cancelled later.
+
+        Raises:
+            SchedulingError: If ``delay`` is negative or not finite.
+        """
+        if delay < 0 or not math.isfinite(delay):
+            raise SchedulingError(f"invalid delay {delay!r}")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``.
+
+        Raises:
+            SchedulingError: If ``time`` lies in the past or is not finite.
+        """
+        if time < self.now or not math.isfinite(time):
+            raise SchedulingError(
+                f"cannot schedule at {time!r}; current time is {self.now!r}"
+            )
+        event = Event(time=time, sequence=self._sequence, callback=callback, args=args)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event.
+
+        Cancelling ``None`` or an already-cancelled event is a no-op, which
+        lets protocol code unconditionally cancel its timer handles.
+        """
+        if event is not None:
+            event.cancel()
+
+    # ------------------------------------------------------------------
+    # Execution API
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation.
+
+        Args:
+            until: Stop once the next event's time exceeds this value.  The
+                clock is advanced to ``until`` when the horizon is reached.
+            max_events: Stop after processing this many events (safety valve
+                for tests).
+
+        Returns:
+            The number of events processed during this call.
+        """
+        processed = 0
+        self._running = True
+        self._stop_requested = False
+        try:
+            while self._queue:
+                if self._stop_requested:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._queue)
+                self.now = event.time
+                event.callback(*event.args)
+                processed += 1
+                self._events_processed += 1
+            else:
+                # Queue drained: advance the clock to the horizon if given.
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return processed
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled placeholders)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed over the simulator's lifetime."""
+        return self._events_processed
+
+    def reset(self) -> None:
+        """Clear the event queue and reset the clock to zero."""
+        self._queue.clear()
+        self.now = 0.0
+        self._sequence = 0
+        self._events_processed = 0
+        self._stop_requested = False
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    Protocol code frequently needs "(re)start this timeout, cancel it when the
+    awaited thing happens".  ``Timer`` wraps that pattern so the owner does not
+    have to track raw :class:`Event` handles.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    def start(self, delay: float) -> None:
+        """Start (or restart) the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Cancel the timer if it is pending."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+    @property
+    def is_pending(self) -> bool:
+        """True if the timer is armed and has not fired or been cancelled."""
+        return self._event is not None and self._event.is_pending
+
+    @property
+    def expiry_time(self) -> Optional[float]:
+        """Absolute time at which the timer will fire, or None if idle."""
+        if self.is_pending and self._event is not None:
+            return self._event.time
+        return None

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro simulator.
+
+All simulator-specific exceptions derive from :class:`SimulationError` so that
+callers can catch the whole family with a single ``except`` clause while still
+being able to distinguish configuration problems from runtime protocol errors.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ConfigurationError(SimulationError):
+    """Raised when a scenario or component is configured inconsistently."""
+
+
+class SchedulingError(SimulationError):
+    """Raised for invalid event scheduling (negative delay, cancelled reuse)."""
+
+
+class PacketError(SimulationError):
+    """Raised when a packet is malformed or a required header is missing."""
+
+
+class RoutingError(SimulationError):
+    """Raised for routing-layer protocol violations."""
+
+
+class TransportError(SimulationError):
+    """Raised for transport-layer protocol violations."""
+
+
+class TopologyError(SimulationError):
+    """Raised when a topology cannot be constructed as requested."""

@@ -1,0 +1,247 @@
+"""Statistics utilities used by the experiment harness.
+
+The paper derives its performance measures with the batch-means method: the
+simulation output is split into batches of a fixed number of successfully
+delivered packets, the first batch is discarded as the initial transient, and
+95 % confidence intervals are computed from the remaining batches.  This module
+provides that machinery plus Jain's fairness index and time-weighted averages
+(used for the average congestion-window size).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+try:  # scipy is available in the target environment, but keep a fallback.
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_stats = None
+
+
+# Two-sided 97.5 % quantiles of the Student t distribution for small degrees
+# of freedom, used when scipy is unavailable.
+_T_975 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145,
+    15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def _t_quantile_975(dof: int) -> float:
+    """Return the two-sided 95 % Student-t quantile for ``dof`` degrees of freedom."""
+    if dof <= 0:
+        return float("inf")
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.975, dof))
+    if dof in _T_975:
+        return _T_975[dof]
+    # Fall back to the closest tabulated value below, then the normal quantile.
+    candidates = [k for k in _T_975 if k <= dof]
+    if candidates:
+        return _T_975[max(candidates)]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean together with its symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    confidence: float = 0.95
+
+    @property
+    def lower(self) -> float:
+        """Lower bound of the interval."""
+        return self.mean - self.half_width
+
+    @property
+    def upper(self) -> float:
+        """Upper bound of the interval."""
+        return self.mean + self.half_width
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width relative to the mean (0 when the mean is 0)."""
+        if self.mean == 0:
+            return 0.0
+        return abs(self.half_width / self.mean)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g}"
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def sample_variance(values: Sequence[float]) -> float:
+    """Unbiased sample variance; 0.0 for fewer than two samples."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return sum((v - mu) ** 2 for v in values) / (len(values) - 1)
+
+
+def confidence_interval(values: Sequence[float], confidence: float = 0.95) -> ConfidenceInterval:
+    """Return the mean and Student-t confidence interval of ``values``.
+
+    Args:
+        values: Sample observations (e.g. per-batch goodputs).
+        confidence: Only 0.95 is supported without scipy; with scipy any level
+            works.
+
+    Returns:
+        A :class:`ConfidenceInterval`; the half-width is 0 for fewer than two
+        samples.
+    """
+    values = list(values)
+    mu = mean(values)
+    if len(values) < 2:
+        return ConfidenceInterval(mean=mu, half_width=0.0, confidence=confidence)
+    dof = len(values) - 1
+    if _scipy_stats is not None and confidence != 0.95:
+        quantile = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, dof))
+    else:
+        quantile = _t_quantile_975(dof)
+    std_err = math.sqrt(sample_variance(values) / len(values))
+    return ConfidenceInterval(mean=mu, half_width=quantile * std_err, confidence=confidence)
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of per-flow goodputs.
+
+    ``(sum x_i)^2 / (n * sum x_i^2)``; 1 means perfectly fair, ``1/n`` means a
+    single flow captures everything.  Returns 1.0 for an empty sequence and
+    for all-zero inputs (no flow is disadvantaged relative to another).
+    """
+    values = list(values)
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+class BatchMeans:
+    """Batch-means estimator keyed on delivered-packet counts.
+
+    The paper splits each run into batches of 10 000 successfully delivered
+    packets, drops the first batch as the warm-up transient and reports the
+    mean of a per-batch measure with a 95 % confidence interval.  This class
+    records (time, cumulative_value) checkpoints every ``batch_size`` deliveries
+    and turns them into per-batch rates.
+    """
+
+    def __init__(self, batch_size: int, discard_batches: int = 1) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self.discard_batches = discard_batches
+        self._checkpoints: List[tuple[float, float]] = []
+        self._packets_in_batch = 0
+
+    def record_delivery(self, now: float, cumulative_value: float, packets: int = 1) -> None:
+        """Record ``packets`` deliveries with the running cumulative measure.
+
+        Args:
+            now: Current simulation time.
+            cumulative_value: Monotone cumulative quantity (e.g. bytes received).
+            packets: Number of deliveries represented by this call.
+        """
+        self._packets_in_batch += packets
+        while self._packets_in_batch >= self.batch_size:
+            self._packets_in_batch -= self.batch_size
+            self._checkpoints.append((now, cumulative_value))
+
+    @property
+    def completed_batches(self) -> int:
+        """Number of completed batches recorded so far."""
+        return len(self._checkpoints)
+
+    def batch_rates(self) -> List[float]:
+        """Per-batch rates (delta value / delta time), transient removed."""
+        rates: List[float] = []
+        previous_time, previous_value = 0.0, 0.0
+        for time_point, value in self._checkpoints:
+            duration = time_point - previous_time
+            if duration > 0:
+                rates.append((value - previous_value) / duration)
+            previous_time, previous_value = time_point, value
+        return rates[self.discard_batches:]
+
+    def rate_interval(self) -> ConfidenceInterval:
+        """Mean per-batch rate with its 95 % confidence interval."""
+        return confidence_interval(self.batch_rates())
+
+
+@dataclass
+class TimeWeightedAverage:
+    """Time-weighted average of a piecewise-constant signal (e.g. cwnd)."""
+
+    _last_time: Optional[float] = None
+    _last_value: float = 0.0
+    _weighted_sum: float = 0.0
+    _total_time: float = 0.0
+    samples: int = 0
+
+    def record(self, now: float, value: float) -> None:
+        """Record that the signal changed to ``value`` at time ``now``."""
+        if self._last_time is not None and now > self._last_time:
+            duration = now - self._last_time
+            self._weighted_sum += self._last_value * duration
+            self._total_time += duration
+        self._last_time = now
+        self._last_value = value
+        self.samples += 1
+
+    def finalize(self, now: float) -> None:
+        """Extend the last recorded value up to time ``now``."""
+        if self._last_time is not None and now > self._last_time:
+            duration = now - self._last_time
+            self._weighted_sum += self._last_value * duration
+            self._total_time += duration
+            self._last_time = now
+
+    @property
+    def average(self) -> float:
+        """The time-weighted average observed so far (0 if nothing recorded)."""
+        if self._total_time <= 0:
+            return self._last_value if self._last_time is not None else 0.0
+        return self._weighted_sum / self._total_time
+
+
+class Counter:
+    """A named monotonically increasing counter with convenience accessors."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset the counter to zero."""
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+def relative_change(new: float, old: float) -> float:
+    """Return (new - old) / old, guarding against a zero baseline."""
+    if old == 0:
+        return 0.0 if new == 0 else math.inf
+    return (new - old) / old

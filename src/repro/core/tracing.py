@@ -1,0 +1,78 @@
+"""Lightweight event tracing.
+
+A :class:`Tracer` collects structured trace records (time, layer, event name,
+details).  Traces are disabled by default and intended for debugging and for
+tests that assert on protocol behaviour (e.g. "an RERR was generated after the
+MAC retry limit was exceeded").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace entry."""
+
+    time: float
+    layer: str
+    event: str
+    node: Optional[int] = None
+    details: Optional[Dict[str, Any]] = None
+
+    def __str__(self) -> str:
+        details = f" {self.details}" if self.details else ""
+        node = f" n{self.node}" if self.node is not None else ""
+        return f"[{self.time:.6f}]{node} {self.layer}/{self.event}{details}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled."""
+
+    def __init__(self, enabled: bool = False, max_records: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.max_records = max_records
+        self._records: List[TraceRecord] = []
+
+    def record(
+        self,
+        time: float,
+        layer: str,
+        event: str,
+        node: Optional[int] = None,
+        **details: Any,
+    ) -> None:
+        """Record a trace entry if tracing is enabled."""
+        if not self.enabled:
+            return
+        if self.max_records is not None and len(self._records) >= self.max_records:
+            return
+        self._records.append(
+            TraceRecord(time=time, layer=layer, event=event, node=node, details=details or None)
+        )
+
+    def clear(self) -> None:
+        """Discard all collected records."""
+        self._records.clear()
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def filter(self, layer: Optional[str] = None, event: Optional[str] = None) -> List[TraceRecord]:
+        """Return records matching the given layer and/or event name."""
+        return [
+            record
+            for record in self._records
+            if (layer is None or record.layer == layer)
+            and (event is None or record.event == event)
+        ]
+
+
+#: A module-level tracer that is always disabled; components that receive no
+#: tracer use this one so they never need a None check.
+NULL_TRACER = Tracer(enabled=False)

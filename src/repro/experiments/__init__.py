@@ -1,0 +1,24 @@
+"""Experiment harness: scenario configuration, runner and per-figure studies."""
+
+from repro.experiments.config import (
+    DEFAULT_HOP_COUNTS,
+    PAPER_BANDWIDTHS,
+    PAPER_HOP_COUNTS,
+    ScenarioConfig,
+    TransportVariant,
+)
+from repro.experiments.results import FlowResult, ScenarioResult, format_table
+from repro.experiments.runner import Scenario, run_scenario
+
+__all__ = [
+    "DEFAULT_HOP_COUNTS",
+    "PAPER_BANDWIDTHS",
+    "PAPER_HOP_COUNTS",
+    "ScenarioConfig",
+    "TransportVariant",
+    "FlowResult",
+    "ScenarioResult",
+    "format_table",
+    "Scenario",
+    "run_scenario",
+]

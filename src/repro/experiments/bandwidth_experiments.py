@@ -1,0 +1,59 @@
+"""7-hop chain bandwidth experiments (Figures 11-14 and Table 2 context).
+
+The paper's fourth chain experiment compares TCP NewReno, TCP Vegas, both with
+ACK thinning, TCP NewReno with an artificially bounded ("optimal") window of
+MaxWin = 3, and paced UDP on a 7-hop chain at 2, 5.5 and 11 Mbit/s.  A single
+scenario run per (variant, bandwidth) provides all four reported measures:
+goodput (Fig. 11), transport retransmissions (Fig. 12), average window
+(Fig. 13) and link-layer drop probability (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.config import PAPER_BANDWIDTHS, ScenarioConfig, TransportVariant
+from repro.experiments.results import ScenarioResult
+from repro.experiments.runner import run_scenario
+from repro.topology.chain import chain_topology
+
+#: The variant line-up of Figures 11-14, in the paper's legend order.
+DEFAULT_BANDWIDTH_VARIANTS: Tuple[TransportVariant, ...] = (
+    TransportVariant.VEGAS,
+    TransportVariant.NEWRENO,
+    TransportVariant.VEGAS_ACK_THINNING,
+    TransportVariant.NEWRENO_ACK_THINNING,
+    TransportVariant.NEWRENO_OPTIMAL_WINDOW,
+    TransportVariant.PACED_UDP,
+)
+
+#: The optimal NewReno window the paper derives for the 7-hop chain
+#: (MaxWin = 3, following Fu et al.).
+SEVEN_HOP_OPTIMAL_WINDOW = 3.0
+
+
+def seven_hop_bandwidth_comparison(
+    base_config: ScenarioConfig,
+    bandwidths: Sequence[float] = PAPER_BANDWIDTHS,
+    variants: Sequence[TransportVariant] = DEFAULT_BANDWIDTH_VARIANTS,
+    hops: int = 7,
+) -> Dict[TransportVariant, Dict[float, ScenarioResult]]:
+    """Run every (variant, bandwidth) combination on the 7-hop chain.
+
+    Returns:
+        ``results[variant][bandwidth_mbps]`` → :class:`ScenarioResult`.
+    """
+    results: Dict[TransportVariant, Dict[float, ScenarioResult]] = {}
+    for variant in variants:
+        per_bandwidth: Dict[float, ScenarioResult] = {}
+        for bandwidth in bandwidths:
+            overrides = dict(variant=variant, bandwidth_mbps=bandwidth)
+            if variant is TransportVariant.NEWRENO_OPTIMAL_WINDOW:
+                # The clamp must be supplied in the same replace call: the
+                # variant's config validation requires it.
+                overrides["newreno_max_cwnd"] = SEVEN_HOP_OPTIMAL_WINDOW
+            config = replace(base_config, **overrides)
+            per_bandwidth[bandwidth] = run_scenario(chain_topology(hops=hops), config)
+        results[variant] = per_bandwidth
+    return results

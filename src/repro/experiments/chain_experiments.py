@@ -1,0 +1,187 @@
+"""Chain-topology experiments (Section 4.3 of the paper: Figures 2-10).
+
+Each function sweeps one of the paper's chain studies and returns the raw
+:class:`repro.experiments.results.ScenarioResult` objects keyed by the swept
+parameter, so the benchmark scripts (and EXPERIMENTS.md) can print the same
+series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ScenarioConfig, TransportVariant
+from repro.experiments.paced_udp import default_udp_interval
+from repro.experiments.results import ScenarioResult
+from repro.experiments.runner import run_scenario
+from repro.mac.timing import timing_for_bandwidth
+from repro.topology.chain import chain_topology
+
+
+def run_chain(config: ScenarioConfig, hops: int) -> ScenarioResult:
+    """Run one single-flow chain scenario."""
+    return run_scenario(chain_topology(hops=hops), config)
+
+
+# ----------------------------------------------------------------------
+# Figures 2 and 3: Vegas goodput / window vs. hops for α = 2, 3, 4
+# ----------------------------------------------------------------------
+def vegas_alpha_study(
+    base_config: ScenarioConfig,
+    hop_counts: Sequence[int],
+    alphas: Sequence[float] = (2.0, 3.0, 4.0),
+) -> Dict[float, Dict[int, ScenarioResult]]:
+    """Vegas with different α on the 2 Mbit/s chain (Figures 2 and 3).
+
+    Returns:
+        ``results[alpha][hops]`` → :class:`ScenarioResult`.
+    """
+    results: Dict[float, Dict[int, ScenarioResult]] = {}
+    for alpha in alphas:
+        config = replace(base_config, variant=TransportVariant.VEGAS, vegas_alpha=alpha)
+        results[alpha] = {hops: run_chain(config, hops) for hops in hop_counts}
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 4: Vegas goodput on the 7-hop chain for different bandwidths
+# ----------------------------------------------------------------------
+def vegas_alpha_bandwidth_study(
+    base_config: ScenarioConfig,
+    bandwidths: Sequence[float] = (2.0, 5.5, 11.0),
+    alphas: Sequence[float] = (2.0, 3.0, 4.0),
+    hops: int = 7,
+) -> Dict[float, Dict[float, ScenarioResult]]:
+    """Vegas α sweep across bandwidths on the 7-hop chain (Figure 4).
+
+    Returns:
+        ``results[alpha][bandwidth]`` → :class:`ScenarioResult`.
+    """
+    results: Dict[float, Dict[float, ScenarioResult]] = {}
+    for alpha in alphas:
+        per_bandwidth: Dict[float, ScenarioResult] = {}
+        for bandwidth in bandwidths:
+            config = replace(
+                base_config,
+                variant=TransportVariant.VEGAS,
+                vegas_alpha=alpha,
+                bandwidth_mbps=bandwidth,
+            )
+            per_bandwidth[bandwidth] = run_chain(config, hops)
+        results[alpha] = per_bandwidth
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 5: Vegas with ACK thinning vs. plain Vegas α = 2
+# ----------------------------------------------------------------------
+def vegas_thinning_study(
+    base_config: ScenarioConfig,
+    hop_counts: Sequence[int],
+    thinning_alphas: Sequence[float] = (2.0, 3.0, 4.0),
+) -> Dict[str, Dict[int, ScenarioResult]]:
+    """Vegas (α=2) vs. Vegas + ACK thinning for α ∈ {2,3,4} (Figure 5).
+
+    Returns:
+        ``results[label][hops]``; labels are ``"Vegas α=2"`` and
+        ``"Vegas α=<a> ACK Thinning"``.
+    """
+    results: Dict[str, Dict[int, ScenarioResult]] = {}
+    plain = replace(base_config, variant=TransportVariant.VEGAS, vegas_alpha=2.0)
+    results["Vegas α=2"] = {hops: run_chain(plain, hops) for hops in hop_counts}
+    for alpha in thinning_alphas:
+        config = replace(
+            base_config, variant=TransportVariant.VEGAS_ACK_THINNING, vegas_alpha=alpha
+        )
+        label = f"Vegas α={alpha:g} ACK Thinning"
+        results[label] = {hops: run_chain(config, hops) for hops in hop_counts}
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figures 6-9: protocol comparison vs. number of hops at 2 Mbit/s
+# ----------------------------------------------------------------------
+DEFAULT_CHAIN_VARIANTS: Tuple[TransportVariant, ...] = (
+    TransportVariant.VEGAS,
+    TransportVariant.NEWRENO,
+    TransportVariant.NEWRENO_ACK_THINNING,
+    TransportVariant.PACED_UDP,
+)
+
+
+def protocol_comparison_vs_hops(
+    base_config: ScenarioConfig,
+    hop_counts: Sequence[int],
+    variants: Sequence[TransportVariant] = DEFAULT_CHAIN_VARIANTS,
+) -> Dict[TransportVariant, Dict[int, ScenarioResult]]:
+    """One run per (variant, hop count) on the 2 Mbit/s chain.
+
+    A single scenario run yields all four measures of Figures 6-9 (goodput,
+    retransmissions, average window, false route failures), so the same result
+    dictionary backs all four benches.
+
+    Returns:
+        ``results[variant][hops]`` → :class:`ScenarioResult`.
+    """
+    results: Dict[TransportVariant, Dict[int, ScenarioResult]] = {}
+    for variant in variants:
+        config = replace(base_config, variant=variant)
+        results[variant] = {hops: run_chain(config, hops) for hops in hop_counts}
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 10: paced UDP goodput vs. inter-packet transmission time
+# ----------------------------------------------------------------------
+def paced_udp_rate_sweep(
+    base_config: ScenarioConfig,
+    intervals: Sequence[float],
+    hops: int = 7,
+) -> Dict[float, ScenarioResult]:
+    """Sweep the paced-UDP inter-packet time *t* on the 7-hop chain (Figure 10).
+
+    Returns:
+        ``results[t]`` → :class:`ScenarioResult`, for each interval in seconds.
+    """
+    results: Dict[float, ScenarioResult] = {}
+    for interval in intervals:
+        config = replace(
+            base_config, variant=TransportVariant.PACED_UDP, udp_interval=interval
+        )
+        results[interval] = run_chain(config, hops)
+    return results
+
+
+def default_sweep_intervals(
+    bandwidth_mbps: float, points: int = 7, spread: float = 0.45
+) -> List[float]:
+    """Sweep grid around the analytic pacing interval for a bandwidth.
+
+    Mirrors the paper's Figure 10 x-axis (28-44 ms at 2 Mbit/s): ``points``
+    evenly spaced intervals within ±``spread`` of the default interval.
+    """
+    center = default_udp_interval(timing_for_bandwidth(bandwidth_mbps))
+    low = center * (1.0 - spread)
+    high = center * (1.0 + spread)
+    if points < 2:
+        return [center]
+    step = (high - low) / (points - 1)
+    return [low + i * step for i in range(points)]
+
+
+def find_optimal_udp_interval(
+    base_config: ScenarioConfig,
+    hops: int = 7,
+    intervals: Optional[Sequence[float]] = None,
+) -> Tuple[float, Dict[float, ScenarioResult]]:
+    """Offline search for the goodput-maximizing pacing interval (Section 4.2).
+
+    Returns:
+        ``(best_interval, sweep_results)``.
+    """
+    if intervals is None:
+        intervals = default_sweep_intervals(base_config.bandwidth_mbps)
+    sweep = paced_udp_rate_sweep(base_config, intervals, hops=hops)
+    best = max(sweep, key=lambda t: sweep[t].aggregate_goodput_bps)
+    return best, sweep

@@ -1,0 +1,147 @@
+"""Scenario configuration for the experiment harness.
+
+A :class:`ScenarioConfig` bundles every knob a paper experiment varies:
+transport variant, 802.11 bandwidth, Vegas α, ACK thinning, routing protocol,
+and the run length (packet target / batch structure).  The defaults reproduce
+the paper's setup at a scaled-down run length so the whole harness finishes on
+a laptop; set ``packet_target=110_000`` and ``batch_count=11`` for full
+paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.errors import ConfigurationError
+from repro.transport.ack_thinning import AckThinningPolicy
+from repro.transport.tcp_base import TcpConfig
+from repro.transport.vegas import VegasParameters
+
+
+class TransportVariant(enum.Enum):
+    """The transport protocol variants compared in the paper."""
+
+    NEWRENO = "NewReno"
+    VEGAS = "Vegas"
+    NEWRENO_ACK_THINNING = "NewReno ACK Thinning"
+    VEGAS_ACK_THINNING = "Vegas ACK Thinning"
+    NEWRENO_OPTIMAL_WINDOW = "NewReno Optimal Window"
+    PACED_UDP = "Paced UDP"
+
+    @property
+    def is_tcp(self) -> bool:
+        """True for the TCP variants (everything except paced UDP)."""
+        return self is not TransportVariant.PACED_UDP
+
+    @property
+    def uses_ack_thinning(self) -> bool:
+        """True if the sink applies dynamic ACK thinning."""
+        return self in (
+            TransportVariant.NEWRENO_ACK_THINNING,
+            TransportVariant.VEGAS_ACK_THINNING,
+        )
+
+    @property
+    def is_vegas(self) -> bool:
+        """True for the Vegas-based variants."""
+        return self in (TransportVariant.VEGAS, TransportVariant.VEGAS_ACK_THINNING)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """All parameters of one simulation scenario.
+
+    Attributes:
+        variant: Transport protocol variant used by every flow.
+        bandwidth_mbps: 802.11 data rate (2, 5.5 or 11 in the paper).
+        vegas_alpha: Vegas α (= β = γ) threshold in packets.
+        newreno_max_cwnd: Window clamp for the "optimal window" variant
+            (the paper finds MaxWin = 3 for the 7-hop chain).
+        udp_interval: Inter-packet time *t* for paced UDP; None lets the
+            harness use the analytically derived 4-hop propagation delay as a
+            starting point (Section 4.2).
+        packet_target: Total in-order packets to deliver (across all flows)
+            before the run stops.  The paper uses 110 000.
+        batch_count: Number of batch-means batches the run is split into
+            (the first is discarded as the warm-up transient).
+        max_sim_time: Hard wall on simulated seconds, in case a scenario
+            starves and never reaches the packet target.
+        seed: Master RNG seed.
+        routing: ``"aodv"`` (paper) or ``"static"`` (ablation baseline).
+        queue_capacity: Interface queue size in packets (50 in the paper).
+        flow_start_stagger: Gap in seconds between successive flow start
+            times, breaking artificial synchronization at t = 0.
+        tcp: TCP parameters (Table 1 defaults).
+        ack_thinning: ACK-thinning thresholds (S1/S2/S3 and the 100 ms timer).
+        run_slice: Granularity (simulated seconds) at which the runner checks
+            the stop condition.
+        capture_threshold: PHY capture threshold (power ratio); 10 matches
+            ns-2's ``CPThresh_``.  A very large value disables capture (every
+            overlapping signal collides) and is used by the ablation bench.
+    """
+
+    variant: TransportVariant = TransportVariant.VEGAS
+    bandwidth_mbps: float = 2.0
+    vegas_alpha: float = 2.0
+    newreno_max_cwnd: Optional[float] = None
+    udp_interval: Optional[float] = None
+    packet_target: int = 1100
+    batch_count: int = 11
+    max_sim_time: float = 4000.0
+    seed: int = 1
+    routing: str = "aodv"
+    queue_capacity: int = 50
+    flow_start_stagger: float = 0.2
+    tcp: TcpConfig = field(default_factory=TcpConfig)
+    ack_thinning: AckThinningPolicy = field(default_factory=AckThinningPolicy)
+    run_slice: float = 5.0
+    capture_threshold: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.packet_target <= 0:
+            raise ConfigurationError("packet_target must be positive")
+        if self.batch_count < 2:
+            raise ConfigurationError("batch_count must be at least 2")
+        if self.routing not in ("aodv", "static"):
+            raise ConfigurationError(f"unknown routing {self.routing!r}")
+        if self.variant is TransportVariant.NEWRENO_OPTIMAL_WINDOW and (
+            self.newreno_max_cwnd is None
+        ):
+            raise ConfigurationError(
+                "NEWRENO_OPTIMAL_WINDOW requires newreno_max_cwnd to be set"
+            )
+
+    # ------------------------------------------------------------------
+    # Convenience derivations
+    # ------------------------------------------------------------------
+    def vegas_parameters(self) -> VegasParameters:
+        """Vegas thresholds with α = β = γ as used throughout the paper."""
+        return VegasParameters(
+            alpha=self.vegas_alpha, beta=self.vegas_alpha, gamma=self.vegas_alpha
+        )
+
+    def with_variant(self, variant: TransportVariant, **overrides) -> "ScenarioConfig":
+        """Copy of this config with a different transport variant."""
+        return replace(self, variant=variant, **overrides)
+
+    def with_bandwidth(self, bandwidth_mbps: float) -> "ScenarioConfig":
+        """Copy of this config with a different 802.11 data rate."""
+        return replace(self, bandwidth_mbps=bandwidth_mbps)
+
+    def scaled(self, packet_target: int) -> "ScenarioConfig":
+        """Copy of this config with a different run length."""
+        return replace(self, packet_target=packet_target)
+
+
+#: The three bandwidths studied in the paper, in Mbit/s.
+PAPER_BANDWIDTHS = (2.0, 5.5, 11.0)
+
+#: The hop counts plotted on the chain figures (2 to 64 hops).
+PAPER_HOP_COUNTS = (2, 4, 8, 16, 32, 64)
+
+#: A laptop-friendly subset of hop counts used by the default benchmarks.
+DEFAULT_HOP_COUNTS = (2, 4, 8, 16)

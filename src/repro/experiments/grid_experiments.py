@@ -1,0 +1,63 @@
+"""Grid-topology experiments (Section 4.4.1: Figures 16-17 and Table 3).
+
+The 21-node grid carries six competing FTP flows; the paper reports the
+aggregate goodput per bandwidth (Fig. 16), the per-flow goodput breakdown at
+11 Mbit/s (Fig. 17) and Jain's fairness index for every variant and bandwidth
+(Table 3).  All three come from the same set of scenario runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.config import PAPER_BANDWIDTHS, ScenarioConfig, TransportVariant
+from repro.experiments.results import ScenarioResult
+from repro.experiments.runner import run_scenario
+from repro.topology.grid import grid_topology
+
+#: Variant line-up of the multi-flow comparisons (Figures 16-19, Tables 3-4).
+DEFAULT_MULTIFLOW_VARIANTS: Tuple[TransportVariant, ...] = (
+    TransportVariant.VEGAS,
+    TransportVariant.NEWRENO,
+    TransportVariant.VEGAS_ACK_THINNING,
+    TransportVariant.NEWRENO_ACK_THINNING,
+)
+
+
+def grid_study(
+    base_config: ScenarioConfig,
+    bandwidths: Sequence[float] = PAPER_BANDWIDTHS,
+    variants: Sequence[TransportVariant] = DEFAULT_MULTIFLOW_VARIANTS,
+) -> Dict[TransportVariant, Dict[float, ScenarioResult]]:
+    """Run every (variant, bandwidth) combination on the 21-node grid.
+
+    Returns:
+        ``results[variant][bandwidth_mbps]`` → :class:`ScenarioResult`; the
+        per-flow goodputs (Fig. 17) and Jain index (Table 3) are properties of
+        each :class:`ScenarioResult`.
+    """
+    topology = grid_topology()
+    results: Dict[TransportVariant, Dict[float, ScenarioResult]] = {}
+    for variant in variants:
+        per_bandwidth: Dict[float, ScenarioResult] = {}
+        for bandwidth in bandwidths:
+            config = replace(base_config, variant=variant, bandwidth_mbps=bandwidth)
+            per_bandwidth[bandwidth] = run_scenario(topology, config)
+        results[variant] = per_bandwidth
+    return results
+
+
+def fairness_table(
+    results: Dict[TransportVariant, Dict[float, ScenarioResult]],
+) -> Dict[float, Dict[TransportVariant, float]]:
+    """Rearrange study results into the paper's Table 3/4 layout.
+
+    Returns:
+        ``table[bandwidth][variant]`` → Jain fairness index.
+    """
+    table: Dict[float, Dict[TransportVariant, float]] = {}
+    for variant, per_bandwidth in results.items():
+        for bandwidth, result in per_bandwidth.items():
+            table.setdefault(bandwidth, {})[variant] = result.fairness_index
+    return table

@@ -1,0 +1,68 @@
+"""Random-topology experiments (Section 4.4.2: Figures 18-19 and Table 4).
+
+120 nodes uniformly distributed on 2500 × 1000 m² with ten concurrent FTP
+flows between randomly chosen endpoints.  As with the grid, a single set of
+scenario runs provides the aggregate goodput per bandwidth (Fig. 18), the
+per-flow breakdown at 11 Mbit/s (Fig. 19) and Jain's fairness index (Table 4).
+
+The scaled-down defaults used by the benchmarks shrink the node count and the
+number of flows (see ``benchmarks/bench_fig18_random_goodput.py``); the full
+paper-scale topology is a parameter change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.config import PAPER_BANDWIDTHS, ScenarioConfig, TransportVariant
+from repro.experiments.grid_experiments import DEFAULT_MULTIFLOW_VARIANTS, fairness_table
+from repro.experiments.results import ScenarioResult
+from repro.experiments.runner import run_scenario
+from repro.topology.base import Topology
+from repro.topology.random_topology import random_topology
+
+
+def build_random_topology(
+    node_count: int = 120,
+    area: Tuple[float, float] = (2500.0, 1000.0),
+    flow_count: int = 10,
+    seed: int = 7,
+) -> Topology:
+    """Build the paper's random topology (or a scaled-down variant)."""
+    return random_topology(
+        node_count=node_count, area=area, flow_count=flow_count, seed=seed
+    )
+
+
+def random_topology_study(
+    base_config: ScenarioConfig,
+    topology: Topology,
+    bandwidths: Sequence[float] = PAPER_BANDWIDTHS,
+    variants: Sequence[TransportVariant] = DEFAULT_MULTIFLOW_VARIANTS,
+) -> Dict[TransportVariant, Dict[float, ScenarioResult]]:
+    """Run every (variant, bandwidth) combination on a random topology.
+
+    The same topology object is reused for every variant so that the
+    comparison is on identical node placements and flow endpoints, exactly as
+    in the paper.
+
+    Returns:
+        ``results[variant][bandwidth_mbps]`` → :class:`ScenarioResult`.
+    """
+    results: Dict[TransportVariant, Dict[float, ScenarioResult]] = {}
+    for variant in variants:
+        per_bandwidth: Dict[float, ScenarioResult] = {}
+        for bandwidth in bandwidths:
+            config = replace(base_config, variant=variant, bandwidth_mbps=bandwidth)
+            per_bandwidth[bandwidth] = run_scenario(topology, config)
+        results[variant] = per_bandwidth
+    return results
+
+
+__all__ = [
+    "build_random_topology",
+    "random_topology_study",
+    "fairness_table",
+    "DEFAULT_MULTIFLOW_VARIANTS",
+]

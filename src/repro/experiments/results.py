@@ -1,0 +1,123 @@
+"""Result containers and table formatting for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.statistics import ConfidenceInterval, jain_fairness_index
+from repro.core.units import kbps
+from repro.phy.energy import EnergyReport
+
+
+@dataclass
+class FlowResult:
+    """Measures for one flow at the end of a scenario run.
+
+    Attributes:
+        flow_id: 1-based flow index (FTP *i* in the paper's figures).
+        source: Source node id.
+        destination: Destination node id.
+        delivered_packets: In-order packets delivered to the receiver.
+        goodput_bps: Goodput in bit/s (batch-means estimate when enough
+            batches completed, overall rate otherwise).
+        goodput_ci: Confidence interval of the per-batch goodput (bit/s).
+        retransmissions: Transport-layer retransmissions at the sender.
+        retransmissions_per_packet: Retransmissions per delivered packet.
+        timeouts: Sender retransmission timeouts.
+        average_window: Time-averaged congestion window (packets); 0 for UDP.
+    """
+
+    flow_id: int
+    source: int
+    destination: int
+    delivered_packets: int
+    goodput_bps: float
+    goodput_ci: Optional[ConfidenceInterval]
+    retransmissions: int
+    retransmissions_per_packet: float
+    timeouts: int
+    average_window: float
+
+    @property
+    def goodput_kbps(self) -> float:
+        """Goodput in kbit/s (the unit used in the paper's figures)."""
+        return kbps(self.goodput_bps)
+
+
+@dataclass
+class ScenarioResult:
+    """Aggregate measures for one scenario run."""
+
+    name: str
+    variant: str
+    bandwidth_mbps: float
+    simulated_time: float
+    delivered_packets: int
+    flows: List[FlowResult] = field(default_factory=list)
+    false_route_failures: int = 0
+    link_layer_drop_probability: float = 0.0
+    mac_frames_sent: int = 0
+    reached_packet_target: bool = True
+    energy: Optional[EnergyReport] = None
+
+    @property
+    def aggregate_goodput_bps(self) -> float:
+        """Sum of all per-flow goodputs in bit/s."""
+        return sum(flow.goodput_bps for flow in self.flows)
+
+    @property
+    def aggregate_goodput_kbps(self) -> float:
+        """Aggregate goodput in kbit/s."""
+        return kbps(self.aggregate_goodput_bps)
+
+    @property
+    def fairness_index(self) -> float:
+        """Jain's fairness index over the per-flow goodputs."""
+        return jain_fairness_index([flow.goodput_bps for flow in self.flows])
+
+    @property
+    def average_retransmissions_per_packet(self) -> float:
+        """Mean over flows of retransmissions per delivered packet."""
+        if not self.flows:
+            return 0.0
+        return sum(f.retransmissions_per_packet for f in self.flows) / len(self.flows)
+
+    @property
+    def average_window(self) -> float:
+        """Mean over flows of the time-averaged congestion window."""
+        if not self.flows:
+            return 0.0
+        return sum(f.average_window for f in self.flows) / len(self.flows)
+
+    def flow(self, flow_id: int) -> FlowResult:
+        """Return the result of flow ``flow_id`` (1-based)."""
+        for flow in self.flows:
+            if flow.flow_id == flow_id:
+                return flow
+        raise KeyError(f"no flow {flow_id} in scenario {self.name}")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table (used by the benchmark scripts)."""
+    columns = len(headers)
+    normalized_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in normalized_rows:
+        for index in range(min(columns, len(row))):
+            widths[index] = max(widths[index], len(row[index]))
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(columns)),
+    ]
+    for row in normalized_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        # Four significant digits keeps small probabilities (0.0048) and large
+        # goodputs (1234.5 kbit/s) readable in the same column.
+        return f"{value:.4g}"
+    return str(value)

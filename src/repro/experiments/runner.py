@@ -1,0 +1,289 @@
+"""Scenario construction and execution.
+
+A :class:`Scenario` turns a declarative :class:`repro.topology.base.Topology`
+plus a :class:`repro.experiments.config.ScenarioConfig` into a live simulated
+network (channel, nodes, transport agents, applications), runs it until the
+configured number of packets has been delivered (or the time limit is hit) and
+returns a :class:`repro.experiments.results.ScenarioResult` with the measures
+the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.app.cbr import CbrApplication
+from repro.app.ftp import FtpApplication
+from repro.core.engine import Simulator
+from repro.core.randomness import RandomManager
+from repro.core.tracing import NULL_TRACER, Tracer
+from repro.experiments.config import ScenarioConfig, TransportVariant
+from repro.experiments.paced_udp import default_udp_interval
+from repro.experiments.results import FlowResult, ScenarioResult
+from repro.mac.timing import MacTiming, timing_for_bandwidth
+from repro.net.address import FlowAddress
+from repro.net.node import Node
+from repro.phy.channel import WirelessChannel
+from repro.phy.energy import EnergyModel, scenario_energy
+from repro.phy.propagation import RangePropagationModel
+from repro.routing.static import StaticRouting
+from repro.topology.base import Topology, all_next_hop_tables
+from repro.transport.newreno import NewRenoSender
+from repro.transport.sink import AckThinningSink, TcpSink
+from repro.transport.stats import FlowStats
+from repro.transport.tcp_base import TcpSender
+from repro.transport.udp import UdpSender, UdpSink
+from repro.transport.vegas import VegasSender
+
+#: Base port numbers used for flow endpoints.
+_SRC_PORT_BASE = 5000
+_DST_PORT_BASE = 6000
+
+
+class Scenario:
+    """One runnable simulation scenario.
+
+    Args:
+        topology: Node placement and flow pattern.
+        config: Scenario parameters (variant, bandwidth, run length, …).
+        tracer: Optional tracer shared by every component.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: ScenarioConfig,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.topology = topology
+        self.config = config
+        self.tracer = tracer
+
+        self.sim = Simulator()
+        self.randomness = RandomManager(config.seed)
+        self.timing: MacTiming = timing_for_bandwidth(config.bandwidth_mbps)
+        propagation = RangePropagationModel(capture_threshold=config.capture_threshold)
+        self.channel = WirelessChannel(self.sim, propagation=propagation, tracer=tracer)
+        self.nodes: Dict[int, Node] = {}
+        self.flow_stats: List[FlowStats] = []
+        self.senders: List[object] = []
+        self.sinks: List[object] = []
+        self.applications: List[object] = []
+        self._build()
+
+    # ==================================================================
+    # Construction
+    # ==================================================================
+    def _build(self) -> None:
+        self._build_nodes()
+        if self.config.routing == "static":
+            self._install_static_routes()
+        for index, flow in enumerate(self.topology.flows, start=1):
+            self._build_flow(index, flow.source, flow.destination)
+
+    def _build_nodes(self) -> None:
+        for node_id in self.topology.node_ids:
+            self.nodes[node_id] = Node(
+                sim=self.sim,
+                node_id=node_id,
+                position=self.topology.positions[node_id],
+                channel=self.channel,
+                timing=self.timing,
+                randomness=self.randomness,
+                routing=self.config.routing,
+                queue_capacity=self.config.queue_capacity,
+                tracer=self.tracer,
+            )
+
+    def _install_static_routes(self) -> None:
+        graph = self.topology.connectivity_graph(self.channel.propagation)
+        tables = all_next_hop_tables(graph)
+        for node_id, node in self.nodes.items():
+            routing = node.routing
+            if not isinstance(routing, StaticRouting):
+                continue
+            for destination, next_hop in tables.get(node_id, {}).items():
+                routing.set_next_hop(destination, next_hop)
+
+    def _per_flow_batch_size(self) -> int:
+        flows = max(1, len(self.topology.flows))
+        return max(1, self.config.packet_target // (flows * self.config.batch_count))
+
+    def _build_flow(self, index: int, source: int, destination: int) -> None:
+        config = self.config
+        flow = FlowAddress(
+            src_node=source,
+            src_port=_SRC_PORT_BASE + index,
+            dst_node=destination,
+            dst_port=_DST_PORT_BASE + index,
+        )
+        stats = FlowStats(flow_id=index, batch_size=self._per_flow_batch_size())
+        self.flow_stats.append(stats)
+        start_time = (index - 1) * config.flow_start_stagger
+
+        if config.variant is TransportVariant.PACED_UDP:
+            self._build_udp_flow(flow, stats, start_time)
+        else:
+            self._build_tcp_flow(flow, stats, start_time)
+
+    def _build_tcp_flow(self, flow: FlowAddress, stats: FlowStats, start_time: float) -> None:
+        config = self.config
+        sender: TcpSender
+        if config.variant.is_vegas:
+            sender = VegasSender(
+                self.sim, flow, stats,
+                config=config.tcp,
+                parameters=config.vegas_parameters(),
+                tracer=self.tracer,
+            )
+        elif config.variant is TransportVariant.NEWRENO_OPTIMAL_WINDOW:
+            sender = NewRenoSender(
+                self.sim, flow, stats,
+                config=config.tcp,
+                max_cwnd=config.newreno_max_cwnd,
+                tracer=self.tracer,
+            )
+        else:
+            sender = NewRenoSender(
+                self.sim, flow, stats, config=config.tcp, tracer=self.tracer
+            )
+
+        if config.variant.uses_ack_thinning:
+            sink: TcpSink = AckThinningSink(
+                self.sim, flow, stats,
+                mss=config.tcp.mss,
+                policy=config.ack_thinning,
+                tracer=self.tracer,
+            )
+        else:
+            sink = TcpSink(
+                self.sim, flow, stats, mss=config.tcp.mss, tracer=self.tracer
+            )
+
+        self.nodes[flow.src_node].register_agent(sender)
+        self.nodes[flow.dst_node].register_agent(sink)
+        application = FtpApplication(self.sim, sender, start_time=start_time)
+        application.schedule_start()
+
+        self.senders.append(sender)
+        self.sinks.append(sink)
+        self.applications.append(application)
+
+    def _build_udp_flow(self, flow: FlowAddress, stats: FlowStats, start_time: float) -> None:
+        config = self.config
+        sender = UdpSender(self.sim, flow, stats, payload_size=config.tcp.mss,
+                           tracer=self.tracer)
+        sink = UdpSink(self.sim, flow, stats, tracer=self.tracer)
+        self.nodes[flow.src_node].register_agent(sender)
+        self.nodes[flow.dst_node].register_agent(sink)
+        interval = config.udp_interval or default_udp_interval(self.timing, config.tcp.mss)
+        application = CbrApplication(
+            self.sim, sender, interval=interval, start_time=start_time
+        )
+        application.schedule_start()
+
+        self.senders.append(sender)
+        self.sinks.append(sink)
+        self.applications.append(application)
+
+    # ==================================================================
+    # Execution
+    # ==================================================================
+    @property
+    def total_delivered(self) -> int:
+        """Total in-order packets delivered across all flows so far."""
+        return sum(stats.packets_delivered for stats in self.flow_stats)
+
+    def run(self) -> ScenarioResult:
+        """Run until the packet target (or time limit) and collect results."""
+        config = self.config
+        reached = False
+        while self.sim.now < config.max_sim_time:
+            horizon = min(self.sim.now + config.run_slice, config.max_sim_time)
+            processed = self.sim.run(until=horizon)
+            if self.total_delivered >= config.packet_target:
+                reached = True
+                break
+            if processed == 0 and self.sim.pending_events == 0:
+                break
+        return self._collect_results(reached)
+
+    # ==================================================================
+    # Result collection
+    # ==================================================================
+    def _collect_results(self, reached_target: bool) -> ScenarioResult:
+        now = self.sim.now
+        flow_results = []
+        for stats, flow_spec in zip(self.flow_stats, self.topology.flows):
+            flow_results.append(self._flow_result(stats, flow_spec.source,
+                                                  flow_spec.destination, now))
+        result = ScenarioResult(
+            name=f"{self.topology.name}/{self.config.variant.value}"
+                 f"/{self.config.bandwidth_mbps:g}Mbps",
+            variant=self.config.variant.value,
+            bandwidth_mbps=self.config.bandwidth_mbps,
+            simulated_time=now,
+            delivered_packets=self.total_delivered,
+            flows=flow_results,
+            false_route_failures=self._total_false_route_failures(),
+            link_layer_drop_probability=self._link_drop_probability(),
+            mac_frames_sent=sum(node.radio.stats.frames_sent for node in self.nodes.values()),
+            reached_packet_target=reached_target,
+            energy=self._energy_report(now),
+        )
+        return result
+
+    def _energy_report(self, now: float):
+        airtimes = [
+            {
+                "time_transmitting": node.radio.stats.time_transmitting,
+                "time_receiving": node.radio.stats.time_receiving,
+            }
+            for node in self.nodes.values()
+        ]
+        delivered_bytes = sum(stats.bytes_delivered for stats in self.flow_stats)
+        return scenario_energy(EnergyModel(), now, airtimes, delivered_bytes)
+
+    def _flow_result(self, stats: FlowStats, source: int, destination: int,
+                     now: float) -> FlowResult:
+        goodput_ci = None
+        if stats.completed_batches >= 3:
+            interval = stats.batch_goodput()
+            goodput_bps = interval.mean * 8.0
+            goodput_ci = interval
+        else:
+            start = stats.first_delivery_time if stats.first_delivery_time is not None else now
+            duration = max(now - start, 1e-9)
+            goodput_bps = stats.bytes_delivered * 8.0 / duration if stats.bytes_delivered else 0.0
+        return FlowResult(
+            flow_id=stats.flow_id,
+            source=source,
+            destination=destination,
+            delivered_packets=stats.packets_delivered,
+            goodput_bps=goodput_bps,
+            goodput_ci=goodput_ci,
+            retransmissions=stats.retransmissions,
+            retransmissions_per_packet=stats.retransmissions_per_delivered_packet(),
+            timeouts=stats.timeouts,
+            average_window=stats.average_window(now),
+        )
+
+    def _total_false_route_failures(self) -> int:
+        return sum(node.routing.stats.false_route_failures for node in self.nodes.values())
+
+    def _link_drop_probability(self) -> float:
+        dropped = sum(node.mac.stats.data_dropped_retry for node in self.nodes.values())
+        succeeded = sum(node.mac.stats.data_tx_success for node in self.nodes.values())
+        total = dropped + succeeded
+        if total == 0:
+            return 0.0
+        return dropped / total
+
+
+def run_scenario(
+    topology: Topology,
+    config: ScenarioConfig,
+    tracer: Tracer = NULL_TRACER,
+) -> ScenarioResult:
+    """Convenience wrapper: build a :class:`Scenario` and run it."""
+    return Scenario(topology, config, tracer=tracer).run()

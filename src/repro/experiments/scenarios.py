@@ -1,0 +1,105 @@
+"""Named scenario presets.
+
+A small registry of ready-made (topology, config) pairs for the scenarios the
+paper evaluates, so examples, notebooks and ad-hoc exploration can run a
+standard setup by name::
+
+    from repro.experiments.scenarios import build_named_scenario
+
+    result = build_named_scenario("chain7-vegas-2mbps", packet_target=300).run()
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.config import ScenarioConfig, TransportVariant
+from repro.experiments.runner import Scenario
+from repro.topology.base import Topology
+from repro.topology.chain import chain_topology
+from repro.topology.grid import grid_topology
+from repro.topology.random_topology import random_topology
+
+#: Scenario factory type: returns (topology, config).
+ScenarioFactory = Callable[[], Tuple[Topology, ScenarioConfig]]
+
+
+def _chain(variant: TransportVariant, hops: int, bandwidth: float) -> ScenarioFactory:
+    def factory() -> Tuple[Topology, ScenarioConfig]:
+        return chain_topology(hops=hops), ScenarioConfig(
+            variant=variant, bandwidth_mbps=bandwidth,
+            newreno_max_cwnd=3.0 if variant is TransportVariant.NEWRENO_OPTIMAL_WINDOW else None,
+        )
+    return factory
+
+
+def _grid(variant: TransportVariant, bandwidth: float) -> ScenarioFactory:
+    def factory() -> Tuple[Topology, ScenarioConfig]:
+        return grid_topology(), ScenarioConfig(variant=variant, bandwidth_mbps=bandwidth)
+    return factory
+
+
+def _random(variant: TransportVariant, bandwidth: float) -> ScenarioFactory:
+    def factory() -> Tuple[Topology, ScenarioConfig]:
+        topology = random_topology(node_count=120, area=(2500.0, 1000.0),
+                                   flow_count=10, seed=7)
+        return topology, ScenarioConfig(variant=variant, bandwidth_mbps=bandwidth)
+    return factory
+
+
+#: The named presets.  Chain scenarios use the paper's focal 7-hop chain.
+SCENARIOS: Dict[str, ScenarioFactory] = {}
+
+
+def _register_presets() -> None:
+    for variant, tag in (
+        (TransportVariant.VEGAS, "vegas"),
+        (TransportVariant.NEWRENO, "newreno"),
+        (TransportVariant.VEGAS_ACK_THINNING, "vegas-at"),
+        (TransportVariant.NEWRENO_ACK_THINNING, "newreno-at"),
+        (TransportVariant.NEWRENO_OPTIMAL_WINDOW, "newreno-optwin"),
+        (TransportVariant.PACED_UDP, "paced-udp"),
+    ):
+        for bandwidth, btag in ((2.0, "2mbps"), (5.5, "5.5mbps"), (11.0, "11mbps")):
+            SCENARIOS[f"chain7-{tag}-{btag}"] = _chain(variant, hops=7, bandwidth=bandwidth)
+    for variant, tag in (
+        (TransportVariant.VEGAS, "vegas"),
+        (TransportVariant.NEWRENO, "newreno"),
+        (TransportVariant.VEGAS_ACK_THINNING, "vegas-at"),
+        (TransportVariant.NEWRENO_ACK_THINNING, "newreno-at"),
+    ):
+        for bandwidth, btag in ((2.0, "2mbps"), (5.5, "5.5mbps"), (11.0, "11mbps")):
+            SCENARIOS[f"grid-{tag}-{btag}"] = _grid(variant, bandwidth)
+            SCENARIOS[f"random-{tag}-{btag}"] = _random(variant, bandwidth)
+
+
+_register_presets()
+
+
+def available_scenarios() -> List[str]:
+    """Sorted list of all registered scenario names."""
+    return sorted(SCENARIOS)
+
+
+def build_named_scenario(name: str, **config_overrides) -> Scenario:
+    """Build a ready-to-run :class:`Scenario` by preset name.
+
+    Args:
+        name: One of :func:`available_scenarios`.
+        **config_overrides: Fields of :class:`ScenarioConfig` to override
+            (e.g. ``packet_target=500``, ``seed=7``).
+
+    Raises:
+        ConfigurationError: If the name is unknown.
+    """
+    factory = SCENARIOS.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
+        )
+    topology, config = factory()
+    if config_overrides:
+        config = replace(config, **config_overrides)
+    return Scenario(topology, config)

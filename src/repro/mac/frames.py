@@ -1,0 +1,44 @@
+"""Helpers for constructing 802.11 control and data frames."""
+
+from __future__ import annotations
+
+from repro.net.headers import BROADCAST, MacFrameType, MacHeader
+from repro.net.packet import Packet
+
+
+def make_rts(src: int, dst: int, nav: float) -> Packet:
+    """Build an RTS frame reserving the medium for ``nav`` seconds."""
+    return Packet(
+        payload_size=0,
+        mac=MacHeader(frame_type=MacFrameType.RTS, src=src, dst=dst, duration=nav),
+    )
+
+
+def make_cts(src: int, dst: int, nav: float) -> Packet:
+    """Build a CTS frame addressed to the RTS originator."""
+    return Packet(
+        payload_size=0,
+        mac=MacHeader(frame_type=MacFrameType.CTS, src=src, dst=dst, duration=nav),
+    )
+
+
+def make_ack(src: int, dst: int) -> Packet:
+    """Build a MAC-level acknowledgement frame."""
+    return Packet(
+        payload_size=0,
+        mac=MacHeader(frame_type=MacFrameType.ACK, src=src, dst=dst, duration=0.0),
+    )
+
+
+def attach_data_header(packet: Packet, src: int, dst: int, nav: float, retry: bool) -> Packet:
+    """Attach (or replace) a DATA MAC header on a network-layer packet."""
+    packet.mac = MacHeader(
+        frame_type=MacFrameType.DATA, src=src, dst=dst, duration=nav, retry=retry
+    )
+    return packet
+
+
+def is_for(packet: Packet, node_id: int) -> bool:
+    """True if the MAC frame is addressed to ``node_id`` (or broadcast)."""
+    mac = packet.require_mac()
+    return mac.dst == node_id or mac.dst == BROADCAST

@@ -1,0 +1,91 @@
+"""The interface (link-layer) queue between routing and the MAC.
+
+The paper uses a 50-packet DropTail buffer at every node and explicitly reports
+that no buffer overflow occurs in its scenarios; the queue still implements the
+drop so that the invariant can be *checked* rather than assumed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+from repro.net.packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Counters for the interface queue."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped_overflow: int = 0
+    high_watermark: int = 0
+
+
+class DropTailQueue:
+    """Fixed-capacity FIFO packet queue with tail drop.
+
+    Args:
+        capacity: Maximum number of queued packets (the paper uses 50).
+        on_enqueue: Optional callback invoked after a successful enqueue,
+            used by the MAC to wake up when new work arrives.
+    """
+
+    DEFAULT_CAPACITY = 50
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        on_enqueue: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self.on_enqueue = on_enqueue
+        self.stats = QueueStats()
+        self._queue: Deque[Packet] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        """True if no packets are waiting."""
+        return not self._queue
+
+    @property
+    def is_full(self) -> bool:
+        """True if the queue is at capacity."""
+        return len(self._queue) >= self.capacity
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Append ``packet``; returns False (and drops it) when full."""
+        if self.is_full:
+            self.stats.dropped_overflow += 1
+            return False
+        self._queue.append(packet)
+        self.stats.enqueued += 1
+        self.stats.high_watermark = max(self.stats.high_watermark, len(self._queue))
+        if self.on_enqueue is not None:
+            self.on_enqueue()
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Pop and return the head packet, or None if empty."""
+        if not self._queue:
+            return None
+        self.stats.dequeued += 1
+        return self._queue.popleft()
+
+    def peek(self) -> Optional[Packet]:
+        """Return the head packet without removing it, or None if empty."""
+        return self._queue[0] if self._queue else None
+
+    def remove_where(self, predicate: Callable[[Packet], bool]) -> int:
+        """Remove all queued packets matching ``predicate``; returns the count."""
+        kept = [p for p in self._queue if not predicate(p)]
+        removed = len(self._queue) - len(kept)
+        self._queue = deque(kept)
+        return removed

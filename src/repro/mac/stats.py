@@ -1,0 +1,48 @@
+"""Per-node MAC statistics.
+
+Figure 14 of the paper reports the overall link-layer packet dropping
+probability (averaged over intermediate nodes); Figure 9 depends on the number
+of frames dropped after exhausting the retry limits.  These counters feed both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MacStats:
+    """Counters maintained by each 802.11 MAC instance."""
+
+    data_tx_attempts: int = 0
+    data_tx_success: int = 0
+    data_dropped_retry: int = 0
+    rts_tx: int = 0
+    cts_tx: int = 0
+    ack_tx: int = 0
+    rts_timeouts: int = 0
+    ack_timeouts: int = 0
+    broadcasts_sent: int = 0
+    frames_delivered_up: int = 0
+    duplicates_suppressed: int = 0
+
+    @property
+    def drop_probability(self) -> float:
+        """Fraction of unicast data transmissions that ended in a retry drop."""
+        started = self.data_tx_success + self.data_dropped_retry
+        if started == 0:
+            return 0.0
+        return self.data_dropped_retry / started
+
+    @property
+    def attempt_drop_probability(self) -> float:
+        """Fraction of individual transmission attempts that failed.
+
+        This is the per-attempt failure probability (collisions / missing
+        CTS or ACK responses over all attempts), the closest analogue to the
+        "overall packet dropping probability at the link layer" in Fig. 14.
+        """
+        if self.data_tx_attempts == 0:
+            return 0.0
+        failures = self.rts_timeouts + self.ack_timeouts
+        return min(1.0, failures / self.data_tx_attempts)

@@ -1,0 +1,33 @@
+"""Network-layer primitives: packets, headers, addressing and the node object."""
+
+from repro.net.address import FlowAddress, is_broadcast, validate_node_id
+from repro.net.headers import (
+    BROADCAST,
+    AodvHeader,
+    AodvMessageType,
+    IpHeader,
+    IpProtocol,
+    MacFrameType,
+    MacHeader,
+    TcpFlag,
+    TcpHeader,
+    UdpHeader,
+)
+from repro.net.packet import Packet
+
+__all__ = [
+    "FlowAddress",
+    "is_broadcast",
+    "validate_node_id",
+    "BROADCAST",
+    "AodvHeader",
+    "AodvMessageType",
+    "IpHeader",
+    "IpProtocol",
+    "MacFrameType",
+    "MacHeader",
+    "TcpFlag",
+    "TcpHeader",
+    "UdpHeader",
+    "Packet",
+]

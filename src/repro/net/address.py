@@ -1,0 +1,49 @@
+"""Addressing helpers.
+
+Nodes are addressed by small non-negative integers; flows by (src node, src
+port, dst node, dst port) tuples.  This module centralizes those conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.headers import BROADCAST
+
+
+@dataclass(frozen=True)
+class FlowAddress:
+    """Identifies one end-to-end transport flow."""
+
+    src_node: int
+    src_port: int
+    dst_node: int
+    dst_port: int
+
+    def reversed(self) -> "FlowAddress":
+        """Return the address of the reverse (ACK) direction."""
+        return FlowAddress(
+            src_node=self.dst_node,
+            src_port=self.dst_port,
+            dst_node=self.src_node,
+            dst_port=self.src_port,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.src_node}:{self.src_port}->{self.dst_node}:{self.dst_port}"
+
+
+def is_broadcast(address: int) -> bool:
+    """True if ``address`` is the broadcast address."""
+    return address == BROADCAST
+
+
+def validate_node_id(node_id: int) -> int:
+    """Validate and return a node id.
+
+    Raises:
+        ValueError: If the id is negative and not the broadcast address.
+    """
+    if node_id < 0 and node_id != BROADCAST:
+        raise ValueError(f"invalid node id {node_id}")
+    return node_id

@@ -1,0 +1,202 @@
+"""Protocol header definitions.
+
+Headers are plain dataclasses attached to a :class:`repro.net.packet.Packet`.
+Each header type declares a ``SIZE`` (bytes) contributing to the on-air size of
+the packet, mirroring the header overheads ns-2 accounts for.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class MacFrameType(enum.Enum):
+    """IEEE 802.11 frame types modelled by the simulator."""
+
+    RTS = "RTS"
+    CTS = "CTS"
+    DATA = "DATA"
+    ACK = "ACK"
+
+
+#: Broadcast MAC/IP address.
+BROADCAST = -1
+
+
+@dataclass
+class MacHeader:
+    """IEEE 802.11 MAC header.
+
+    Attributes:
+        frame_type: RTS, CTS, DATA or ACK.
+        src: Transmitting node id.
+        dst: Destination node id (``BROADCAST`` for broadcast frames).
+        duration: NAV duration in seconds announced by this frame, i.e. the
+            remaining time the medium will be occupied by the exchange.
+        retry: True if this is a retransmitted frame.
+    """
+
+    SIZE_DATA = 34     # bytes: 802.11 data MAC header + FCS
+    SIZE_RTS = 20
+    SIZE_CTS = 14
+    SIZE_ACK = 14
+
+    frame_type: MacFrameType
+    src: int
+    dst: int
+    duration: float = 0.0
+    retry: bool = False
+
+    @property
+    def size(self) -> int:
+        """On-air size in bytes of this header (or of the whole control frame)."""
+        if self.frame_type is MacFrameType.RTS:
+            return self.SIZE_RTS
+        if self.frame_type is MacFrameType.CTS:
+            return self.SIZE_CTS
+        if self.frame_type is MacFrameType.ACK:
+            return self.SIZE_ACK
+        return self.SIZE_DATA
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True if the frame is addressed to the broadcast address."""
+        return self.dst == BROADCAST
+
+
+class IpProtocol(enum.Enum):
+    """Transport protocol selector carried in the IP header."""
+
+    TCP = "TCP"
+    UDP = "UDP"
+    AODV = "AODV"
+
+
+@dataclass
+class IpHeader:
+    """Minimal IP header: addressing, TTL and protocol demultiplexing."""
+
+    SIZE = 20
+
+    src: int
+    dst: int
+    protocol: IpProtocol
+    ttl: int = 64
+
+    @property
+    def size(self) -> int:
+        """On-air size in bytes."""
+        return self.SIZE
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True if the datagram is addressed to the broadcast address."""
+        return self.dst == BROADCAST
+
+
+class TcpFlag(enum.Flag):
+    """TCP control flags used by the packet-level agents."""
+
+    NONE = 0
+    SYN = enum.auto()
+    ACK = enum.auto()
+    FIN = enum.auto()
+
+
+@dataclass
+class TcpHeader:
+    """Packet-level TCP header.
+
+    Sequence and acknowledgement numbers are in *segments* (packets), matching
+    the abstraction of ns-2's one-way TCP agents that the paper uses.
+
+    Attributes:
+        src_port: Source port (identifies the flow at the sender).
+        dst_port: Destination port.
+        seq: Segment sequence number of this packet (data packets).
+        ack: Cumulative acknowledgement: next segment expected by the receiver.
+        flags: TCP control flags.
+        window: Receiver advertised window in segments.
+        timestamp: Sender timestamp echoed by the receiver, used for
+            fine-grained RTT measurement (Vegas).
+        echo_timestamp: Timestamp echoed back by the receiver in ACKs.
+    """
+
+    SIZE = 20
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: TcpFlag = TcpFlag.NONE
+    window: int = 64
+    timestamp: float = 0.0
+    echo_timestamp: float = 0.0
+
+    @property
+    def size(self) -> int:
+        """On-air size in bytes."""
+        return self.SIZE
+
+    @property
+    def is_ack(self) -> bool:
+        """True if the ACK flag is set."""
+        return bool(self.flags & TcpFlag.ACK)
+
+
+@dataclass
+class UdpHeader:
+    """UDP header: ports plus a sequence number for loss accounting."""
+
+    SIZE = 8
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+
+    @property
+    def size(self) -> int:
+        """On-air size in bytes."""
+        return self.SIZE
+
+
+class AodvMessageType(enum.Enum):
+    """AODV control message types."""
+
+    RREQ = "RREQ"
+    RREP = "RREP"
+    RERR = "RERR"
+
+
+@dataclass
+class AodvHeader:
+    """AODV control message header (RFC 3561, simplified).
+
+    Attributes:
+        message_type: RREQ, RREP or RERR.
+        originator: Node that originated the route request / reply target.
+        destination: Node whose route is requested / replied.
+        originator_seq: Originator sequence number (RREQ).
+        destination_seq: Destination sequence number.
+        hop_count: Hops traversed so far.
+        rreq_id: Per-originator RREQ identifier for duplicate suppression.
+        unreachable: List of (destination, seq) pairs for RERR messages.
+    """
+
+    SIZE = 24
+
+    message_type: AodvMessageType
+    originator: int = -1
+    destination: int = -1
+    originator_seq: int = 0
+    destination_seq: int = 0
+    hop_count: int = 0
+    rreq_id: int = 0
+    unreachable: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """On-air size in bytes."""
+        return self.SIZE

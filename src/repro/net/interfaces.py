@@ -1,0 +1,74 @@
+"""Abstract layer contracts.
+
+These small abstract base classes document the interfaces between layers and
+allow tests to substitute lightweight fakes (e.g. a scripted MAC below a real
+TCP agent).  Concrete implementations live in :mod:`repro.phy`,
+:mod:`repro.mac`, :mod:`repro.routing` and :mod:`repro.transport`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.net.packet import Packet
+
+
+class PhyListener(abc.ABC):
+    """Callbacks a PHY delivers to the layer above it (the MAC)."""
+
+    @abc.abstractmethod
+    def on_frame_received(self, packet: Packet) -> None:
+        """A frame was successfully received (addressed to anyone)."""
+
+    @abc.abstractmethod
+    def on_carrier_busy(self) -> None:
+        """The physical carrier transitioned from idle to busy."""
+
+    @abc.abstractmethod
+    def on_carrier_idle(self) -> None:
+        """The physical carrier transitioned from busy to idle."""
+
+
+class MacListener(abc.ABC):
+    """Callbacks the MAC delivers to the layer above it (routing/queue owner)."""
+
+    @abc.abstractmethod
+    def on_mac_delivery(self, packet: Packet) -> None:
+        """A unicast or broadcast data frame addressed to this node arrived."""
+
+    @abc.abstractmethod
+    def on_mac_send_failure(self, packet: Packet, next_hop: int) -> None:
+        """The MAC gave up on ``packet`` after exhausting its retry limits."""
+
+    @abc.abstractmethod
+    def on_mac_send_success(self, packet: Packet, next_hop: int) -> None:
+        """The MAC completed the frame exchange for ``packet``."""
+
+
+class RoutingListener(abc.ABC):
+    """Callbacks the routing layer delivers to the node that owns it."""
+
+    @abc.abstractmethod
+    def on_packet_for_host(self, packet: Packet) -> None:
+        """A data packet destined to this node should go up to transport."""
+
+
+class TransportListener(abc.ABC):
+    """Callbacks a transport agent delivers to the application above it."""
+
+    @abc.abstractmethod
+    def on_can_send(self) -> None:
+        """The transport agent can accept more application data."""
+
+    @abc.abstractmethod
+    def on_data_delivered(self, num_bytes: int) -> None:
+        """``num_bytes`` of application data arrived in order at the receiver."""
+
+
+class PacketSink(abc.ABC):
+    """Anything that accepts packets handed down from an upper layer."""
+
+    @abc.abstractmethod
+    def accept(self, packet: Packet) -> None:
+        """Accept a packet for transmission/processing."""

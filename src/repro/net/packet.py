@@ -1,0 +1,138 @@
+"""The packet object exchanged between protocol layers.
+
+A :class:`Packet` carries an application payload size plus a stack of headers
+added as it descends the protocol stack.  Its :attr:`Packet.size` is the sum of
+the payload and all attached header sizes, which is what the PHY uses for
+serialization delay.  Packets are copied (not shared) when broadcast to several
+receivers so per-hop mutation (TTL, MAC addressing) stays local.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.errors import PacketError
+from repro.net.headers import AodvHeader, IpHeader, MacHeader, TcpHeader, UdpHeader
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    Attributes:
+        payload_size: Application payload in bytes.
+        uid: Globally unique packet id (survives copies for tracing; copies of
+            a broadcast share the uid on purpose).
+        flow_id: Identifier of the end-to-end flow this packet belongs to, used
+            for per-flow accounting.  ``None`` for control traffic.
+        created_at: Simulation time at which the packet was created.
+        mac: MAC header, present while the packet is at/below the link layer.
+        ip: IP header, present for all routed packets.
+        tcp: TCP header for TCP segments/ACKs.
+        udp: UDP header for UDP datagrams.
+        aodv: AODV header for routing control messages.
+    """
+
+    payload_size: int = 0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    flow_id: Optional[int] = None
+    created_at: float = 0.0
+    mac: Optional[MacHeader] = None
+    ip: Optional[IpHeader] = None
+    tcp: Optional[TcpHeader] = None
+    udp: Optional[UdpHeader] = None
+    aodv: Optional[AodvHeader] = None
+
+    @property
+    def size(self) -> int:
+        """Total on-air size in bytes: payload plus all attached headers."""
+        total = self.payload_size
+        for header in (self.mac, self.ip, self.tcp, self.udp, self.aodv):
+            if header is not None:
+                total += header.size
+        return total
+
+    @property
+    def network_size(self) -> int:
+        """Size in bytes above the MAC layer (payload + IP/transport headers)."""
+        total = self.payload_size
+        for header in (self.ip, self.tcp, self.udp, self.aodv):
+            if header is not None:
+                total += header.size
+        return total
+
+    def copy(self) -> "Packet":
+        """Return an independent copy of this packet (same uid, fresh headers).
+
+        Implemented with explicit per-header copies rather than
+        :func:`copy.deepcopy`: the channel copies every frame once per
+        potential receiver, so this is one of the hottest paths in the
+        simulator.
+        """
+        aodv = None
+        if self.aodv is not None:
+            aodv = copy.copy(self.aodv)
+            aodv.unreachable = list(self.aodv.unreachable)
+        return Packet(
+            payload_size=self.payload_size,
+            uid=self.uid,
+            flow_id=self.flow_id,
+            created_at=self.created_at,
+            mac=copy.copy(self.mac) if self.mac is not None else None,
+            ip=copy.copy(self.ip) if self.ip is not None else None,
+            tcp=copy.copy(self.tcp) if self.tcp is not None else None,
+            udp=copy.copy(self.udp) if self.udp is not None else None,
+            aodv=aodv,
+        )
+
+    # ------------------------------------------------------------------
+    # Header accessors that raise a clear error when a layer is missing.
+    # ------------------------------------------------------------------
+    def require_ip(self) -> IpHeader:
+        """Return the IP header or raise :class:`PacketError` if absent."""
+        if self.ip is None:
+            raise PacketError(f"packet {self.uid} has no IP header")
+        return self.ip
+
+    def require_mac(self) -> MacHeader:
+        """Return the MAC header or raise :class:`PacketError` if absent."""
+        if self.mac is None:
+            raise PacketError(f"packet {self.uid} has no MAC header")
+        return self.mac
+
+    def require_tcp(self) -> TcpHeader:
+        """Return the TCP header or raise :class:`PacketError` if absent."""
+        if self.tcp is None:
+            raise PacketError(f"packet {self.uid} has no TCP header")
+        return self.tcp
+
+    def require_udp(self) -> UdpHeader:
+        """Return the UDP header or raise :class:`PacketError` if absent."""
+        if self.udp is None:
+            raise PacketError(f"packet {self.uid} has no UDP header")
+        return self.udp
+
+    def require_aodv(self) -> AodvHeader:
+        """Return the AODV header or raise :class:`PacketError` if absent."""
+        if self.aodv is None:
+            raise PacketError(f"packet {self.uid} has no AODV header")
+        return self.aodv
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"uid={self.uid}", f"size={self.size}"]
+        if self.ip is not None:
+            parts.append(f"ip={self.ip.src}->{self.ip.dst}/{self.ip.protocol.value}")
+        if self.tcp is not None:
+            parts.append(f"tcp seq={self.tcp.seq} ack={self.tcp.ack}")
+        if self.udp is not None:
+            parts.append(f"udp seq={self.udp.seq}")
+        if self.aodv is not None:
+            parts.append(f"aodv {self.aodv.message_type.value}")
+        if self.mac is not None:
+            parts.append(f"mac {self.mac.frame_type.value} {self.mac.src}->{self.mac.dst}")
+        return f"Packet({', '.join(parts)})"

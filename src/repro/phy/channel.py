@@ -1,0 +1,133 @@
+"""Shared wireless channel.
+
+The channel knows every radio's position and, when a radio transmits, delivers
+the signal to every other radio within interference range.  Radios within the
+(smaller) transmission range may decode the frame; radios between transmission
+and interference range only sense energy — these are the nodes whose concurrent
+transmissions create hidden-terminal collisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import Simulator
+from repro.core.errors import ConfigurationError
+from repro.core.tracing import NULL_TRACER, Tracer
+from repro.net.packet import Packet
+from repro.phy.propagation import Position, RangePropagationModel
+from repro.phy.radio import Radio
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate counters over all transmissions on the channel."""
+
+    transmissions: int = 0
+    bytes_transmitted: int = 0
+    deliveries_attempted: int = 0
+
+
+class WirelessChannel:
+    """The single shared wireless medium.
+
+    Args:
+        sim: The simulation engine.
+        propagation: Range/propagation model; defaults to the paper's
+            250 m / 550 m configuration.
+        tracer: Optional tracer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        propagation: Optional[RangePropagationModel] = None,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.sim = sim
+        self.propagation = propagation or RangePropagationModel()
+        self.tracer = tracer
+        self.stats = ChannelStats()
+        self._radios: Dict[int, Radio] = {}
+        self._positions: Dict[int, Position] = {}
+        # Cache of (receivable, interferes, delay, power) per ordered node
+        # pair.  The topologies in this study are static, so the cache never
+        # invalidates unless a position is explicitly updated.
+        self._link_cache: Dict[Tuple[int, int], Tuple[bool, bool, float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration / topology
+    # ------------------------------------------------------------------
+    def register(self, radio: Radio, position: Position) -> None:
+        """Attach a radio to the channel at the given position."""
+        if radio.node_id in self._radios:
+            raise ConfigurationError(f"node {radio.node_id} already registered on channel")
+        self._radios[radio.node_id] = radio
+        self._positions[radio.node_id] = position
+        self._link_cache.clear()
+
+    def set_position(self, node_id: int, position: Position) -> None:
+        """Move a node (invalidates the link cache)."""
+        if node_id not in self._radios:
+            raise ConfigurationError(f"unknown node {node_id}")
+        self._positions[node_id] = position
+        self._link_cache.clear()
+
+    def position_of(self, node_id: int) -> Position:
+        """Return the position of ``node_id``."""
+        return self._positions[node_id]
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance in metres between two registered nodes."""
+        return self._positions[a].distance_to(self._positions[b])
+
+    def neighbors_of(self, node_id: int) -> List[int]:
+        """Node ids within transmission range of ``node_id`` (excluding itself)."""
+        origin = self._positions[node_id]
+        return [
+            other
+            for other, pos in self._positions.items()
+            if other != node_id and self.propagation.can_receive(origin.distance_to(pos))
+        ]
+
+    @property
+    def node_ids(self) -> List[int]:
+        """All registered node ids."""
+        return list(self._radios)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def broadcast(self, sender: Radio, packet: Packet, duration: float) -> None:
+        """Deliver ``packet`` from ``sender`` to every radio in range.
+
+        Called by :meth:`repro.phy.radio.Radio.transmit`.  Each potential
+        receiver gets its own copy of the packet after the (tiny) propagation
+        delay; whether the copy is decodable is decided by the receiving radio.
+        """
+        self.stats.transmissions += 1
+        self.stats.bytes_transmitted += packet.size
+        sender_id = sender.node_id
+        for receiver_id, radio in self._radios.items():
+            if receiver_id == sender_id:
+                continue
+            receivable, interferes, delay, power = self._link(sender_id, receiver_id)
+            if not interferes:
+                continue
+            self.stats.deliveries_attempted += 1
+            self.sim.schedule(
+                delay, radio.signal_start, packet.copy(), duration, receivable, power
+            )
+
+    def _link(self, src: int, dst: int) -> Tuple[bool, bool, float, float]:
+        key = (src, dst)
+        cached = self._link_cache.get(key)
+        if cached is None:
+            distance = self.distance(src, dst)
+            receivable, interferes = self.propagation.classify(distance)
+            delay = self.propagation.propagation_delay(distance)
+            power = self.propagation.relative_power(distance)
+            cached = (receivable, interferes, delay, power)
+            self._link_cache[key] = cached
+        return cached

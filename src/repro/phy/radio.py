@@ -1,0 +1,220 @@
+"""Per-node radio (PHY state machine).
+
+The radio mirrors the behaviour of ns-2's ``WirelessPhy``/``Mac802_11``
+reception logic, which is what the paper's results were produced with:
+
+* the radio locks onto the **first** signal that arrives while it is idle
+  (even one too weak to decode — a signal from inside the carrier-sense range
+  but outside the transmission range);
+* while locked, a later signal is *captured away* (ignored) if the locked
+  signal is at least ``capture_threshold`` times stronger (ns-2's
+  ``CPThresh_`` = 10, two-ray-ground powers ∝ d^-4); otherwise the overlap is
+  a **collision** and the locked frame is corrupted.  The later frame is never
+  received in either case;
+* a half-duplex radio cannot receive while transmitting, and starting a
+  transmission corrupts any reception in progress;
+* the frame is delivered to the MAC only if the lock survives to the end of
+  the frame, the transmitter was within transmission range, and the radio did
+  not transmit in the meantime.
+
+This is exactly the mechanism behind the paper's hidden-terminal losses: a
+weak frame from a hidden node that arrives *first* destroys the stronger frame
+that follows, while the reverse order is saved by capture.
+
+The radio also provides carrier sensing to the MAC: the medium is busy while
+any signal from within the carrier-sense (interference) range is on the air or
+the radio itself is transmitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.core.engine import Simulator
+from repro.core.tracing import NULL_TRACER, Tracer
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.net.interfaces import PhyListener
+    from repro.phy.channel import WirelessChannel
+
+
+@dataclass
+class _Signal:
+    """One signal currently arriving at this radio."""
+
+    key: int
+    packet: Packet
+    receivable: bool
+    power: float
+    end_time: float
+    duration: float = 0.0
+    corrupted: bool = False
+
+
+@dataclass
+class RadioStats:
+    """Counters the radio maintains for diagnostics and energy accounting."""
+
+    frames_sent: int = 0
+    bytes_sent: int = 0
+    frames_received: int = 0
+    frames_corrupted: int = 0
+    frames_captured: int = 0
+    frames_below_threshold: int = 0
+    time_transmitting: float = 0.0
+    time_receiving: float = 0.0
+
+
+class Radio:
+    """Half-duplex radio attached to one node.
+
+    Args:
+        sim: The simulation engine.
+        node_id: Identifier of the owning node.
+        channel: The shared wireless channel.
+        capture_threshold: Power ratio for the capture decision (ns-2 default 10).
+        tracer: Optional tracer for debugging.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        channel: "WirelessChannel",
+        capture_threshold: float = 10.0,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.channel = channel
+        self.capture_threshold = capture_threshold
+        self.tracer = tracer
+        self.listener: Optional["PhyListener"] = None
+        self.stats = RadioStats()
+        self._signals: Dict[int, _Signal] = {}
+        self._locked: Optional[_Signal] = None
+        self._transmitting_until: float = 0.0
+        self._signal_counter = 0
+        self._carrier_was_busy = False
+
+    # ------------------------------------------------------------------
+    # Transmit path (called by the MAC)
+    # ------------------------------------------------------------------
+    def transmit(self, packet: Packet, duration: float) -> None:
+        """Start transmitting ``packet``; it occupies the air for ``duration`` s."""
+        now = self.sim.now
+        self._transmitting_until = max(self._transmitting_until, now + duration)
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += packet.size
+        self.stats.time_transmitting += duration
+        # Transmitting corrupts anything we were in the middle of receiving.
+        if self._locked is not None:
+            self._locked.corrupted = True
+            self.stats.frames_corrupted += 1
+            self._locked = None
+        self.tracer.record(now, "phy", "tx_start", node=self.node_id, uid=packet.uid,
+                           size=packet.size, duration=duration)
+        self.channel.broadcast(self, packet, duration)
+        self._update_carrier()
+        self.sim.schedule(duration, self._transmit_complete)
+
+    def _transmit_complete(self) -> None:
+        self._update_carrier()
+
+    @property
+    def is_transmitting(self) -> bool:
+        """True while this radio is emitting a frame."""
+        return self.sim.now < self._transmitting_until
+
+    # ------------------------------------------------------------------
+    # Receive path (called by the channel)
+    # ------------------------------------------------------------------
+    def signal_start(self, packet: Packet, duration: float, receivable: bool,
+                     power: float = 1.0) -> None:
+        """A signal begins arriving at this radio.
+
+        Args:
+            packet: The frame carried by the signal (only decoded if the lock
+                survives to the end of the frame).
+            duration: On-air time of the frame in seconds.
+            receivable: True if the transmitter is within transmission range.
+            power: Relative received power (two-ray-ground, ∝ d^-4).
+        """
+        now = self.sim.now
+        self._signal_counter += 1
+        signal = _Signal(
+            key=self._signal_counter,
+            packet=packet,
+            receivable=receivable,
+            power=power,
+            end_time=now + duration,
+            duration=duration,
+        )
+        self._signals[signal.key] = signal
+
+        if self.is_transmitting:
+            # Half duplex: anything arriving while we transmit is lost.
+            signal.corrupted = True
+        elif self._locked is None:
+            # Idle: lock onto this signal, decodable or not (ns-2 behaviour).
+            self._locked = signal
+        else:
+            # Overlap with the locked signal: capture or collision.
+            if self._locked.power / max(power, 1e-30) >= self.capture_threshold:
+                self.stats.frames_captured += 1
+                signal.corrupted = True
+            else:
+                self.stats.frames_corrupted += 1
+                self.tracer.record(now, "phy", "collision", node=self.node_id,
+                                   ongoing=self._locked.packet.uid, new=packet.uid)
+                self._locked.corrupted = True
+                signal.corrupted = True
+
+        self._update_carrier()
+        self.sim.schedule(duration, self._signal_end, signal.key)
+
+    def _signal_end(self, key: int) -> None:
+        signal = self._signals.pop(key, None)
+        if signal is None:
+            return
+        if self._locked is signal:
+            self._locked = None
+            # The radio was listening to this signal for its whole duration
+            # (energy accounting counts overheard and corrupted frames too).
+            self.stats.time_receiving += signal.duration
+            if signal.corrupted or self.is_transmitting:
+                pass
+            elif not signal.receivable:
+                self.stats.frames_below_threshold += 1
+            else:
+                self.stats.frames_received += 1
+                self.tracer.record(self.sim.now, "phy", "rx_ok", node=self.node_id,
+                                   uid=signal.packet.uid)
+                if self.listener is not None:
+                    self.listener.on_frame_received(signal.packet)
+        self._update_carrier()
+
+    # ------------------------------------------------------------------
+    # Carrier sensing
+    # ------------------------------------------------------------------
+    @property
+    def carrier_busy(self) -> bool:
+        """True if the medium is sensed busy (any signal arriving or own TX)."""
+        now = self.sim.now
+        if self.is_transmitting:
+            return True
+        return any(sig.end_time > now for sig in self._signals.values())
+
+    def _update_carrier(self) -> None:
+        busy = self.carrier_busy
+        if busy == self._carrier_was_busy:
+            return
+        self._carrier_was_busy = busy
+        if self.listener is None:
+            return
+        if busy:
+            self.listener.on_carrier_busy()
+        else:
+            self.listener.on_carrier_idle()

@@ -1,0 +1,16 @@
+"""Routing protocols: AODV (as used in the paper) and a static baseline."""
+
+from repro.routing.aodv import AodvConfig, AodvRouting
+from repro.routing.base import RoutingProtocol, RoutingStats
+from repro.routing.static import StaticRouting
+from repro.routing.table import RouteEntry, RoutingTable
+
+__all__ = [
+    "AodvConfig",
+    "AodvRouting",
+    "RoutingProtocol",
+    "RoutingStats",
+    "StaticRouting",
+    "RouteEntry",
+    "RoutingTable",
+]

@@ -1,0 +1,116 @@
+"""Routing-layer base classes.
+
+A routing protocol sits between the node (transport demux) and the MAC's
+interface queue.  It receives locally originated packets via
+:meth:`RoutingProtocol.send_packet`, receives packets from the MAC via the
+:class:`repro.net.interfaces.MacListener` callbacks, and pushes frames to the
+MAC by attaching a MAC header (next hop) and enqueueing them on the interface
+queue.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.engine import Simulator
+from repro.core.tracing import NULL_TRACER, Tracer
+from repro.mac.frames import attach_data_header
+from repro.mac.queue import DropTailQueue
+from repro.net.headers import BROADCAST
+from repro.net.interfaces import MacListener
+from repro.net.packet import Packet
+
+
+@dataclass
+class RoutingStats:
+    """Counters common to all routing protocols."""
+
+    packets_originated: int = 0
+    packets_forwarded: int = 0
+    packets_delivered: int = 0
+    packets_dropped_no_route: int = 0
+    packets_dropped_link_failure: int = 0
+    packets_dropped_queue_full: int = 0
+    link_failures: int = 0
+    false_route_failures: int = 0
+    control_packets_sent: int = 0
+
+
+class RoutingProtocol(MacListener, abc.ABC):
+    """Abstract routing protocol.
+
+    Args:
+        sim: Simulation engine.
+        node_id: Identifier of the owning node.
+        queue: The node's interface queue (towards the MAC).
+        deliver_local: Callback invoked with packets destined to this node.
+        tracer: Optional tracer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        queue: DropTailQueue,
+        deliver_local: Callable[[Packet], None],
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.queue = queue
+        self.deliver_local = deliver_local
+        self.tracer = tracer
+        self.stats = RoutingStats()
+
+    # ------------------------------------------------------------------
+    # Downward path
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def send_packet(self, packet: Packet) -> None:
+        """Route and transmit a locally originated IP packet."""
+
+    def _enqueue_to_mac(self, packet: Packet, next_hop: int) -> bool:
+        """Attach a MAC header for ``next_hop`` and enqueue towards the MAC."""
+        attach_data_header(packet, src=self.node_id, dst=next_hop, nav=0.0, retry=False)
+        accepted = self.queue.enqueue(packet)
+        if not accepted:
+            self.stats.packets_dropped_queue_full += 1
+            self.tracer.record(self.sim.now, "route", "queue_drop", node=self.node_id,
+                               uid=packet.uid)
+        return accepted
+
+    def _broadcast_to_mac(self, packet: Packet) -> bool:
+        """Enqueue a broadcast frame (no MAC-level acknowledgement)."""
+        return self._enqueue_to_mac(packet, BROADCAST)
+
+    # ------------------------------------------------------------------
+    # Upward path (MacListener); concrete protocols override as needed.
+    # ------------------------------------------------------------------
+    def on_mac_send_success(self, packet: Packet, next_hop: int) -> None:
+        """Default: nothing to do on a successful MAC exchange."""
+
+    @abc.abstractmethod
+    def on_mac_delivery(self, packet: Packet) -> None:
+        """Handle a packet handed up by the MAC."""
+
+    @abc.abstractmethod
+    def on_mac_send_failure(self, packet: Packet, next_hop: int) -> None:
+        """Handle a MAC retry-limit drop for ``packet`` towards ``next_hop``."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _deliver_or_forward(self, packet: Packet) -> None:
+        """Deliver packets addressed to this node, otherwise forward them."""
+        ip = packet.require_ip()
+        if ip.dst == self.node_id or ip.dst == BROADCAST:
+            self.stats.packets_delivered += 1
+            self.deliver_local(packet)
+        else:
+            self.forward_packet(packet)
+
+    @abc.abstractmethod
+    def forward_packet(self, packet: Packet) -> None:
+        """Forward a transit packet towards its destination."""

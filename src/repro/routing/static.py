@@ -1,0 +1,94 @@
+"""Static shortest-path routing.
+
+A baseline routing protocol that is handed a precomputed next-hop table (e.g.
+from :func:`repro.topology.base.shortest_path_next_hops`).  It performs no
+route discovery and no repair; packets that fail at the MAC are simply dropped.
+Used by unit/integration tests and as an ablation against AODV (it isolates the
+false-route-failure effect the paper attributes to the routing layer).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
+
+from repro.core.engine import Simulator
+from repro.core.tracing import NULL_TRACER, Tracer
+from repro.mac.queue import DropTailQueue
+from repro.net.headers import BROADCAST
+from repro.net.packet import Packet
+from repro.routing.base import RoutingProtocol
+
+
+class StaticRouting(RoutingProtocol):
+    """Routing from a fixed next-hop table.
+
+    Args:
+        next_hops: Mapping from destination node id to next-hop node id.
+            Destinations missing from the mapping are unreachable.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        queue: DropTailQueue,
+        deliver_local: Callable[[Packet], None],
+        next_hops: Mapping[int, int],
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        super().__init__(sim, node_id, queue, deliver_local, tracer)
+        self._next_hops: Dict[int, int] = dict(next_hops)
+
+    def set_next_hop(self, destination: int, next_hop: int) -> None:
+        """Add or change the next hop for ``destination``."""
+        self._next_hops[destination] = next_hop
+
+    def next_hop_for(self, destination: int) -> int:
+        """Return the configured next hop or -1 when unreachable."""
+        return self._next_hops.get(destination, -1)
+
+    # ------------------------------------------------------------------
+    # Downward path
+    # ------------------------------------------------------------------
+    def send_packet(self, packet: Packet) -> None:
+        """Route a locally originated packet."""
+        self.stats.packets_originated += 1
+        self._route(packet)
+
+    def forward_packet(self, packet: Packet) -> None:
+        """Forward a transit packet."""
+        self.stats.packets_forwarded += 1
+        self._route(packet)
+
+    def _route(self, packet: Packet) -> None:
+        ip = packet.require_ip()
+        if ip.dst == BROADCAST:
+            self._broadcast_to_mac(packet)
+            return
+        next_hop = self._next_hops.get(ip.dst)
+        if next_hop is None:
+            self.stats.packets_dropped_no_route += 1
+            self.tracer.record(self.sim.now, "route", "no_route", node=self.node_id,
+                               dst=ip.dst, uid=packet.uid)
+            return
+        self._enqueue_to_mac(packet, next_hop)
+
+    # ------------------------------------------------------------------
+    # Upward path
+    # ------------------------------------------------------------------
+    def on_mac_delivery(self, packet: Packet) -> None:
+        """Deliver local packets, forward everything else."""
+        ip = packet.require_ip()
+        if ip.dst != self.node_id and ip.dst != BROADCAST:
+            ip.ttl -= 1
+            if ip.ttl <= 0:
+                self.stats.packets_dropped_no_route += 1
+                return
+        self._deliver_or_forward(packet)
+
+    def on_mac_send_failure(self, packet: Packet, next_hop: int) -> None:
+        """Static routing has no repair: count the loss and drop the packet."""
+        self.stats.link_failures += 1
+        self.stats.packets_dropped_link_failure += 1
+        self.tracer.record(self.sim.now, "route", "link_failure", node=self.node_id,
+                           next_hop=next_hop, uid=packet.uid)

@@ -1,0 +1,18 @@
+"""Topologies evaluated in the paper: h-hop chain, 21-node grid, random field."""
+
+from repro.topology.base import FlowSpec, Topology, all_next_hop_tables, shortest_path_next_hops
+from repro.topology.chain import chain_topology, hidden_terminal_pairs
+from repro.topology.grid import grid_topology, node_id_at
+from repro.topology.random_topology import random_topology
+
+__all__ = [
+    "FlowSpec",
+    "Topology",
+    "all_next_hop_tables",
+    "shortest_path_next_hops",
+    "chain_topology",
+    "hidden_terminal_pairs",
+    "grid_topology",
+    "node_id_at",
+    "random_topology",
+]

@@ -1,0 +1,116 @@
+"""Topology descriptions and graph helpers.
+
+A :class:`Topology` is a declarative description — node positions plus the
+source/destination pairs of the traffic flows — that the experiment runner
+turns into a live network.  Graph helpers (connectivity, shortest-path next
+hops) are built on networkx and are used both by the static-routing baseline
+and by the random-topology generator's connectivity check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.core.errors import TopologyError
+from repro.phy.propagation import Position, RangePropagationModel
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """A traffic flow between two nodes."""
+
+    source: int
+    destination: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise TopologyError("flow source and destination must differ")
+
+
+@dataclass
+class Topology:
+    """Node placement plus traffic pattern.
+
+    Attributes:
+        name: Human-readable topology name.
+        positions: Mapping from node id to :class:`Position`.
+        flows: Traffic flows (ordered; flow *i* in the paper's figures is
+            ``flows[i-1]`` here).
+    """
+
+    name: str
+    positions: Dict[int, Position]
+    flows: List[FlowSpec] = field(default_factory=list)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the topology."""
+        return len(self.positions)
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Sorted node identifiers."""
+        return sorted(self.positions)
+
+    def connectivity_graph(
+        self, propagation: RangePropagationModel | None = None
+    ) -> nx.Graph:
+        """Graph with an edge between every pair of nodes in transmission range."""
+        propagation = propagation or RangePropagationModel()
+        graph = nx.Graph()
+        graph.add_nodes_from(self.positions)
+        ids = list(self.positions)
+        for index, a in enumerate(ids):
+            for b in ids[index + 1:]:
+                distance = self.positions[a].distance_to(self.positions[b])
+                if propagation.can_receive(distance):
+                    graph.add_edge(a, b, weight=1.0, distance=distance)
+        return graph
+
+    def is_connected(self, propagation: RangePropagationModel | None = None) -> bool:
+        """True if every node can reach every other node over one or more hops."""
+        graph = self.connectivity_graph(propagation)
+        if graph.number_of_nodes() == 0:
+            return True
+        return nx.is_connected(graph)
+
+    def hop_count(
+        self, source: int, destination: int,
+        propagation: RangePropagationModel | None = None,
+    ) -> int:
+        """Shortest-path hop count between two nodes.
+
+        Raises:
+            TopologyError: If no path exists.
+        """
+        graph = self.connectivity_graph(propagation)
+        try:
+            return nx.shortest_path_length(graph, source, destination)
+        except nx.NetworkXNoPath as exc:
+            raise TopologyError(
+                f"no path between {source} and {destination} in {self.name}"
+            ) from exc
+
+
+def shortest_path_next_hops(graph: nx.Graph, node: int) -> Dict[int, int]:
+    """Next-hop table for ``node`` derived from shortest paths in ``graph``.
+
+    Returns:
+        Mapping from every reachable destination to the first hop on a
+        shortest path towards it.
+    """
+    next_hops: Dict[int, int] = {}
+    paths = nx.single_source_shortest_path(graph, node)
+    for destination, path in paths.items():
+        if destination == node or len(path) < 2:
+            continue
+        next_hops[destination] = path[1]
+    return next_hops
+
+
+def all_next_hop_tables(graph: nx.Graph) -> Dict[int, Dict[int, int]]:
+    """Next-hop tables for every node in the graph (for static routing)."""
+    return {node: shortest_path_next_hops(graph, node) for node in graph.nodes}

@@ -1,0 +1,27 @@
+"""Transport layer: TCP NewReno, TCP Vegas, ACK thinning sinks, UDP/paced UDP."""
+
+from repro.transport.ack_thinning import AckThinningPolicy
+from repro.transport.newreno import NewRenoSender
+from repro.transport.rtt import RttEstimator
+from repro.transport.sink import AckThinningSink, TcpSink
+from repro.transport.stats import FlowStats
+from repro.transport.tcp_base import TcpConfig, TcpSender, TransportAgent
+from repro.transport.udp import PacedUdpSource, UdpSender, UdpSink
+from repro.transport.vegas import VegasParameters, VegasSender
+
+__all__ = [
+    "AckThinningPolicy",
+    "NewRenoSender",
+    "RttEstimator",
+    "AckThinningSink",
+    "TcpSink",
+    "FlowStats",
+    "TcpConfig",
+    "TcpSender",
+    "TransportAgent",
+    "PacedUdpSource",
+    "UdpSender",
+    "UdpSink",
+    "VegasParameters",
+    "VegasSender",
+]

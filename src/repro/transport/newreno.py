@@ -1,0 +1,99 @@
+"""TCP NewReno congestion control.
+
+NewReno is the widely deployed loss-based variant the paper uses as its
+baseline: slow start and AIMD congestion avoidance, fast retransmit after three
+duplicate ACKs, and fast recovery with NewReno's partial-ACK handling (one
+retransmission per partial ACK, staying in recovery until the whole outstanding
+window at the time of the loss is acknowledged).
+
+The paper additionally evaluates "NewReno with optimal window", i.e. NewReno
+whose congestion window is clamped to the chain-optimal value (MaxWin = 3 for a
+7-hop chain, following Fu et al.); that is exposed here as ``max_cwnd``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.packet import Packet
+from repro.transport.tcp_base import TcpSender
+
+
+class NewRenoSender(TcpSender):
+    """TCP NewReno sender.
+
+    Args:
+        max_cwnd: Optional hard clamp on the congestion window in segments,
+            used for the paper's "NewReno Optimal Window" variant
+            (``max_cwnd=3`` for the 7-hop chain).
+        **kwargs: Forwarded to :class:`repro.transport.tcp_base.TcpSender`.
+    """
+
+    def __init__(self, *args, max_cwnd: Optional[float] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.max_cwnd = max_cwnd
+        self._in_recovery = False
+        self._recover = 0
+
+    # ------------------------------------------------------------------
+    # Window helpers
+    # ------------------------------------------------------------------
+    def set_cwnd(self, value: float) -> None:
+        """Set cwnd, additionally respecting the optional ``max_cwnd`` clamp."""
+        if self.max_cwnd is not None:
+            value = min(value, self.max_cwnd)
+        super().set_cwnd(value)
+
+    # ------------------------------------------------------------------
+    # Congestion-control hooks
+    # ------------------------------------------------------------------
+    def on_new_ack(self, newly_acked: int, packet: Packet) -> None:
+        """Slow start / congestion avoidance, with NewReno partial-ACK logic."""
+        if self._in_recovery:
+            if self.snd_una > self._recover:
+                # Full ACK: leave fast recovery and deflate to ssthresh.
+                self._in_recovery = False
+                self.set_cwnd(self.ssthresh)
+            else:
+                # Partial ACK: retransmit the next presumed-lost segment and
+                # deflate the window by the amount acknowledged.
+                self.set_cwnd(max(self.ssthresh, self.cwnd - newly_acked + 1))
+                self.retransmit(self.snd_una)
+            return
+        if self.cwnd < self.ssthresh:
+            # Slow start grows by one segment per received ACK, which is why
+            # ACK thinning directly slows NewReno's window growth.
+            self.set_cwnd(self.cwnd + 1.0)
+        else:
+            self.set_cwnd(self.cwnd + 1.0 / max(self.cwnd, 1.0))
+
+    def on_dup_ack(self, packet: Packet) -> None:
+        """Count duplicate ACKs; trigger fast retransmit at the threshold."""
+        if self._in_recovery:
+            # Window inflation keeps the pipe full during recovery.
+            self.set_cwnd(self.cwnd + 1.0)
+            return
+        if self.dupacks >= self.config.dupack_threshold:
+            self._enter_fast_recovery()
+
+    def _enter_fast_recovery(self) -> None:
+        self.ssthresh = max(self.flight_size / 2.0, 2.0)
+        self._recover = self.snd_nxt - 1
+        self._in_recovery = True
+        self.set_cwnd(self.ssthresh + self.config.dupack_threshold)
+        self.retransmit(self.snd_una)
+
+    def on_timeout(self) -> None:
+        """Collapse the window after a retransmission timeout."""
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self._in_recovery = False
+        self.dupacks = 0
+        self.set_cwnd(1.0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def in_fast_recovery(self) -> bool:
+        """True while the sender is in NewReno fast recovery."""
+        return self._in_recovery

@@ -1,0 +1,74 @@
+"""Round-trip-time estimation and retransmission timeout computation.
+
+Implements the classic Jacobson/Karels estimator used by TCP NewReno plus the
+fine-grained (timestamp-based) RTT samples that TCP Vegas relies on for its
+congestion detection and early retransmission checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class RttEstimator:
+    """Smoothed RTT estimator with Jacobson/Karels variance tracking.
+
+    Attributes:
+        srtt: Smoothed RTT in seconds (None until the first sample).
+        rttvar: RTT variance estimate in seconds.
+        min_rto: Lower bound on the retransmission timeout.
+        max_rto: Upper bound on the retransmission timeout.
+        initial_rto: RTO used before any RTT sample has been taken.  Multihop
+            paths with on-demand routing see a very long first RTT (route
+            discovery), so this is deliberately generous.
+        alpha: Gain for the smoothed RTT update.
+        beta: Gain for the variance update.
+    """
+
+    srtt: Optional[float] = None
+    rttvar: float = 0.0
+    min_rto: float = 0.2
+    max_rto: float = 60.0
+    initial_rto: float = 3.0
+    alpha: float = 0.125
+    beta: float = 0.25
+    backoff: int = 1
+    samples: int = 0
+    min_rtt: Optional[float] = None
+    last_rtt: Optional[float] = None
+
+    def update(self, sample: float) -> None:
+        """Incorporate a new RTT ``sample`` (seconds)."""
+        if sample <= 0:
+            return
+        self.samples += 1
+        self.last_rtt = sample
+        if self.min_rtt is None or sample < self.min_rtt:
+            self.min_rtt = sample
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            error = sample - self.srtt
+            self.srtt += self.alpha * error
+            self.rttvar += self.beta * (abs(error) - self.rttvar)
+        self.backoff = 1
+
+    def timeout(self) -> float:
+        """Current retransmission timeout (seconds), including backoff."""
+        if self.srtt is None:
+            base = self.initial_rto
+        else:
+            base = self.srtt + 4.0 * self.rttvar
+        rto = base * self.backoff
+        return min(self.max_rto, max(self.min_rto, rto))
+
+    def apply_backoff(self) -> None:
+        """Double the timeout after a retransmission timeout (Karn's backoff)."""
+        self.backoff = min(self.backoff * 2, 64)
+
+    def reset_backoff(self) -> None:
+        """Clear exponential backoff after an acknowledgement arrives."""
+        self.backoff = 1

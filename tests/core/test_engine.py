@@ -1,0 +1,203 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Simulator, Timer
+from repro.core.errors import SchedulingError
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(2.0, order.append, "late")
+        sim.schedule(1.0, order.append, "early")
+        sim.schedule(3.0, order.append, "latest")
+        sim.run()
+        assert order == ["early", "late", "latest"]
+
+    def test_ties_broken_by_insertion_order(self, sim):
+        order = []
+        for label in ("a", "b", "c"):
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.schedule(1.25, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.25]
+
+    def test_schedule_negative_delay_raises(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_nonfinite_delay_raises(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("inf"), lambda: None)
+
+    def test_schedule_at_in_past_raises(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_schedule_zero_delay_runs(self, sim):
+        fired = []
+        sim.schedule(0.0, fired.append, True)
+        sim.run()
+        assert fired == [True]
+
+    def test_nested_scheduling_from_callback(self, sim):
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(1.0, lambda: order.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_callback_arguments_passed(self, sim):
+        results = []
+        sim.schedule(0.1, lambda a, b: results.append(a + b), 2, 3)
+        sim.run()
+        assert results == [5]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_none_is_noop(self, sim):
+        sim.cancel(None)  # must not raise
+
+    def test_cancel_twice_is_noop(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        assert sim.run() == 0
+
+    def test_pending_events_excludes_cancelled(self, sim):
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        sim.cancel(drop)
+        assert sim.pending_events == 1
+        assert keep.is_pending
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_run_until_then_continue(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_with_empty_queue_advances_to_horizon(self, sim):
+        sim.run(until=3.0)
+        assert sim.now == pytest.approx(3.0)
+
+    def test_max_events_limit(self, sim):
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        processed = sim.run(max_events=4)
+        assert processed == 4
+        assert sim.pending_events == 6
+
+    def test_stop_from_callback(self, sim):
+        fired = []
+
+        def stopper():
+            fired.append("stop")
+            sim.stop()
+
+        sim.schedule(1.0, stopper)
+        sim.schedule(2.0, fired.append, "after")
+        sim.run()
+        assert fired == ["stop"]
+
+    def test_events_processed_counter(self, sim):
+        for _ in range(3):
+            sim.schedule(0.5, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_reset_clears_state(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending_events == 0
+
+    def test_returns_number_processed(self, sim):
+        for _ in range(5):
+            sim.schedule(0.1, lambda: None)
+        assert sim.run() == 5
+
+
+class TestTimer:
+    def test_timer_fires_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.5)
+        sim.run()
+        assert fired == [2.5]
+
+    def test_timer_cancel_prevents_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(True))
+        timer.start(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_timer_restart_supersedes_previous(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.start(3.0)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_timer_is_pending_lifecycle(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.is_pending
+        timer.start(1.0)
+        assert timer.is_pending
+        sim.run()
+        assert not timer.is_pending
+
+    def test_timer_expiry_time(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(4.0)
+        assert timer.expiry_time == pytest.approx(4.0)
+        timer.cancel()
+        assert timer.expiry_time is None
+
+    def test_timer_can_be_restarted_after_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.run()
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0]

@@ -1,0 +1,51 @@
+"""Tests for the tracer."""
+
+from __future__ import annotations
+
+from repro.core.tracing import NULL_TRACER, Tracer
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(1.0, "mac", "rts", node=3)
+        assert len(tracer) == 0
+
+    def test_enabled_tracer_records(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1.0, "mac", "rts", node=3, dst=4)
+        assert len(tracer) == 1
+        record = list(tracer)[0]
+        assert record.layer == "mac"
+        assert record.event == "rts"
+        assert record.details == {"dst": 4}
+
+    def test_filter_by_layer_and_event(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1.0, "mac", "rts")
+        tracer.record(2.0, "mac", "cts")
+        tracer.record(3.0, "tcp", "send")
+        assert len(tracer.filter(layer="mac")) == 2
+        assert len(tracer.filter(event="send")) == 1
+        assert len(tracer.filter(layer="mac", event="cts")) == 1
+
+    def test_max_records_cap(self):
+        tracer = Tracer(enabled=True, max_records=2)
+        for i in range(5):
+            tracer.record(float(i), "x", "y")
+        assert len(tracer) == 2
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1.0, "a", "b")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_null_tracer_is_disabled(self):
+        assert not NULL_TRACER.enabled
+
+    def test_str_includes_time_and_event(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1.5, "phy", "rx_ok", node=2)
+        text = str(list(tracer)[0])
+        assert "phy/rx_ok" in text and "n2" in text

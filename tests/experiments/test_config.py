@@ -1,0 +1,89 @@
+"""Tests for scenario configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.config import (
+    PAPER_BANDWIDTHS,
+    PAPER_HOP_COUNTS,
+    ScenarioConfig,
+    TransportVariant,
+)
+
+
+class TestTransportVariant:
+    def test_is_tcp(self):
+        assert TransportVariant.VEGAS.is_tcp
+        assert TransportVariant.NEWRENO_OPTIMAL_WINDOW.is_tcp
+        assert not TransportVariant.PACED_UDP.is_tcp
+
+    def test_uses_ack_thinning(self):
+        assert TransportVariant.VEGAS_ACK_THINNING.uses_ack_thinning
+        assert TransportVariant.NEWRENO_ACK_THINNING.uses_ack_thinning
+        assert not TransportVariant.VEGAS.uses_ack_thinning
+
+    def test_is_vegas(self):
+        assert TransportVariant.VEGAS.is_vegas
+        assert TransportVariant.VEGAS_ACK_THINNING.is_vegas
+        assert not TransportVariant.NEWRENO.is_vegas
+
+    def test_paper_constants(self):
+        assert PAPER_BANDWIDTHS == (2.0, 5.5, 11.0)
+        assert PAPER_HOP_COUNTS == (2, 4, 8, 16, 32, 64)
+
+
+class TestScenarioConfig:
+    def test_defaults_match_paper_table1(self):
+        config = ScenarioConfig()
+        assert config.tcp.mss == 1460
+        assert config.tcp.max_window == 64
+        assert config.tcp.initial_window == 1
+        assert config.vegas_alpha == 2.0
+        assert config.queue_capacity == 50
+        assert config.routing == "aodv"
+
+    def test_vegas_parameters_alpha_equals_beta_equals_gamma(self):
+        params = ScenarioConfig(vegas_alpha=3.0).vegas_parameters()
+        assert params.alpha == params.beta == params.gamma == 3.0
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(bandwidth_mbps=0.0)
+
+    def test_invalid_packet_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(packet_target=0)
+
+    def test_invalid_batch_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(batch_count=1)
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(routing="dsr")
+
+    def test_optimal_window_variant_requires_clamp(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(variant=TransportVariant.NEWRENO_OPTIMAL_WINDOW)
+        config = ScenarioConfig(variant=TransportVariant.NEWRENO_OPTIMAL_WINDOW,
+                                newreno_max_cwnd=3.0)
+        assert config.newreno_max_cwnd == 3.0
+
+    def test_with_variant_copy(self):
+        base = ScenarioConfig()
+        copy = base.with_variant(TransportVariant.NEWRENO)
+        assert copy.variant is TransportVariant.NEWRENO
+        assert base.variant is TransportVariant.VEGAS
+
+    def test_with_bandwidth_copy(self):
+        assert ScenarioConfig().with_bandwidth(11.0).bandwidth_mbps == 11.0
+
+    def test_scaled_copy(self):
+        assert ScenarioConfig().scaled(50).packet_target == 50
+
+    def test_ack_thinning_defaults(self):
+        config = ScenarioConfig()
+        assert (config.ack_thinning.s1, config.ack_thinning.s2, config.ack_thinning.s3) == (2, 5, 9)
+        assert config.ack_thinning.max_delay == pytest.approx(0.1)

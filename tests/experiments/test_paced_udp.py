@@ -1,0 +1,52 @@
+"""Tests for the paced UDP analytic helpers (Table 2, Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.paced_udp import (
+    data_frame_size,
+    default_udp_interval,
+    four_hop_propagation_delay,
+    single_hop_delay,
+    table2_propagation_delays,
+)
+from repro.mac.timing import timing_for_bandwidth
+
+
+class TestAnalyticDelays:
+    def test_data_frame_size_includes_all_headers(self):
+        # 1460 payload + 8 UDP + 20 IP + 34 MAC.
+        assert data_frame_size(1460) == 1522
+
+    def test_single_hop_delay_components(self):
+        timing = timing_for_bandwidth(2.0)
+        delay = single_hop_delay(timing)
+        assert delay == pytest.approx(
+            timing.difs + timing.unicast_exchange_duration(data_frame_size())
+        )
+
+    def test_four_hop_delay_is_four_single_hops(self):
+        timing = timing_for_bandwidth(2.0)
+        assert four_hop_propagation_delay(timing) == pytest.approx(4 * single_hop_delay(timing))
+
+    def test_table2_2mbps_value(self):
+        delays = table2_propagation_delays()
+        assert delays[2.0] == pytest.approx(29e-3, rel=0.10)
+
+    def test_table2_ordering(self):
+        delays = table2_propagation_delays()
+        assert delays[2.0] > delays[5.5] > delays[11.0]
+
+    def test_table2_11mbps_value(self):
+        delays = table2_propagation_delays()
+        assert 6e-3 < delays[11.0] < 12e-3
+
+    def test_default_interval_larger_than_4hop_delay(self):
+        timing = timing_for_bandwidth(2.0)
+        assert default_udp_interval(timing) > four_hop_propagation_delay(timing)
+
+    def test_default_interval_scales_with_bandwidth(self):
+        slow = default_udp_interval(timing_for_bandwidth(2.0))
+        fast = default_udp_interval(timing_for_bandwidth(11.0))
+        assert slow > fast

@@ -1,0 +1,82 @@
+"""Tests for result containers and table formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.results import FlowResult, ScenarioResult, format_table
+
+
+def make_flow(flow_id=1, goodput_bps=200_000.0, retrans=5, window=4.0, delivered=100):
+    return FlowResult(
+        flow_id=flow_id, source=0, destination=7, delivered_packets=delivered,
+        goodput_bps=goodput_bps, goodput_ci=None, retransmissions=retrans,
+        retransmissions_per_packet=retrans / max(delivered, 1), timeouts=1,
+        average_window=window,
+    )
+
+
+def make_result(goodputs=(200_000.0, 100_000.0)):
+    return ScenarioResult(
+        name="test", variant="Vegas", bandwidth_mbps=2.0, simulated_time=100.0,
+        delivered_packets=200,
+        flows=[make_flow(flow_id=i + 1, goodput_bps=g) for i, g in enumerate(goodputs)],
+    )
+
+
+class TestFlowResult:
+    def test_goodput_kbps_conversion(self):
+        assert make_flow(goodput_bps=250_000.0).goodput_kbps == pytest.approx(250.0)
+
+
+class TestScenarioResult:
+    def test_aggregate_goodput(self):
+        result = make_result()
+        assert result.aggregate_goodput_bps == pytest.approx(300_000.0)
+        assert result.aggregate_goodput_kbps == pytest.approx(300.0)
+
+    def test_fairness_index(self):
+        perfectly_fair = make_result(goodputs=(100.0, 100.0, 100.0))
+        unfair = make_result(goodputs=(300.0, 1.0, 1.0))
+        assert perfectly_fair.fairness_index == pytest.approx(1.0)
+        assert unfair.fairness_index < 0.5
+
+    def test_average_retransmissions_and_window(self):
+        result = make_result()
+        assert result.average_retransmissions_per_packet == pytest.approx(0.05)
+        assert result.average_window == pytest.approx(4.0)
+
+    def test_flow_lookup(self):
+        result = make_result()
+        assert result.flow(2).flow_id == 2
+        with pytest.raises(KeyError):
+            result.flow(9)
+
+    def test_empty_result_properties(self):
+        result = ScenarioResult(name="empty", variant="Vegas", bandwidth_mbps=2.0,
+                                simulated_time=0.0, delivered_packets=0)
+        assert result.aggregate_goodput_bps == 0.0
+        assert result.average_window == 0.0
+        assert result.fairness_index == 1.0
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["hops", "goodput"], [[2, 350.1234], [4, 300.0]])
+        assert "hops" in text and "goodput" in text
+        assert "350.1" in text
+        assert "4" in text
+
+    def test_small_probabilities_not_rounded_to_zero(self):
+        text = format_table(["variant", "drop prob"], [["Vegas", 0.0048]])
+        assert "0.0048" in text
+
+    def test_column_alignment_consistent_line_lengths(self):
+        text = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[:2])) <= 2
+
+    def test_handles_string_cells(self):
+        text = format_table(["variant", "value"], [["Vegas", 1.0]])
+        assert "Vegas" in text

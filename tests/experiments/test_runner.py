@@ -1,0 +1,128 @@
+"""Tests for scenario construction (wiring of variants, routing, flows)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig, TransportVariant
+from repro.experiments.runner import Scenario
+from repro.experiments.scenarios import available_scenarios, build_named_scenario
+from repro.core.errors import ConfigurationError
+from repro.routing.aodv import AodvRouting
+from repro.routing.static import StaticRouting
+from repro.topology.chain import chain_topology
+from repro.topology.grid import grid_topology
+from repro.transport.newreno import NewRenoSender
+from repro.transport.sink import AckThinningSink, TcpSink
+from repro.transport.udp import UdpSender
+from repro.transport.vegas import VegasSender
+
+
+def scenario_for(variant, topology=None, **overrides):
+    defaults = dict(variant=variant, packet_target=50, max_sim_time=20.0)
+    defaults.update(overrides)
+    return Scenario(topology or chain_topology(hops=2), ScenarioConfig(**defaults))
+
+
+class TestScenarioWiring:
+    def test_vegas_variant_builds_vegas_sender_and_plain_sink(self):
+        scenario = scenario_for(TransportVariant.VEGAS)
+        assert isinstance(scenario.senders[0], VegasSender)
+        assert type(scenario.sinks[0]) is TcpSink
+
+    def test_newreno_variant_builds_newreno_sender(self):
+        scenario = scenario_for(TransportVariant.NEWRENO)
+        assert isinstance(scenario.senders[0], NewRenoSender)
+        assert scenario.senders[0].max_cwnd is None
+
+    def test_ack_thinning_variants_use_thinning_sink(self):
+        for variant in (TransportVariant.VEGAS_ACK_THINNING,
+                        TransportVariant.NEWRENO_ACK_THINNING):
+            scenario = scenario_for(variant)
+            assert isinstance(scenario.sinks[0], AckThinningSink)
+
+    def test_optimal_window_variant_sets_clamp(self):
+        scenario = scenario_for(TransportVariant.NEWRENO_OPTIMAL_WINDOW,
+                                newreno_max_cwnd=3.0)
+        assert isinstance(scenario.senders[0], NewRenoSender)
+        assert scenario.senders[0].max_cwnd == 3.0
+
+    def test_paced_udp_variant_builds_udp_sender(self):
+        scenario = scenario_for(TransportVariant.PACED_UDP)
+        assert isinstance(scenario.senders[0], UdpSender)
+
+    def test_vegas_alpha_propagated_to_sender(self):
+        scenario = scenario_for(TransportVariant.VEGAS, vegas_alpha=4.0)
+        params = scenario.senders[0].parameters
+        assert params.alpha == params.beta == params.gamma == 4.0
+
+    def test_one_node_per_topology_position(self):
+        scenario = scenario_for(TransportVariant.VEGAS, topology=grid_topology())
+        assert len(scenario.nodes) == 21
+
+    def test_one_flow_stats_per_flow(self):
+        scenario = scenario_for(TransportVariant.VEGAS, topology=grid_topology())
+        assert len(scenario.flow_stats) == 6
+        assert [stats.flow_id for stats in scenario.flow_stats] == list(range(1, 7))
+
+    def test_aodv_is_default_routing(self):
+        scenario = scenario_for(TransportVariant.VEGAS)
+        assert all(isinstance(node.routing, AodvRouting) for node in scenario.nodes.values())
+
+    def test_static_routing_installs_next_hops(self):
+        scenario = scenario_for(TransportVariant.VEGAS, routing="static",
+                                topology=chain_topology(hops=3))
+        routing = scenario.nodes[0].routing
+        assert isinstance(routing, StaticRouting)
+        assert routing.next_hop_for(3) == 1
+
+    def test_per_flow_batch_size_divides_packet_target(self):
+        scenario = scenario_for(TransportVariant.VEGAS, topology=grid_topology(),
+                                packet_target=660, batch_count=11)
+        assert scenario.flow_stats[0].batch_size == 660 // (6 * 11)
+
+    def test_udp_interval_override_used(self):
+        scenario = scenario_for(TransportVariant.PACED_UDP, udp_interval=0.042)
+        assert scenario.applications[0].interval == pytest.approx(0.042)
+
+
+class TestScenarioExecution:
+    def test_run_stops_at_packet_target(self):
+        scenario = scenario_for(TransportVariant.VEGAS, packet_target=40,
+                                max_sim_time=60.0)
+        result = scenario.run()
+        assert result.reached_packet_target
+        assert result.delivered_packets >= 40
+        assert result.simulated_time < 60.0
+
+    def test_run_respects_time_limit_when_target_unreachable(self):
+        scenario = scenario_for(TransportVariant.VEGAS, packet_target=10_000_000,
+                                max_sim_time=3.0)
+        result = scenario.run()
+        assert not result.reached_packet_target
+        assert result.simulated_time <= 3.0 + 1e-9
+
+    def test_result_name_encodes_variant_and_bandwidth(self):
+        scenario = scenario_for(TransportVariant.NEWRENO, bandwidth_mbps=5.5)
+        result = scenario.run()
+        assert "NewReno" in result.name
+        assert "5.5" in result.name
+
+
+class TestNamedScenarios:
+    def test_registry_contains_paper_presets(self):
+        names = available_scenarios()
+        assert "chain7-vegas-2mbps" in names
+        assert "grid-newreno-11mbps" in names
+        assert "random-vegas-at-5.5mbps" in names
+
+    def test_build_named_scenario_with_overrides(self):
+        scenario = build_named_scenario("chain7-vegas-2mbps", packet_target=77, seed=9)
+        assert scenario.config.packet_target == 77
+        assert scenario.config.seed == 9
+        assert scenario.config.variant is TransportVariant.VEGAS
+        assert len(scenario.nodes) == 8
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_named_scenario("chain99-cubic")

@@ -1,0 +1,76 @@
+"""Integration tests for multi-flow topologies (grid / random, scaled down)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig, TransportVariant
+from repro.experiments.grid_experiments import fairness_table
+from repro.experiments.runner import run_scenario
+from repro.topology.grid import grid_topology
+from repro.topology.random_topology import random_topology
+
+
+def multiflow_config(variant, **overrides):
+    defaults = dict(
+        variant=variant, bandwidth_mbps=11.0, packet_target=180, max_sim_time=150.0,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestSmallGrid:
+    @pytest.fixture(scope="class")
+    def small_grid(self):
+        # A 5x2 grid with two horizontal and one vertical flow keeps the test
+        # fast while still exercising inter-flow contention.
+        return grid_topology(columns=5, rows=2, vertical_flow_columns=(2,))
+
+    def test_flows_deliver_and_fairness_defined(self, small_grid):
+        result = run_scenario(small_grid, multiflow_config(TransportVariant.VEGAS))
+        assert result.delivered_packets >= 180
+        assert len(result.flows) == 3
+        assert 1.0 / 3.0 <= result.fairness_index <= 1.0
+
+    def test_aggregate_is_sum_of_flows(self, small_grid):
+        result = run_scenario(small_grid, multiflow_config(TransportVariant.NEWRENO))
+        assert result.aggregate_goodput_bps == pytest.approx(
+            sum(flow.goodput_bps for flow in result.flows)
+        )
+
+    def test_fairness_table_layout(self, small_grid):
+        results = {
+            TransportVariant.VEGAS: {
+                11.0: run_scenario(small_grid, multiflow_config(TransportVariant.VEGAS))
+            },
+        }
+        table = fairness_table(results)
+        assert 11.0 in table
+        assert TransportVariant.VEGAS in table[11.0]
+        assert 0.0 < table[11.0][TransportVariant.VEGAS] <= 1.0
+
+
+class TestSmallRandomTopology:
+    @pytest.fixture(scope="class")
+    def small_random(self):
+        return random_topology(node_count=30, area=(1200.0, 600.0), flow_count=3, seed=13)
+
+    def test_flows_deliver_on_random_topology(self, small_random):
+        config = multiflow_config(TransportVariant.VEGAS, packet_target=120)
+        result = run_scenario(small_random, config)
+        assert result.delivered_packets >= 120
+        assert len(result.flows) == 3
+
+    def test_ack_thinning_variant_runs_on_random_topology(self, small_random):
+        config = multiflow_config(TransportVariant.VEGAS_ACK_THINNING, packet_target=120)
+        result = run_scenario(small_random, config)
+        assert result.delivered_packets >= 120
+
+    def test_same_topology_reused_across_variants(self, small_random):
+        # The comparison in the paper keeps placements and endpoints fixed.
+        before = {nid: (p.x, p.y) for nid, p in small_random.positions.items()}
+        run_scenario(small_random, multiflow_config(TransportVariant.VEGAS,
+                                                    packet_target=60))
+        after = {nid: (p.x, p.y) for nid, p in small_random.positions.items()}
+        assert before == after

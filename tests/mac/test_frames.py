@@ -1,0 +1,47 @@
+"""Tests for MAC frame construction helpers."""
+
+from __future__ import annotations
+
+from repro.mac.frames import attach_data_header, is_for, make_ack, make_cts, make_rts
+from repro.net.headers import BROADCAST, MacFrameType
+from repro.net.packet import Packet
+
+
+class TestFrameBuilders:
+    def test_rts_fields(self):
+        rts = make_rts(src=1, dst=2, nav=0.005)
+        assert rts.mac.frame_type is MacFrameType.RTS
+        assert rts.mac.src == 1 and rts.mac.dst == 2
+        assert rts.mac.duration == 0.005
+        assert rts.size == 20
+
+    def test_cts_fields(self):
+        cts = make_cts(src=2, dst=1, nav=0.003)
+        assert cts.mac.frame_type is MacFrameType.CTS
+        assert cts.size == 14
+
+    def test_ack_fields(self):
+        ack = make_ack(src=2, dst=1)
+        assert ack.mac.frame_type is MacFrameType.ACK
+        assert ack.mac.duration == 0.0
+
+    def test_attach_data_header(self):
+        packet = Packet(payload_size=100)
+        attach_data_header(packet, src=0, dst=3, nav=0.001, retry=True)
+        assert packet.mac.frame_type is MacFrameType.DATA
+        assert packet.mac.retry is True
+        assert packet.size == 100 + packet.mac.SIZE_DATA
+
+    def test_attach_replaces_existing_header(self):
+        packet = Packet(payload_size=100)
+        attach_data_header(packet, src=0, dst=3, nav=0.0, retry=False)
+        attach_data_header(packet, src=0, dst=5, nav=0.0, retry=True)
+        assert packet.mac.dst == 5 and packet.mac.retry
+
+    def test_is_for_unicast_and_broadcast(self):
+        unicast = make_rts(src=0, dst=2, nav=0.0)
+        broadcast = Packet()
+        attach_data_header(broadcast, src=0, dst=BROADCAST, nav=0.0, retry=False)
+        assert is_for(unicast, 2)
+        assert not is_for(unicast, 3)
+        assert is_for(broadcast, 7)

@@ -1,0 +1,179 @@
+"""Behavioural tests for the 802.11 DCF MAC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.randomness import RandomManager
+from repro.mac.frames import attach_data_header, make_rts
+from repro.mac.ieee80211 import Ieee80211Mac, MacState
+from repro.mac.queue import DropTailQueue
+from repro.mac.timing import timing_for_bandwidth
+from repro.net.headers import BROADCAST, IpHeader, IpProtocol
+from repro.net.interfaces import MacListener
+from repro.net.packet import Packet
+from repro.phy.channel import WirelessChannel
+from repro.phy.propagation import Position
+from repro.phy.radio import Radio
+
+
+class RecordingMacListener(MacListener):
+    """Records MAC callbacks for assertions."""
+
+    def __init__(self):
+        self.delivered = []
+        self.successes = []
+        self.failures = []
+
+    def on_mac_delivery(self, packet):
+        self.delivered.append(packet)
+
+    def on_mac_send_success(self, packet, next_hop):
+        self.successes.append((packet, next_hop))
+
+    def on_mac_send_failure(self, packet, next_hop):
+        self.failures.append((packet, next_hop))
+
+
+class MacTestbed:
+    """A small set of MAC+radio stacks on one channel, no routing above."""
+
+    def __init__(self, sim, positions, bandwidth=2.0):
+        self.sim = sim
+        self.channel = WirelessChannel(sim)
+        self.timing = timing_for_bandwidth(bandwidth)
+        randomness = RandomManager(seed=11)
+        self.macs = {}
+        self.listeners = {}
+        for node_id, (x, y) in positions.items():
+            radio = Radio(sim, node_id, self.channel)
+            self.channel.register(radio, Position(x, y))
+            queue = DropTailQueue()
+            mac = Ieee80211Mac(sim, node_id, radio, queue, self.timing,
+                               rng=randomness.stream(f"mac.{node_id}"))
+            listener = RecordingMacListener()
+            mac.listener = listener
+            self.macs[node_id] = mac
+            self.listeners[node_id] = listener
+
+    def send(self, src, dst, payload=1460):
+        packet = Packet(
+            payload_size=payload,
+            ip=IpHeader(src=src, dst=dst, protocol=IpProtocol.UDP),
+        )
+        attach_data_header(packet, src=src, dst=dst, nav=0.0, retry=False)
+        self.macs[src].queue.enqueue(packet)
+        return packet
+
+
+class TestUnicastExchange:
+    def test_single_packet_delivered(self, sim):
+        bed = MacTestbed(sim, {0: (0, 0), 1: (200, 0)})
+        sent = bed.send(0, 1)
+        sim.run(until=1.0)
+        delivered = bed.listeners[1].delivered
+        assert len(delivered) == 1
+        assert delivered[0].uid == sent.uid
+        assert bed.listeners[0].successes and not bed.listeners[0].failures
+
+    def test_full_rts_cts_data_ack_exchange_counted(self, sim):
+        bed = MacTestbed(sim, {0: (0, 0), 1: (200, 0)})
+        bed.send(0, 1)
+        sim.run(until=1.0)
+        assert bed.macs[0].stats.rts_tx == 1
+        assert bed.macs[1].stats.cts_tx == 1
+        assert bed.macs[0].stats.data_tx_attempts == 1
+        assert bed.macs[1].stats.ack_tx == 1
+        assert bed.macs[0].stats.data_tx_success == 1
+
+    def test_multiple_packets_drain_queue_in_order(self, sim):
+        bed = MacTestbed(sim, {0: (0, 0), 1: (200, 0)})
+        sent = [bed.send(0, 1) for _ in range(5)]
+        sim.run(until=2.0)
+        delivered_uids = [p.uid for p in bed.listeners[1].delivered]
+        assert delivered_uids == [p.uid for p in sent]
+
+    def test_two_hop_neighbor_cannot_be_reached(self, sim):
+        # 400 m apart: inside carrier-sense range but outside transmission
+        # range, so the exchange must fail after the RTS retry limit.
+        bed = MacTestbed(sim, {0: (0, 0), 1: (400, 0)})
+        bed.send(0, 1)
+        sim.run(until=2.0)
+        assert bed.listeners[0].failures
+        assert bed.macs[0].stats.data_dropped_retry == 1
+        assert bed.macs[0].stats.rts_timeouts == bed.timing.short_retry_limit
+
+    def test_mac_returns_to_idle_after_exchange(self, sim):
+        bed = MacTestbed(sim, {0: (0, 0), 1: (200, 0)})
+        bed.send(0, 1)
+        sim.run(until=1.0)
+        assert bed.macs[0].state is MacState.IDLE
+        assert not bed.macs[0].has_work
+
+    def test_bidirectional_traffic_both_delivered(self, sim):
+        bed = MacTestbed(sim, {0: (0, 0), 1: (200, 0)})
+        bed.send(0, 1)
+        bed.send(1, 0)
+        sim.run(until=2.0)
+        assert len(bed.listeners[1].delivered) == 1
+        assert len(bed.listeners[0].delivered) == 1
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all_neighbors(self, sim):
+        bed = MacTestbed(sim, {0: (0, 0), 1: (200, 0), 2: (-200, 0), 3: (600, 0)})
+        bed.send(0, BROADCAST, payload=64)
+        sim.run(until=1.0)
+        assert len(bed.listeners[1].delivered) == 1
+        assert len(bed.listeners[2].delivered) == 1
+        assert bed.listeners[3].delivered == []
+
+    def test_broadcast_has_no_rts_or_retries(self, sim):
+        bed = MacTestbed(sim, {0: (0, 0), 1: (200, 0)})
+        bed.send(0, BROADCAST, payload=64)
+        sim.run(until=1.0)
+        assert bed.macs[0].stats.rts_tx == 0
+        assert bed.macs[0].stats.broadcasts_sent == 1
+        assert bed.listeners[0].successes  # completion reported
+
+    def test_broadcast_to_empty_neighborhood_still_completes(self, sim):
+        bed = MacTestbed(sim, {0: (0, 0), 3: (900, 0)})
+        bed.send(0, BROADCAST, payload=64)
+        sim.run(until=1.0)
+        assert bed.listeners[0].successes
+
+
+class TestVirtualCarrierSense:
+    def test_overheard_rts_sets_nav(self, sim):
+        bed = MacTestbed(sim, {0: (0, 0), 1: (200, 0), 2: (400, 0)})
+        mac2 = bed.macs[2]
+        rts = make_rts(src=1, dst=0, nav=0.004)
+        mac2.on_frame_received(rts)
+        assert mac2.nav_remaining == pytest.approx(0.004)
+
+    def test_frame_addressed_to_node_does_not_set_nav(self, sim):
+        bed = MacTestbed(sim, {0: (0, 0), 1: (200, 0)})
+        mac1 = bed.macs[1]
+        rts = make_rts(src=0, dst=1, nav=0.004)
+        mac1.on_frame_received(rts)
+        assert mac1.nav_remaining == 0.0
+
+    def test_node_with_nav_does_not_answer_rts(self, sim):
+        bed = MacTestbed(sim, {0: (0, 0), 1: (200, 0)})
+        mac1 = bed.macs[1]
+        mac1.on_frame_received(make_rts(src=5, dst=9, nav=0.01))  # sets NAV
+        mac1.on_frame_received(make_rts(src=0, dst=1, nav=0.004))
+        sim.run(until=0.005)
+        assert mac1.stats.cts_tx == 0
+
+
+class TestHiddenTerminalChain:
+    def test_concurrent_senders_eventually_deliver(self, sim):
+        # Nodes 0->1 and 3->4: node 3 is hidden from node 0.  Collisions may
+        # force retries but both packets must eventually get through.
+        bed = MacTestbed(sim, {0: (0, 0), 1: (200, 0), 3: (600, 0), 4: (800, 0)})
+        bed.send(0, 1)
+        bed.send(3, 4)
+        sim.run(until=5.0)
+        assert len(bed.listeners[1].delivered) == 1
+        assert len(bed.listeners[4].delivered) == 1

@@ -1,0 +1,42 @@
+"""Tests for addressing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.address import FlowAddress, is_broadcast, validate_node_id
+from repro.net.headers import BROADCAST
+
+
+class TestFlowAddress:
+    def test_reversed_swaps_endpoints(self):
+        flow = FlowAddress(src_node=0, src_port=5001, dst_node=7, dst_port=6001)
+        reverse = flow.reversed()
+        assert reverse.src_node == 7 and reverse.src_port == 6001
+        assert reverse.dst_node == 0 and reverse.dst_port == 5001
+
+    def test_double_reverse_is_identity(self):
+        flow = FlowAddress(src_node=1, src_port=2, dst_node=3, dst_port=4)
+        assert flow.reversed().reversed() == flow
+
+    def test_str_format(self):
+        flow = FlowAddress(src_node=0, src_port=5001, dst_node=7, dst_port=6001)
+        assert str(flow) == "0:5001->7:6001"
+
+    def test_hashable(self):
+        flow = FlowAddress(src_node=0, src_port=1, dst_node=2, dst_port=3)
+        assert flow in {flow}
+
+
+class TestHelpers:
+    def test_is_broadcast(self):
+        assert is_broadcast(BROADCAST)
+        assert not is_broadcast(0)
+
+    def test_validate_node_id_accepts_valid(self):
+        assert validate_node_id(5) == 5
+        assert validate_node_id(BROADCAST) == BROADCAST
+
+    def test_validate_node_id_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_node_id(-5)

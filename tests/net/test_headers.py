@@ -1,0 +1,71 @@
+"""Tests for protocol header behaviour."""
+
+from __future__ import annotations
+
+from repro.net.headers import (
+    BROADCAST,
+    AodvHeader,
+    AodvMessageType,
+    IpHeader,
+    IpProtocol,
+    MacFrameType,
+    MacHeader,
+    TcpFlag,
+    TcpHeader,
+)
+
+
+class TestMacHeader:
+    def test_data_header_size(self):
+        header = MacHeader(frame_type=MacFrameType.DATA, src=0, dst=1)
+        assert header.size == MacHeader.SIZE_DATA
+
+    def test_control_sizes_match_80211(self):
+        assert MacHeader(frame_type=MacFrameType.RTS, src=0, dst=1).size == 20
+        assert MacHeader(frame_type=MacFrameType.CTS, src=0, dst=1).size == 14
+        assert MacHeader(frame_type=MacFrameType.ACK, src=0, dst=1).size == 14
+
+    def test_broadcast_detection(self):
+        header = MacHeader(frame_type=MacFrameType.DATA, src=0, dst=BROADCAST)
+        assert header.is_broadcast
+        assert not MacHeader(frame_type=MacFrameType.DATA, src=0, dst=3).is_broadcast
+
+
+class TestIpHeader:
+    def test_default_ttl(self):
+        header = IpHeader(src=0, dst=1, protocol=IpProtocol.TCP)
+        assert header.ttl == 64
+
+    def test_broadcast(self):
+        assert IpHeader(src=0, dst=BROADCAST, protocol=IpProtocol.AODV).is_broadcast
+
+    def test_size(self):
+        assert IpHeader(src=0, dst=1, protocol=IpProtocol.UDP).size == 20
+
+
+class TestTcpHeader:
+    def test_ack_flag_detection(self):
+        plain = TcpHeader(src_port=1, dst_port=2, seq=5)
+        ack = TcpHeader(src_port=1, dst_port=2, ack=6, flags=TcpFlag.ACK)
+        assert not plain.is_ack
+        assert ack.is_ack
+
+    def test_combined_flags(self):
+        header = TcpHeader(src_port=1, dst_port=2, flags=TcpFlag.SYN | TcpFlag.ACK)
+        assert header.is_ack
+
+    def test_default_window_is_advertised_maximum(self):
+        # Table 1: W_max = 64.
+        assert TcpHeader(src_port=1, dst_port=2).window == 64
+
+
+class TestAodvHeader:
+    def test_defaults(self):
+        header = AodvHeader(message_type=AodvMessageType.RREQ)
+        assert header.hop_count == 0
+        assert header.unreachable == []
+
+    def test_rerr_unreachable_list(self):
+        header = AodvHeader(message_type=AodvMessageType.RERR, unreachable=[(3, 1), (4, 2)])
+        assert len(header.unreachable) == 2
+        assert header.size == AodvHeader.SIZE

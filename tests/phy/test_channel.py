@@ -1,0 +1,103 @@
+"""Tests for the shared wireless channel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.net.interfaces import PhyListener
+from repro.net.packet import Packet
+from repro.phy.channel import WirelessChannel
+from repro.phy.propagation import Position
+from repro.phy.radio import Radio
+
+
+class CountingListener(PhyListener):
+    def __init__(self):
+        self.received = []
+
+    def on_frame_received(self, packet):
+        self.received.append(packet)
+
+    def on_carrier_busy(self):
+        pass
+
+    def on_carrier_idle(self):
+        pass
+
+
+def add_node(sim, channel, node_id, x, y):
+    radio = Radio(sim, node_id, channel)
+    channel.register(radio, Position(x, y))
+    radio.listener = CountingListener()
+    return radio
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self, sim, channel):
+        add_node(sim, channel, 0, 0, 0)
+        with pytest.raises(ConfigurationError):
+            add_node(sim, channel, 0, 100, 0)
+
+    def test_positions_and_distance(self, sim, channel):
+        add_node(sim, channel, 0, 0, 0)
+        add_node(sim, channel, 1, 200, 0)
+        assert channel.distance(0, 1) == pytest.approx(200.0)
+        assert channel.position_of(1).x == 200.0
+
+    def test_set_position_unknown_node(self, sim, channel):
+        with pytest.raises(ConfigurationError):
+            channel.set_position(9, Position(0, 0))
+
+    def test_neighbors_within_transmission_range(self, sim, channel):
+        add_node(sim, channel, 0, 0, 0)
+        add_node(sim, channel, 1, 200, 0)   # in range
+        add_node(sim, channel, 2, 400, 0)   # out of tx range
+        assert channel.neighbors_of(0) == [1]
+
+    def test_node_ids(self, sim, channel):
+        add_node(sim, channel, 0, 0, 0)
+        add_node(sim, channel, 3, 100, 0)
+        assert sorted(channel.node_ids) == [0, 3]
+
+
+class TestBroadcastDelivery:
+    def test_frame_reaches_only_nodes_in_tx_range(self, sim, channel):
+        sender = add_node(sim, channel, 0, 0, 0)
+        near = add_node(sim, channel, 1, 200, 0)
+        far = add_node(sim, channel, 2, 400, 0)      # interference-only
+        hidden = add_node(sim, channel, 3, 600, 0)   # completely out of range
+        sender.transmit(Packet(payload_size=10), duration=0.001)
+        sim.run()
+        assert len(near.listener.received) == 1
+        assert far.listener.received == []
+        assert hidden.listener.received == []
+        # The interference-range node still sensed energy.
+        assert far.stats.frames_below_threshold == 1
+
+    def test_sender_does_not_receive_own_frame(self, sim, channel):
+        sender = add_node(sim, channel, 0, 0, 0)
+        add_node(sim, channel, 1, 100, 0)
+        sender.transmit(Packet(), duration=0.001)
+        sim.run()
+        assert sender.listener.received == []
+
+    def test_receivers_get_independent_copies(self, sim, channel):
+        sender = add_node(sim, channel, 0, 0, 0)
+        a = add_node(sim, channel, 1, 200, 0)
+        b = add_node(sim, channel, 2, -200, 0)
+        original = Packet(payload_size=10)
+        sender.transmit(original, duration=0.001)
+        sim.run()
+        received_a = a.listener.received[0]
+        received_b = b.listener.received[0]
+        assert received_a is not received_b
+        assert received_a.uid == received_b.uid == original.uid
+
+    def test_channel_stats_counted(self, sim, channel):
+        sender = add_node(sim, channel, 0, 0, 0)
+        add_node(sim, channel, 1, 200, 0)
+        sender.transmit(Packet(payload_size=10), duration=0.001)
+        sim.run()
+        assert channel.stats.transmissions == 1
+        assert channel.stats.deliveries_attempted == 1

@@ -1,0 +1,89 @@
+"""Tests for the radio energy model and scenario energy aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.phy.energy import EnergyModel, EnergyReport, scenario_energy
+
+
+class TestEnergyModel:
+    def test_default_powers_ordered(self):
+        model = EnergyModel()
+        assert model.tx_power > model.rx_power > model.idle_power > 0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(tx_power=-1.0)
+
+    def test_idle_only_node(self):
+        model = EnergyModel(tx_power=2.0, rx_power=1.0, idle_power=0.5)
+        assert model.node_energy(elapsed=10.0, time_transmitting=0.0,
+                                 time_receiving=0.0) == pytest.approx(5.0)
+
+    def test_mixed_airtime(self):
+        model = EnergyModel(tx_power=2.0, rx_power=1.0, idle_power=0.5)
+        energy = model.node_energy(elapsed=10.0, time_transmitting=2.0, time_receiving=3.0)
+        assert energy == pytest.approx(2 * 2.0 + 3 * 1.0 + 5 * 0.5)
+
+    def test_zero_elapsed_is_zero(self):
+        assert EnergyModel().node_energy(0.0, 1.0, 1.0) == 0.0
+
+    def test_airtime_clamped_to_elapsed(self):
+        model = EnergyModel(tx_power=2.0, rx_power=1.0, idle_power=0.5)
+        # tx + rx exceed the elapsed time: no negative idle contribution.
+        energy = model.node_energy(elapsed=5.0, time_transmitting=4.0, time_receiving=4.0)
+        assert energy == pytest.approx(4 * 2.0 + 1 * 1.0)
+
+    def test_transmitting_costs_more_than_idling(self):
+        model = EnergyModel()
+        busy = model.node_energy(10.0, 5.0, 0.0)
+        idle = model.node_energy(10.0, 0.0, 0.0)
+        assert busy > idle
+
+
+class TestEnergyReport:
+    def test_joules_per_kilobyte(self):
+        report = EnergyReport(total_joules=50.0, transmit_joules=10.0,
+                              delivered_kilobytes=25.0)
+        assert report.joules_per_kilobyte == pytest.approx(2.0)
+        assert report.transmit_joules_per_kilobyte == pytest.approx(0.4)
+
+    def test_zero_delivery_guard(self):
+        report = EnergyReport(total_joules=50.0, transmit_joules=10.0,
+                              delivered_kilobytes=0.0)
+        assert report.joules_per_kilobyte == 0.0
+        assert report.transmit_joules_per_kilobyte == 0.0
+
+
+class TestScenarioEnergy:
+    def test_aggregates_over_radios(self):
+        model = EnergyModel(tx_power=2.0, rx_power=1.0, idle_power=0.5)
+        airtimes = [
+            {"time_transmitting": 1.0, "time_receiving": 2.0},
+            {"time_transmitting": 0.0, "time_receiving": 0.0},
+        ]
+        report = scenario_energy(model, elapsed=10.0, radio_airtimes=airtimes,
+                                 delivered_bytes=10_000)
+        expected_node0 = 1 * 2.0 + 2 * 1.0 + 7 * 0.5
+        expected_node1 = 10 * 0.5
+        assert report.total_joules == pytest.approx(expected_node0 + expected_node1)
+        assert report.transmit_joules == pytest.approx(2.0)
+        assert report.delivered_kilobytes == pytest.approx(10.0)
+
+    def test_scenario_result_carries_energy(self):
+        from repro.experiments.config import ScenarioConfig, TransportVariant
+        from repro.experiments.runner import run_scenario
+        from repro.topology.chain import chain_topology
+
+        result = run_scenario(
+            chain_topology(hops=2),
+            ScenarioConfig(variant=TransportVariant.VEGAS, packet_target=40,
+                           max_sim_time=30.0),
+        )
+        assert result.energy is not None
+        assert result.energy.total_joules > 0
+        assert result.energy.transmit_joules > 0
+        assert result.energy.joules_per_kilobyte > 0
+        # Transmit energy is a small fraction of total (radios mostly listen).
+        assert result.energy.transmit_joules < result.energy.total_joules

@@ -1,0 +1,89 @@
+"""Tests for the propagation model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.propagation import Position, RangePropagationModel
+
+
+class TestPosition:
+    def test_distance_pythagoras(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Position(10, 20), Position(-5, 7)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_distance_to_self_is_zero(self):
+        p = Position(2.5, 3.5)
+        assert p.distance_to(p) == 0.0
+
+
+class TestRangeModel:
+    def test_paper_defaults(self):
+        model = RangePropagationModel()
+        assert model.transmission_range == 250.0
+        assert model.interference_range == 550.0
+        assert model.capture_threshold == 10.0
+
+    def test_adjacent_chain_nodes_receivable(self):
+        model = RangePropagationModel()
+        assert model.can_receive(200.0)
+
+    def test_two_hop_neighbours_not_receivable_but_sensed(self):
+        model = RangePropagationModel()
+        assert not model.can_receive(400.0)
+        assert model.can_interfere(400.0)
+
+    def test_three_hop_neighbours_hidden(self):
+        # 600 m: outside both ranges — this is what makes node i+3 a hidden
+        # terminal for the i -> i+1 transmission in the chain.
+        model = RangePropagationModel()
+        assert not model.can_receive(600.0)
+        assert not model.can_interfere(600.0)
+
+    def test_classify(self):
+        model = RangePropagationModel()
+        assert model.classify(200.0) == (True, True)
+        assert model.classify(400.0) == (False, True)
+        assert model.classify(600.0) == (False, False)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            RangePropagationModel(transmission_range=0.0)
+        with pytest.raises(ValueError):
+            RangePropagationModel(transmission_range=300.0, interference_range=200.0)
+        with pytest.raises(ValueError):
+            RangePropagationModel(capture_threshold=0.5)
+
+    def test_propagation_delay_is_tiny(self):
+        model = RangePropagationModel()
+        assert model.propagation_delay(300.0) == pytest.approx(1e-6, rel=0.2)
+
+    def test_two_ray_power_ratio(self):
+        # Doubling the distance reduces power by 2^4 = 16 under two-ray ground.
+        model = RangePropagationModel()
+        ratio = model.relative_power(200.0) / model.relative_power(400.0)
+        assert ratio == pytest.approx(16.0)
+
+    def test_capture_survives_interference_from_double_distance(self):
+        # The 16x ratio exceeds the 10x capture threshold: a frame from an
+        # adjacent node survives interference from two hops away if it arrived
+        # first (ns-2 capture behaviour).
+        model = RangePropagationModel()
+        ratio = model.relative_power(200.0) / model.relative_power(400.0)
+        assert ratio >= model.capture_threshold
+
+    def test_equal_distance_interferers_collide(self):
+        model = RangePropagationModel()
+        ratio = model.relative_power(200.0) / model.relative_power(200.0)
+        assert ratio < model.capture_threshold
+
+    @given(st.floats(min_value=1.0, max_value=10_000.0),
+           st.floats(min_value=1.0, max_value=10_000.0))
+    def test_power_monotonically_decreasing(self, d1, d2):
+        model = RangePropagationModel()
+        nearer, farther = sorted((d1, d2))
+        assert model.relative_power(nearer) >= model.relative_power(farther)

@@ -1,0 +1,130 @@
+"""Tests for the radio reception/capture/collision state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.interfaces import PhyListener
+from repro.net.packet import Packet
+from repro.phy.channel import WirelessChannel
+from repro.phy.propagation import Position
+from repro.phy.radio import Radio
+
+
+class RecordingListener(PhyListener):
+    """Collects radio callbacks for assertions."""
+
+    def __init__(self):
+        self.received = []
+        self.busy_events = 0
+        self.idle_events = 0
+
+    def on_frame_received(self, packet):
+        self.received.append(packet)
+
+    def on_carrier_busy(self):
+        self.busy_events += 1
+
+    def on_carrier_idle(self):
+        self.idle_events += 1
+
+
+@pytest.fixture
+def radio(sim, channel):
+    radio = Radio(sim, node_id=0, channel=channel, capture_threshold=10.0)
+    channel.register(radio, Position(0, 0))
+    radio.listener = RecordingListener()
+    return radio
+
+
+class TestReception:
+    def test_clean_reception_delivered(self, sim, radio):
+        packet = Packet(payload_size=100)
+        radio.signal_start(packet, duration=0.001, receivable=True, power=1.0)
+        sim.run()
+        assert len(radio.listener.received) == 1
+        assert radio.stats.frames_received == 1
+
+    def test_weak_signal_not_delivered(self, sim, radio):
+        radio.signal_start(Packet(), duration=0.001, receivable=False, power=0.01)
+        sim.run()
+        assert radio.listener.received == []
+        assert radio.stats.frames_below_threshold == 1
+
+    def test_equal_power_overlap_collides(self, sim, radio):
+        radio.signal_start(Packet(), duration=0.002, receivable=True, power=1.0)
+        sim.schedule(0.0005, radio.signal_start, Packet(), 0.002, True, 1.0)
+        sim.run()
+        assert radio.listener.received == []
+        assert radio.stats.frames_corrupted >= 1
+
+    def test_capture_first_strong_frame_survives_weak_late_interferer(self, sim, radio):
+        strong = Packet(payload_size=10)
+        radio.signal_start(strong, duration=0.002, receivable=True, power=1.0)
+        # 16x weaker interferer arriving later is captured away.
+        sim.schedule(0.0005, radio.signal_start, Packet(), 0.001, False, 1.0 / 16.0)
+        sim.run()
+        assert [p.uid for p in radio.listener.received] == [strong.uid]
+        assert radio.stats.frames_captured == 1
+
+    def test_weak_first_frame_destroys_later_strong_frame(self, sim, radio):
+        # The ns-2 hidden-terminal mechanism: a weak frame locks the receiver,
+        # the later strong frame cannot be captured and both are lost.
+        radio.signal_start(Packet(), duration=0.002, receivable=False, power=1.0 / 16.0)
+        strong = Packet(payload_size=10)
+        sim.schedule(0.0005, radio.signal_start, strong, 0.002, True, 1.0)
+        sim.run()
+        assert radio.listener.received == []
+
+    def test_back_to_back_non_overlapping_frames_both_received(self, sim, radio):
+        radio.signal_start(Packet(), duration=0.001, receivable=True, power=1.0)
+        sim.schedule(0.002, radio.signal_start, Packet(), 0.001, True, 1.0)
+        sim.run()
+        assert len(radio.listener.received) == 2
+
+
+class TestHalfDuplex:
+    def test_reception_aborted_by_own_transmission(self, sim, radio):
+        radio.signal_start(Packet(), duration=0.003, receivable=True, power=1.0)
+        sim.schedule(0.001, radio.transmit, Packet(), 0.001)
+        sim.run()
+        assert radio.listener.received == []
+
+    def test_signal_arriving_during_transmission_lost(self, sim, radio):
+        radio.transmit(Packet(), duration=0.003)
+        sim.schedule(0.001, radio.signal_start, Packet(), 0.001, True, 1.0)
+        sim.run()
+        assert radio.listener.received == []
+
+    def test_is_transmitting_window(self, sim, radio):
+        radio.transmit(Packet(), duration=0.002)
+        assert radio.is_transmitting
+        sim.run()
+        assert not radio.is_transmitting
+
+    def test_transmit_stats(self, sim, radio):
+        radio.transmit(Packet(payload_size=50), duration=0.002)
+        sim.run()
+        assert radio.stats.frames_sent == 1
+        assert radio.stats.bytes_sent == 50
+        assert radio.stats.time_transmitting == pytest.approx(0.002)
+
+
+class TestCarrierSense:
+    def test_carrier_busy_during_signal(self, sim, radio):
+        radio.signal_start(Packet(), duration=0.002, receivable=False, power=0.1)
+        assert radio.carrier_busy
+        sim.run()
+        assert not radio.carrier_busy
+
+    def test_carrier_busy_while_transmitting(self, sim, radio):
+        radio.transmit(Packet(), duration=0.001)
+        assert radio.carrier_busy
+        sim.run()
+        assert not radio.carrier_busy
+
+    def test_busy_idle_callbacks_fire(self, sim, radio):
+        radio.signal_start(Packet(), duration=0.001, receivable=True, power=1.0)
+        sim.run()
+        assert radio.listener.busy_events >= 1
+        assert radio.listener.idle_events >= 1

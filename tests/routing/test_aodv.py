@@ -1,0 +1,161 @@
+"""Tests for AODV route discovery, data delivery and failure handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.randomness import RandomManager
+from repro.mac.timing import timing_for_bandwidth
+from repro.net.headers import IpHeader, IpProtocol, UdpHeader
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.phy.channel import WirelessChannel
+from repro.routing.aodv import AodvConfig, AodvRouting
+from repro.topology.chain import chain_topology
+
+
+def build_aodv_chain(sim, hops, bandwidth=2.0, aodv_config=None):
+    topology = chain_topology(hops=hops)
+    channel = WirelessChannel(sim)
+    randomness = RandomManager(seed=17)
+    timing = timing_for_bandwidth(bandwidth)
+    nodes = {}
+    for node_id in topology.node_ids:
+        nodes[node_id] = Node(
+            sim=sim, node_id=node_id, position=topology.positions[node_id],
+            channel=channel, timing=timing, randomness=randomness,
+            routing="aodv", aodv_config=aodv_config,
+        )
+    return nodes
+
+
+def make_udp_packet(src, dst, seq=0):
+    return Packet(
+        payload_size=100,
+        ip=IpHeader(src=src, dst=dst, protocol=IpProtocol.UDP),
+        udp=UdpHeader(src_port=1, dst_port=9, seq=seq),
+    )
+
+
+class RecordingAgent:
+    def __init__(self, node_id, port=9):
+        self.local_node = node_id
+        self.local_port = port
+        self.received = []
+
+    def attach(self, send_callback):
+        self.send_callback = send_callback
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+class TestRouteDiscovery:
+    def test_single_hop_discovery_and_delivery(self, sim):
+        nodes = build_aodv_chain(sim, hops=1)
+        agent = RecordingAgent(1)
+        nodes[1].register_agent(agent)
+        nodes[0].send_from_transport(make_udp_packet(0, 1))
+        sim.run(until=2.0)
+        assert len(agent.received) == 1
+        assert nodes[0].routing.has_route(1)
+
+    def test_multihop_discovery_builds_forward_and_reverse_routes(self, sim):
+        nodes = build_aodv_chain(sim, hops=4)
+        agent = RecordingAgent(4)
+        nodes[4].register_agent(agent)
+        nodes[0].send_from_transport(make_udp_packet(0, 4))
+        sim.run(until=5.0)
+        assert len(agent.received) == 1
+        # Forward routes at the source and every intermediate node.
+        assert nodes[0].routing.has_route(4)
+        assert nodes[1].routing.has_route(4)
+        # Reverse route back to the originator at the destination.
+        assert nodes[4].routing.has_route(0)
+
+    def test_buffered_packets_flushed_after_discovery(self, sim):
+        nodes = build_aodv_chain(sim, hops=3)
+        agent = RecordingAgent(3)
+        nodes[3].register_agent(agent)
+        for seq in range(4):
+            nodes[0].send_from_transport(make_udp_packet(0, 3, seq=seq))
+        sim.run(until=5.0)
+        assert len(agent.received) == 4
+
+    def test_duplicate_rreqs_suppressed(self, sim):
+        nodes = build_aodv_chain(sim, hops=3)
+        agent = RecordingAgent(3)
+        nodes[3].register_agent(agent)
+        nodes[0].send_from_transport(make_udp_packet(0, 3))
+        sim.run(until=5.0)
+        # Each intermediate node rebroadcasts a given RREQ at most once, so the
+        # total number of broadcasts stays small (originator + forwards + RERR-free).
+        total_broadcasts = sum(n.mac.stats.broadcasts_sent for n in nodes.values())
+        assert total_broadcasts <= 2 * (len(nodes) + 1)
+
+    def test_unreachable_destination_gives_up_after_retries(self, sim):
+        config = AodvConfig(rreq_retries=1, rreq_wait_time=0.2)
+        nodes = build_aodv_chain(sim, hops=2, aodv_config=config)
+        nodes[0].send_from_transport(make_udp_packet(0, 99))
+        sim.run(until=10.0)
+        assert not nodes[0].routing.has_route(99)
+        assert nodes[0].routing.stats.packets_dropped_no_route >= 1
+        assert 99 not in nodes[0].routing._discoveries
+
+    def test_second_transfer_reuses_cached_route(self, sim):
+        nodes = build_aodv_chain(sim, hops=2)
+        agent = RecordingAgent(2)
+        nodes[2].register_agent(agent)
+        nodes[0].send_from_transport(make_udp_packet(0, 2, seq=0))
+        sim.run(until=3.0)
+        control_before = nodes[0].routing.stats.control_packets_sent
+        nodes[0].send_from_transport(make_udp_packet(0, 2, seq=1))
+        sim.run(until=6.0)
+        assert len(agent.received) == 2
+        assert nodes[0].routing.stats.control_packets_sent == control_before
+
+
+class TestLinkFailureHandling:
+    def test_mac_failure_counts_false_route_failure(self, sim):
+        nodes = build_aodv_chain(sim, hops=1)
+        routing = nodes[0].routing
+        assert isinstance(routing, AodvRouting)
+        # Install a route towards a phantom neighbour and send to it.
+        from repro.routing.table import RouteEntry
+        routing.table.upsert(RouteEntry(destination=5, next_hop=55, hop_count=1,
+                                        expiry_time=1e9))
+        nodes[0].send_from_transport(make_udp_packet(0, 5))
+        sim.run(until=5.0)
+        assert routing.stats.false_route_failures == 1
+        assert routing.stats.packets_dropped_link_failure == 1
+        assert not routing.has_route(5)
+
+    def test_rerr_invalidates_downstream_routes(self, sim):
+        nodes = build_aodv_chain(sim, hops=2)
+        agent = RecordingAgent(2)
+        nodes[2].register_agent(agent)
+        nodes[0].send_from_transport(make_udp_packet(0, 2))
+        sim.run(until=3.0)
+        assert nodes[0].routing.has_route(2)
+        # Simulate node 1 reporting a broken link towards node 2: after the
+        # RERR propagates, node 0's route through node 1 must be gone.
+        victim = nodes[1].routing
+        packet = make_udp_packet(1, 2)
+        from repro.mac.frames import attach_data_header
+        attach_data_header(packet, src=1, dst=2, nav=0.0, retry=False)
+        packet.mac = packet.mac  # keep header; failure callback expects IP packet
+        victim.on_mac_send_failure(packet, next_hop=2)
+        sim.run(until=6.0)
+        assert not nodes[1].routing.has_route(2)
+        assert not nodes[0].routing.has_route(2)
+
+    def test_sequence_number_increases_with_discoveries(self, sim):
+        config = AodvConfig(rreq_retries=0, rreq_wait_time=0.2)
+        nodes = build_aodv_chain(sim, hops=1, aodv_config=config)
+        routing = nodes[0].routing
+        nodes[0].send_from_transport(make_udp_packet(0, 42))
+        sim.run(until=2.0)
+        first = routing.sequence_number
+        nodes[0].send_from_transport(make_udp_packet(0, 43))
+        sim.run(until=4.0)
+        assert routing.sequence_number > first

@@ -1,0 +1,108 @@
+"""Tests for static shortest-path routing (uses a real MAC/PHY underneath)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.randomness import RandomManager
+from repro.mac.timing import timing_for_bandwidth
+from repro.net.headers import IpHeader, IpProtocol, UdpHeader
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.phy.channel import WirelessChannel
+from repro.phy.propagation import Position
+from repro.topology.base import all_next_hop_tables
+from repro.topology.chain import chain_topology
+
+
+def build_static_chain(sim, hops):
+    """Chain of nodes with static routing and a payload recorder on each node."""
+    topology = chain_topology(hops=hops)
+    channel = WirelessChannel(sim)
+    randomness = RandomManager(seed=5)
+    timing = timing_for_bandwidth(2.0)
+    nodes = {}
+    for node_id in topology.node_ids:
+        nodes[node_id] = Node(
+            sim=sim, node_id=node_id, position=topology.positions[node_id],
+            channel=channel, timing=timing, randomness=randomness, routing="static",
+        )
+    tables = all_next_hop_tables(topology.connectivity_graph())
+    for node_id, node in nodes.items():
+        for destination, next_hop in tables[node_id].items():
+            node.routing.set_next_hop(destination, next_hop)
+    return nodes
+
+
+def make_udp_packet(src, dst, seq=0):
+    return Packet(
+        payload_size=100,
+        ip=IpHeader(src=src, dst=dst, protocol=IpProtocol.UDP),
+        udp=UdpHeader(src_port=1, dst_port=9, seq=seq),
+    )
+
+
+class RecordingAgent:
+    """Minimal transport agent capturing delivered packets."""
+
+    def __init__(self, node_id, port=9):
+        self.local_node = node_id
+        self.local_port = port
+        self.received = []
+
+    def attach(self, send_callback):
+        self.send_callback = send_callback
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+class TestStaticRouting:
+    def test_single_hop_delivery(self, sim):
+        nodes = build_static_chain(sim, hops=1)
+        agent = RecordingAgent(1)
+        nodes[1].register_agent(agent)
+        nodes[0].send_from_transport(make_udp_packet(0, 1))
+        sim.run(until=1.0)
+        assert len(agent.received) == 1
+
+    def test_multihop_forwarding(self, sim):
+        nodes = build_static_chain(sim, hops=3)
+        agent = RecordingAgent(3)
+        nodes[3].register_agent(agent)
+        nodes[0].send_from_transport(make_udp_packet(0, 3))
+        sim.run(until=2.0)
+        assert len(agent.received) == 1
+        # Intermediate nodes forwarded exactly one packet each.
+        assert nodes[1].routing.stats.packets_forwarded == 1
+        assert nodes[2].routing.stats.packets_forwarded == 1
+
+    def test_unreachable_destination_dropped(self, sim):
+        nodes = build_static_chain(sim, hops=2)
+        nodes[0].send_from_transport(make_udp_packet(0, 99))
+        sim.run(until=1.0)
+        assert nodes[0].routing.stats.packets_dropped_no_route == 1
+
+    def test_next_hop_lookup_api(self, sim):
+        nodes = build_static_chain(sim, hops=3)
+        assert nodes[0].routing.next_hop_for(3) == 1
+        assert nodes[0].routing.next_hop_for(42) == -1
+
+    def test_multiple_packets_all_delivered(self, sim):
+        nodes = build_static_chain(sim, hops=2)
+        agent = RecordingAgent(2)
+        nodes[2].register_agent(agent)
+        for seq in range(5):
+            nodes[0].send_from_transport(make_udp_packet(0, 2, seq=seq))
+        sim.run(until=3.0)
+        assert len(agent.received) == 5
+        assert [p.udp.seq for p in agent.received] == list(range(5))
+
+    def test_link_failure_counted_without_repair(self, sim):
+        nodes = build_static_chain(sim, hops=1)
+        # Point node 0's route at a node that does not exist on the channel.
+        nodes[0].routing.set_next_hop(5, 77)
+        nodes[0].send_from_transport(make_udp_packet(0, 5))
+        sim.run(until=3.0)
+        assert nodes[0].routing.stats.link_failures == 1
+        assert nodes[0].routing.stats.packets_dropped_link_failure == 1

@@ -1,0 +1,158 @@
+"""Tests for TCP NewReno congestion control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.net.headers import TcpFlag, TcpHeader, IpHeader, IpProtocol
+from repro.transport.tcp_base import TcpConfig
+from tests.helpers import DEFAULT_FLOW, build_newreno_pair, make_flow_stats
+from repro.transport.newreno import NewRenoSender
+
+
+def make_ack(ack, echo=0.0):
+    return Packet(
+        payload_size=0,
+        ip=IpHeader(src=1, dst=0, protocol=IpProtocol.TCP),
+        tcp=TcpHeader(src_port=6001, dst_port=5001, ack=ack, flags=TcpFlag.ACK,
+                      echo_timestamp=echo),
+    )
+
+
+class TestSlowStartAndCongestionAvoidance:
+    def test_slow_start_grows_one_per_ack(self, sim):
+        sender = NewRenoSender(sim, DEFAULT_FLOW, make_flow_stats())
+        sender.attach(lambda packet: None)
+        sender.start()
+        initial = sender.cwnd
+        sender.snd_nxt = 10
+        sender.receive(make_ack(1))
+        assert sender.cwnd == pytest.approx(initial + 1)
+
+    def test_congestion_avoidance_grows_by_one_per_rtt(self, sim):
+        sender = NewRenoSender(sim, DEFAULT_FLOW, make_flow_stats())
+        sender.attach(lambda packet: None)
+        sender.start()
+        sender.ssthresh = 4.0
+        sender.set_cwnd(8.0)
+        sender.snd_nxt = 100
+        before = sender.cwnd
+        for ack in range(1, 9):
+            sender.receive(make_ack(ack))
+        # Eight ACKs at cwnd≈8 should add roughly one segment in total.
+        assert sender.cwnd == pytest.approx(before + 1.0, abs=0.1)
+
+    def test_window_growth_driven_by_ack_count_not_bytes(self, sim):
+        # One cumulative ACK covering 4 segments still grows cwnd by 1 during
+        # slow start — the mechanism that makes ACK thinning shrink NewReno's
+        # window.
+        sender = NewRenoSender(sim, DEFAULT_FLOW, make_flow_stats())
+        sender.attach(lambda packet: None)
+        sender.start()
+        sender.snd_nxt = 10
+        before = sender.cwnd
+        sender.receive(make_ack(4))
+        assert sender.cwnd == pytest.approx(before + 1)
+
+    def test_max_cwnd_clamp_for_optimal_window_variant(self, sim):
+        sender = NewRenoSender(sim, DEFAULT_FLOW, make_flow_stats(), max_cwnd=3.0)
+        sender.attach(lambda packet: None)
+        sender.start()
+        sender.snd_nxt = 50
+        for ack in range(1, 30):
+            sender.receive(make_ack(ack))
+        assert sender.cwnd <= 3.0
+
+
+class TestFastRetransmitRecovery:
+    def test_three_dupacks_trigger_fast_retransmit(self, sim):
+        sent = []
+        sender = NewRenoSender(sim, DEFAULT_FLOW, make_flow_stats())
+        sender.attach(sent.append)
+        sender.start()
+        sender.set_cwnd(8.0)
+        sender.send_available()
+        sent.clear()
+        for _ in range(3):
+            sender.receive(make_ack(0))
+        assert sender.in_fast_recovery
+        assert any(p.tcp.seq == 0 for p in sent)  # retransmission of snd_una
+
+    def test_ssthresh_halved_on_fast_retransmit(self, sim):
+        sender = NewRenoSender(sim, DEFAULT_FLOW, make_flow_stats())
+        sender.attach(lambda packet: None)
+        sender.start()
+        sender.set_cwnd(10.0)
+        sender.send_available()
+        for _ in range(3):
+            sender.receive(make_ack(0))
+        assert sender.ssthresh == pytest.approx(5.0)
+
+    def test_full_ack_exits_recovery_and_deflates(self, sim):
+        sender = NewRenoSender(sim, DEFAULT_FLOW, make_flow_stats())
+        sender.attach(lambda packet: None)
+        sender.start()
+        sender.set_cwnd(10.0)
+        sender.send_available()
+        recover_point = sender.snd_nxt
+        for _ in range(3):
+            sender.receive(make_ack(0))
+        assert sender.in_fast_recovery
+        sender.receive(make_ack(recover_point))
+        assert not sender.in_fast_recovery
+        assert sender.cwnd == pytest.approx(sender.ssthresh)
+
+    def test_partial_ack_stays_in_recovery_and_retransmits(self, sim):
+        sent = []
+        sender = NewRenoSender(sim, DEFAULT_FLOW, make_flow_stats())
+        sender.attach(sent.append)
+        sender.start()
+        sender.set_cwnd(10.0)
+        sender.send_available()
+        for _ in range(3):
+            sender.receive(make_ack(0))
+        sent.clear()
+        sender.receive(make_ack(3))  # partial: recovery point is snd_nxt - 1
+        assert sender.in_fast_recovery
+        assert any(p.tcp.seq == 3 for p in sent)
+
+    def test_dupacks_inflate_window_during_recovery(self, sim):
+        sender = NewRenoSender(sim, DEFAULT_FLOW, make_flow_stats())
+        sender.attach(lambda packet: None)
+        sender.start()
+        sender.set_cwnd(10.0)
+        sender.send_available()
+        for _ in range(3):
+            sender.receive(make_ack(0))
+        inflated = sender.cwnd
+        sender.receive(make_ack(0))
+        assert sender.cwnd == pytest.approx(inflated + 1)
+
+
+class TestTimeoutBehaviour:
+    def test_timeout_resets_to_slow_start(self, sim):
+        sender, sink, stats, net = build_newreno_pair(sim, data_limit=20,
+                                                      drop_data_seqs=[0])
+        sender.start()
+        sim.run(until=30.0)
+        assert stats.timeouts >= 1
+        assert sink.delivered_packets == 20
+
+    def test_timeout_halves_ssthresh_and_sets_cwnd_one(self, sim):
+        sender = NewRenoSender(sim, DEFAULT_FLOW, make_flow_stats())
+        sender.attach(lambda packet: None)
+        sender.start()
+        sender.set_cwnd(12.0)
+        sender.on_timeout()
+        assert sender.ssthresh == pytest.approx(6.0)
+        assert sender.cwnd == 1.0
+
+    def test_end_to_end_goodput_with_losses(self, sim):
+        sender, sink, stats, net = build_newreno_pair(
+            sim, data_limit=60, drop_data_seqs=[4, 17, 33]
+        )
+        sender.start()
+        sim.run(until=60.0)
+        assert sink.delivered_packets == 60
+        assert stats.retransmissions >= 3

@@ -1,0 +1,78 @@
+"""Tests for the RTT estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport.rtt import RttEstimator
+
+
+class TestRttEstimator:
+    def test_initial_timeout_before_samples(self):
+        estimator = RttEstimator(initial_rto=3.0)
+        assert estimator.timeout() == pytest.approx(3.0)
+
+    def test_first_sample_initializes_srtt(self):
+        estimator = RttEstimator()
+        estimator.update(0.2)
+        assert estimator.srtt == pytest.approx(0.2)
+        assert estimator.rttvar == pytest.approx(0.1)
+
+    def test_smoothing_converges_to_constant_rtt(self):
+        estimator = RttEstimator()
+        for _ in range(100):
+            estimator.update(0.05)
+        assert estimator.srtt == pytest.approx(0.05, rel=1e-3)
+        assert estimator.rttvar == pytest.approx(0.0, abs=1e-3)
+
+    def test_timeout_respects_minimum(self):
+        estimator = RttEstimator(min_rto=0.2)
+        for _ in range(50):
+            estimator.update(0.001)
+        assert estimator.timeout() == pytest.approx(0.2)
+
+    def test_timeout_respects_maximum(self):
+        estimator = RttEstimator(max_rto=60.0)
+        estimator.update(50.0)
+        estimator.apply_backoff()
+        estimator.apply_backoff()
+        assert estimator.timeout() == pytest.approx(60.0)
+
+    def test_backoff_doubles_and_resets(self):
+        estimator = RttEstimator()
+        estimator.update(1.0)
+        base = estimator.timeout()
+        estimator.apply_backoff()
+        assert estimator.timeout() == pytest.approx(min(2 * base, estimator.max_rto))
+        estimator.reset_backoff()
+        assert estimator.timeout() == pytest.approx(base)
+
+    def test_new_sample_clears_backoff(self):
+        estimator = RttEstimator()
+        estimator.update(1.0)
+        estimator.apply_backoff()
+        estimator.update(1.0)
+        assert estimator.backoff == 1
+
+    def test_min_and_last_rtt_tracked(self):
+        estimator = RttEstimator()
+        estimator.update(0.4)
+        estimator.update(0.2)
+        estimator.update(0.6)
+        assert estimator.min_rtt == pytest.approx(0.2)
+        assert estimator.last_rtt == pytest.approx(0.6)
+
+    def test_nonpositive_samples_ignored(self):
+        estimator = RttEstimator()
+        estimator.update(0.0)
+        estimator.update(-1.0)
+        assert estimator.samples == 0
+        assert estimator.srtt is None
+
+    def test_variance_grows_with_jitter(self):
+        steady = RttEstimator()
+        jittery = RttEstimator()
+        for i in range(50):
+            steady.update(0.1)
+            jittery.update(0.05 if i % 2 == 0 else 0.25)
+        assert jittery.timeout() > steady.timeout()

@@ -1,0 +1,169 @@
+"""Tests for TCP sinks: cumulative ACKs, reordering, dynamic ACK thinning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.headers import IpHeader, IpProtocol, TcpHeader
+from repro.net.packet import Packet
+from repro.transport.ack_thinning import AckThinningPolicy
+from repro.transport.sink import AckThinningSink, TcpSink
+from tests.helpers import DEFAULT_FLOW, make_flow_stats
+
+
+def data_packet(seq, timestamp=0.0, mss=1460):
+    return Packet(
+        payload_size=mss,
+        ip=IpHeader(src=0, dst=1, protocol=IpProtocol.TCP),
+        tcp=TcpHeader(src_port=5001, dst_port=6001, seq=seq, timestamp=timestamp),
+    )
+
+
+def make_sink(sim, thinning=False, policy=None):
+    acks = []
+    cls = AckThinningSink if thinning else TcpSink
+    kwargs = {"policy": policy} if thinning and policy is not None else {}
+    sink = cls(sim, DEFAULT_FLOW, make_flow_stats(), **kwargs)
+    sink.attach(acks.append)
+    return sink, acks
+
+
+class TestStandardSink:
+    def test_in_order_delivery_advances_ack(self, sim):
+        sink, acks = make_sink(sim)
+        for seq in range(3):
+            sink.receive(data_packet(seq))
+        assert sink.next_expected == 3
+        assert [a.tcp.ack for a in acks] == [1, 2, 3]
+
+    def test_every_packet_acknowledged(self, sim):
+        sink, acks = make_sink(sim)
+        for seq in range(5):
+            sink.receive(data_packet(seq))
+        assert len(acks) == 5
+
+    def test_out_of_order_generates_duplicate_acks(self, sim):
+        sink, acks = make_sink(sim)
+        sink.receive(data_packet(0))
+        sink.receive(data_packet(2))
+        sink.receive(data_packet(3))
+        assert [a.tcp.ack for a in acks] == [1, 1, 1]
+
+    def test_gap_fill_acknowledges_cumulatively(self, sim):
+        sink, acks = make_sink(sim)
+        sink.receive(data_packet(0))
+        sink.receive(data_packet(2))
+        sink.receive(data_packet(1))
+        assert acks[-1].tcp.ack == 3
+        assert sink.delivered_packets == 3
+
+    def test_duplicate_data_does_not_double_count_goodput(self, sim):
+        sink, acks = make_sink(sim)
+        sink.receive(data_packet(0))
+        sink.receive(data_packet(0))
+        assert sink.stats.packets_delivered == 1
+        assert sink.stats.bytes_delivered == 1460
+
+    def test_ack_echoes_sender_timestamp(self, sim):
+        sink, acks = make_sink(sim)
+        sink.receive(data_packet(0, timestamp=1.25))
+        assert acks[0].tcp.echo_timestamp == pytest.approx(1.25)
+
+    def test_ack_addressed_back_to_sender(self, sim):
+        sink, acks = make_sink(sim)
+        sink.receive(data_packet(0))
+        ack = acks[0]
+        assert ack.ip.src == DEFAULT_FLOW.dst_node
+        assert ack.ip.dst == DEFAULT_FLOW.src_node
+        assert ack.tcp.dst_port == DEFAULT_FLOW.src_port
+
+    def test_goodput_recorded_per_delivered_packet(self, sim):
+        sink, acks = make_sink(sim)
+        for seq in range(4):
+            sink.receive(data_packet(seq))
+        assert sink.stats.bytes_delivered == 4 * 1460
+
+
+class TestAckThinningPolicy:
+    def test_degree_thresholds_from_paper(self):
+        policy = AckThinningPolicy()
+        assert policy.degree(0) == 1
+        assert policy.degree(2) == 1
+        assert policy.degree(3) == 2
+        assert policy.degree(4) == 2
+        assert policy.degree(5) == 3
+        assert policy.degree(8) == 3
+        assert policy.degree(9) == 4
+        assert policy.degree(1000) == 4
+
+    def test_degree_never_exceeds_four(self):
+        policy = AckThinningPolicy()
+        assert max(policy.degree(n) for n in range(200)) == 4
+
+    def test_degree_monotonically_nondecreasing(self):
+        policy = AckThinningPolicy()
+        degrees = [policy.degree(n) for n in range(50)]
+        assert degrees == sorted(degrees)
+
+
+class TestAckThinningSink:
+    def test_early_packets_acked_individually(self, sim):
+        sink, acks = make_sink(sim, thinning=True)
+        sink.receive(data_packet(0))
+        sink.receive(data_packet(1))
+        assert len(acks) == 2  # d = 1 below S1
+
+    def test_steady_state_acks_every_fourth_packet(self, sim):
+        sink, acks = make_sink(sim, thinning=True)
+        for seq in range(20):
+            sink.receive(data_packet(seq))
+        # Once n >= 9 only every 4th packet triggers an ACK; far fewer ACKs
+        # than packets overall.
+        assert len(acks) < 20
+        assert acks[-1].tcp.ack == 20 or len(acks) >= 5
+
+    def test_ack_count_reduced_versus_standard_sink(self, sim):
+        thin_sink, thin_acks = make_sink(sim, thinning=True)
+        std_sink, std_acks = make_sink(sim)
+        for seq in range(40):
+            thin_sink.receive(data_packet(seq))
+            std_sink.receive(data_packet(seq))
+        assert len(thin_acks) < len(std_acks)
+        assert len(thin_acks) <= 40 // 3
+
+    def test_delayed_ack_timer_fires_after_100ms(self, sim):
+        sink, acks = make_sink(sim, thinning=True)
+        for seq in range(12):
+            sink.receive(data_packet(seq))
+        acks_before = len(acks)
+        # One more packet: below the thinning degree, so no immediate ACK...
+        sink.receive(data_packet(12))
+        assert len(acks) == acks_before
+        # ...but the 100 ms timer releases it.
+        sim.run(until=sim.now + 0.2)
+        assert len(acks) == acks_before + 1
+        assert acks[-1].tcp.ack == 13
+
+    def test_out_of_order_packet_acked_immediately(self, sim):
+        sink, acks = make_sink(sim, thinning=True)
+        for seq in range(12):
+            sink.receive(data_packet(seq))
+        acks_before = len(acks)
+        sink.receive(data_packet(20))  # gap -> immediate duplicate ACK
+        assert len(acks) == acks_before + 1
+
+    def test_custom_policy_thresholds(self, sim):
+        policy = AckThinningPolicy(s1=1, s2=2, s3=3, max_delay=0.05)
+        sink, acks = make_sink(sim, thinning=True, policy=policy)
+        assert sink.current_degree == 1
+        for seq in range(10):
+            sink.receive(data_packet(seq))
+        assert sink.current_degree == 4
+
+    def test_goodput_accounting_identical_to_standard_sink(self, sim):
+        thin_sink, _ = make_sink(sim, thinning=True)
+        std_sink, _ = make_sink(sim)
+        for seq in range(25):
+            thin_sink.receive(data_packet(seq))
+            std_sink.receive(data_packet(seq))
+        assert thin_sink.stats.bytes_delivered == std_sink.stats.bytes_delivered
