@@ -2,9 +2,15 @@
 
 Every benchmark regenerates one of the paper's tables or figures.  Several
 figures share the same underlying simulation sweep (e.g. Figures 6-9 all come
-from the protocol-comparison-vs-hops study), so the sweeps are cached here with
-``functools.lru_cache``: within one ``pytest benchmarks/`` session each sweep
-runs exactly once no matter how many figures read from it.
+from the protocol-comparison-vs-hops study), so the sweeps run through a
+shared :class:`repro.experiments.study.StudyRunner` whose JSON result cache
+(keyed by a hash of the full scenario configuration, topology and seed) makes
+each scenario run exactly once — within a ``pytest benchmarks/`` session, and
+across sessions as long as the configuration and code version are unchanged.
+The cache directory defaults to ``benchmarks/.study-cache`` and can be moved
+with ``REPRO_STUDY_CACHE`` (set it to an empty string to disable caching).
+On multi-core machines the runner additionally fans uncached sweep points out
+over a process pool.
 
 Scale: the paper simulates 110 000 delivered packets per data point on ns-2;
 this pure-Python harness uses the scaled-down run lengths below so the whole
@@ -18,7 +24,9 @@ which expose the run length on the command line).
 from __future__ import annotations
 
 import functools
-from typing import Dict, Tuple
+import os
+from pathlib import Path
+from typing import Dict, Optional
 
 from repro.experiments.bandwidth_experiments import seven_hop_bandwidth_comparison
 from repro.experiments.chain_experiments import (
@@ -32,6 +40,7 @@ from repro.experiments.config import ScenarioConfig, TransportVariant
 from repro.experiments.grid_experiments import grid_study
 from repro.experiments.random_experiments import build_random_topology, random_topology_study
 from repro.experiments.results import ScenarioResult, format_table
+from repro.experiments.study import StudyRunner
 
 # ----------------------------------------------------------------------
 # Bench-scale knobs (the paper-scale values are given in the comments).
@@ -51,6 +60,19 @@ RANDOM_FLOW_COUNT = 6
 RANDOM_SEED = 7
 #: Master seed for every benchmark scenario.
 BENCH_SEED = 3
+
+
+def _cache_dir() -> Optional[Path]:
+    """Benchmark result cache location; None disables the disk cache."""
+    configured = os.environ.get("REPRO_STUDY_CACHE")
+    if configured is not None:
+        return Path(configured) if configured else None
+    return Path(__file__).resolve().parent / ".study-cache"
+
+
+#: One runner shared by every benchmark: JSON disk cache plus (on multi-core
+#: machines) process-pool fan-out of uncached sweep points.
+STUDY_RUNNER = StudyRunner(cache_dir=_cache_dir())
 
 
 def chain_base_config(**overrides) -> ScenarioConfig:
@@ -77,30 +99,38 @@ def multiflow_base_config(**overrides) -> ScenarioConfig:
 
 
 # ----------------------------------------------------------------------
-# Cached sweeps shared between figures
+# Cached sweeps shared between figures.  Two layers: an in-process memo
+# (repeat calls within one pytest session are free) on top of the runner's
+# JSON disk cache (a warm cache survives across sessions and processes).
 # ----------------------------------------------------------------------
 @functools.lru_cache(maxsize=None)
 def cached_vegas_alpha_study():
     """Figures 2 and 3: Vegas α sweep over the 2 Mbit/s chain."""
-    return vegas_alpha_study(chain_base_config(), hop_counts=BENCH_HOP_COUNTS)
+    return vegas_alpha_study(chain_base_config(), hop_counts=BENCH_HOP_COUNTS,
+                             runner=STUDY_RUNNER)
 
 
 @functools.lru_cache(maxsize=None)
 def cached_vegas_alpha_bandwidth_study():
     """Figure 4: Vegas α sweep over bandwidths on the 7-hop chain."""
-    return vegas_alpha_bandwidth_study(chain_base_config(), bandwidths=BENCH_BANDWIDTHS)
+    return vegas_alpha_bandwidth_study(chain_base_config(),
+                                       bandwidths=BENCH_BANDWIDTHS,
+                                       runner=STUDY_RUNNER)
 
 
 @functools.lru_cache(maxsize=None)
 def cached_vegas_thinning_study():
     """Figure 5: Vegas with and without ACK thinning on the chain."""
-    return vegas_thinning_study(chain_base_config(), hop_counts=BENCH_HOP_COUNTS)
+    return vegas_thinning_study(chain_base_config(), hop_counts=BENCH_HOP_COUNTS,
+                                runner=STUDY_RUNNER)
 
 
 @functools.lru_cache(maxsize=None)
 def cached_chain_comparison():
     """Figures 6-9: protocol comparison vs. hop count at 2 Mbit/s."""
-    return protocol_comparison_vs_hops(chain_base_config(), hop_counts=BENCH_HOP_COUNTS)
+    return protocol_comparison_vs_hops(chain_base_config(),
+                                       hop_counts=BENCH_HOP_COUNTS,
+                                       runner=STUDY_RUNNER)
 
 
 @functools.lru_cache(maxsize=None)
@@ -109,19 +139,23 @@ def cached_paced_udp_sweep():
     from repro.experiments.chain_experiments import default_sweep_intervals
 
     intervals = tuple(default_sweep_intervals(2.0, points=7, spread=0.4))
-    return paced_udp_rate_sweep(chain_base_config(), intervals, hops=7)
+    return paced_udp_rate_sweep(chain_base_config(), intervals, hops=7,
+                                runner=STUDY_RUNNER)
 
 
 @functools.lru_cache(maxsize=None)
 def cached_bandwidth_comparison():
     """Figures 11-14: all variants on the 7-hop chain across bandwidths."""
-    return seven_hop_bandwidth_comparison(chain_base_config(), bandwidths=BENCH_BANDWIDTHS)
+    return seven_hop_bandwidth_comparison(chain_base_config(),
+                                          bandwidths=BENCH_BANDWIDTHS,
+                                          runner=STUDY_RUNNER)
 
 
 @functools.lru_cache(maxsize=None)
 def cached_grid_study():
     """Figures 16-17 and Table 3: the 21-node grid with six flows."""
-    return grid_study(multiflow_base_config(), bandwidths=BENCH_BANDWIDTHS)
+    return grid_study(multiflow_base_config(), bandwidths=BENCH_BANDWIDTHS,
+                      runner=STUDY_RUNNER)
 
 
 @functools.lru_cache(maxsize=None)
@@ -132,14 +166,15 @@ def cached_random_study():
         flow_count=RANDOM_FLOW_COUNT, seed=RANDOM_SEED,
     )
     return random_topology_study(multiflow_base_config(), topology,
-                                 bandwidths=BENCH_BANDWIDTHS)
+                                 bandwidths=BENCH_BANDWIDTHS,
+                                 runner=STUDY_RUNNER)
 
 
 # ----------------------------------------------------------------------
 # Output helpers
 # ----------------------------------------------------------------------
 def print_series(title: str, headers, rows) -> None:
-    """Print one figure's series as a fixed-width table."""
+    """Print one figure's series as a fixed-width text table."""
     print(f"\n=== {title} ===")
     print(format_table(headers, rows))
 

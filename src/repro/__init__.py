@@ -6,7 +6,7 @@ packet-level TCP NewReno, TCP Vegas, dynamic ACK thinning and an optimally
 paced UDP source, plus the experiment harness that regenerates every table and
 figure of the DSN 2005 paper by ElRakabawy, Lindemann and Vernon.
 
-Typical use::
+Typical use (single scenario)::
 
     from repro import ScenarioConfig, TransportVariant, chain_topology, run_scenario
 
@@ -16,6 +16,17 @@ Typical use::
                        packet_target=500),
     )
     print(result.aggregate_goodput_kbps, "kbit/s")
+
+Declarative sweep with seed replication, parallel execution and caching::
+
+    from repro import ScenarioConfig, SweepSpec, run_study
+
+    spec = SweepSpec(topology="chain",
+                     axes={"variant": ["vegas", "newreno"], "hops": [2, 4, 8]},
+                     base=ScenarioConfig(packet_target=250), replications=3)
+    study = run_study(spec, parallel=True, cache_dir=".study-cache")
+    for point in study.points:
+        print(point.values, point.goodput_interval)
 """
 
 from repro.experiments.config import (
@@ -27,9 +38,30 @@ from repro.experiments.config import (
 )
 from repro.experiments.results import FlowResult, ScenarioResult, format_table
 from repro.experiments.runner import Scenario, run_scenario
+from repro.experiments.scenarios import available_scenarios, build_named_scenario
+from repro.experiments.study import (
+    PointResult,
+    Study,
+    StudyResult,
+    StudyRunner,
+    SweepSpec,
+    run_study,
+)
 from repro.topology.chain import chain_topology
 from repro.topology.grid import grid_topology
 from repro.topology.random_topology import random_topology
+from repro.topology.registry import (
+    TopologyProfile,
+    build_topology,
+    register_topology,
+    topology_names,
+)
+from repro.transport.registry import (
+    TransportProfile,
+    get_transport,
+    register_transport,
+    transport_names,
+)
 
 __version__ = "1.0.0"
 
@@ -44,8 +76,24 @@ __all__ = [
     "format_table",
     "Scenario",
     "run_scenario",
+    "available_scenarios",
+    "build_named_scenario",
+    "PointResult",
+    "Study",
+    "StudyResult",
+    "StudyRunner",
+    "SweepSpec",
+    "run_study",
     "chain_topology",
     "grid_topology",
     "random_topology",
+    "TopologyProfile",
+    "build_topology",
+    "register_topology",
+    "topology_names",
+    "TransportProfile",
+    "get_transport",
+    "register_transport",
+    "transport_names",
     "__version__",
 ]

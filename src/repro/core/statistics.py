@@ -73,6 +73,17 @@ class ConfidenceInterval:
     def __str__(self) -> str:
         return f"{self.mean:.4g} ± {self.half_width:.2g}"
 
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {"mean": self.mean, "half_width": self.half_width,
+                "confidence": self.confidence}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConfidenceInterval":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(mean=data["mean"], half_width=data["half_width"],
+                   confidence=data.get("confidence", 0.95))
+
 
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean; 0.0 for an empty sequence."""

@@ -1,4 +1,24 @@
-"""Experiment harness: scenario configuration, runner and per-figure studies."""
+"""Experiment harness: scenarios, registries, declarative studies.
+
+Three layers, from low-level to high-level:
+
+* **Scenario execution** — :class:`Scenario` / :func:`run_scenario` turn one
+  (:class:`~repro.topology.base.Topology`, :class:`ScenarioConfig`) pair into
+  a :class:`ScenarioResult`.  The runner is transport-agnostic: variants are
+  resolved through :mod:`repro.transport.registry`, topologies are addressable
+  by name through :mod:`repro.topology.registry`, and
+  :func:`~repro.experiments.scenarios.build_named_scenario` instantiates
+  ready-made presets generated from those registries.
+* **Declarative studies** — :class:`SweepSpec` describes a cartesian sweep
+  (axes × replications) as data; :class:`StudyRunner` / :func:`run_study`
+  execute it serially or over a process pool, cache each scenario run as JSON
+  keyed by a config hash, and aggregate replications into a
+  :class:`StudyResult` with cross-seed confidence intervals.
+* **Per-figure wrappers** — ``chain_experiments``, ``grid_experiments``,
+  ``random_experiments`` and ``bandwidth_experiments`` are thin compatibility
+  wrappers that express each paper figure as a ``SweepSpec`` and reshape the
+  result into the nested dictionaries the benchmark scripts consume.
+"""
 
 from repro.experiments.config import (
     DEFAULT_HOP_COUNTS,
@@ -6,9 +26,24 @@ from repro.experiments.config import (
     PAPER_HOP_COUNTS,
     ScenarioConfig,
     TransportVariant,
+    resolve_variant,
+    variant_label,
 )
 from repro.experiments.results import FlowResult, ScenarioResult, format_table
 from repro.experiments.runner import Scenario, run_scenario
+from repro.experiments.scenarios import (
+    available_scenarios,
+    build_named_scenario,
+    register_scenario,
+)
+from repro.experiments.study import (
+    PointResult,
+    Study,
+    StudyResult,
+    StudyRunner,
+    SweepSpec,
+    run_study,
+)
 
 __all__ = [
     "DEFAULT_HOP_COUNTS",
@@ -16,9 +51,20 @@ __all__ = [
     "PAPER_HOP_COUNTS",
     "ScenarioConfig",
     "TransportVariant",
+    "resolve_variant",
+    "variant_label",
     "FlowResult",
     "ScenarioResult",
     "format_table",
     "Scenario",
     "run_scenario",
+    "available_scenarios",
+    "build_named_scenario",
+    "register_scenario",
+    "PointResult",
+    "Study",
+    "StudyResult",
+    "StudyRunner",
+    "SweepSpec",
+    "run_study",
 ]

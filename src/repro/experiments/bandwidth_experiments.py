@@ -10,13 +10,11 @@ goodput (Fig. 11), transport retransmissions (Fig. 12), average window
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.config import PAPER_BANDWIDTHS, ScenarioConfig, TransportVariant
 from repro.experiments.results import ScenarioResult
-from repro.experiments.runner import run_scenario
-from repro.topology.chain import chain_topology
+from repro.experiments.study import StudyRunner, SweepSpec
 
 #: The variant line-up of Figures 11-14, in the paper's legend order.
 DEFAULT_BANDWIDTH_VARIANTS: Tuple[TransportVariant, ...] = (
@@ -38,22 +36,22 @@ def seven_hop_bandwidth_comparison(
     bandwidths: Sequence[float] = PAPER_BANDWIDTHS,
     variants: Sequence[TransportVariant] = DEFAULT_BANDWIDTH_VARIANTS,
     hops: int = 7,
+    runner: Optional[StudyRunner] = None,
 ) -> Dict[TransportVariant, Dict[float, ScenarioResult]]:
     """Run every (variant, bandwidth) combination on the 7-hop chain.
 
     Returns:
         ``results[variant][bandwidth_mbps]`` → :class:`ScenarioResult`.
     """
-    results: Dict[TransportVariant, Dict[float, ScenarioResult]] = {}
-    for variant in variants:
-        per_bandwidth: Dict[float, ScenarioResult] = {}
-        for bandwidth in bandwidths:
-            overrides = dict(variant=variant, bandwidth_mbps=bandwidth)
-            if variant is TransportVariant.NEWRENO_OPTIMAL_WINDOW:
-                # The clamp must be supplied in the same replace call: the
-                # variant's config validation requires it.
-                overrides["newreno_max_cwnd"] = SEVEN_HOP_OPTIMAL_WINDOW
-            config = replace(base_config, **overrides)
-            per_bandwidth[bandwidth] = run_scenario(chain_topology(hops=hops), config)
-        results[variant] = per_bandwidth
-    return results
+    spec = SweepSpec(
+        name="seven-hop-bandwidth-comparison",
+        topology="chain",
+        topology_params={"hops": hops},
+        axes={"variant": variants, "bandwidth_mbps": bandwidths},
+        base=base_config,
+        variant_overrides={
+            "newreno-optwin": {"newreno_max_cwnd": SEVEN_HOP_OPTIMAL_WINDOW},
+        },
+    )
+    study = (runner or StudyRunner()).run(spec)
+    return study.nested("variant", "bandwidth_mbps", leaf=lambda p: p.run)

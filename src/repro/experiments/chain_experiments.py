@@ -1,22 +1,30 @@
 """Chain-topology experiments (Section 4.3 of the paper: Figures 2-10).
 
-Each function sweeps one of the paper's chain studies and returns the raw
-:class:`repro.experiments.results.ScenarioResult` objects keyed by the swept
-parameter, so the benchmark scripts (and EXPERIMENTS.md) can print the same
-series the paper plots.
+Each function is a thin compatibility wrapper around the declarative
+:mod:`repro.experiments.study` API: it builds the corresponding
+:class:`~repro.experiments.study.SweepSpec`, runs it (serially, or through a
+caller-supplied :class:`~repro.experiments.study.StudyRunner` for parallel
+execution and JSON caching) and reshapes the flat point list into the nested
+``results[swept_param][...]`` dictionaries the benchmark scripts and
+EXPERIMENTS.md have always consumed.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ScenarioConfig, TransportVariant
 from repro.experiments.paced_udp import default_udp_interval
 from repro.experiments.results import ScenarioResult
 from repro.experiments.runner import run_scenario
+from repro.experiments.study import StudyRunner, SweepSpec
 from repro.mac.timing import timing_for_bandwidth
 from repro.topology.chain import chain_topology
+
+
+def _execute(spec: SweepSpec, runner: Optional[StudyRunner]):
+    return (runner or StudyRunner()).run(spec)
 
 
 def run_chain(config: ScenarioConfig, hops: int) -> ScenarioResult:
@@ -31,17 +39,20 @@ def vegas_alpha_study(
     base_config: ScenarioConfig,
     hop_counts: Sequence[int],
     alphas: Sequence[float] = (2.0, 3.0, 4.0),
+    runner: Optional[StudyRunner] = None,
 ) -> Dict[float, Dict[int, ScenarioResult]]:
     """Vegas with different α on the 2 Mbit/s chain (Figures 2 and 3).
 
     Returns:
         ``results[alpha][hops]`` → :class:`ScenarioResult`.
     """
-    results: Dict[float, Dict[int, ScenarioResult]] = {}
-    for alpha in alphas:
-        config = replace(base_config, variant=TransportVariant.VEGAS, vegas_alpha=alpha)
-        results[alpha] = {hops: run_chain(config, hops) for hops in hop_counts}
-    return results
+    spec = SweepSpec(
+        name="vegas-alpha-vs-hops",
+        topology="chain",
+        axes={"vegas_alpha": alphas, "hops": hop_counts},
+        base=replace(base_config, variant=TransportVariant.VEGAS),
+    )
+    return _execute(spec, runner).nested("vegas_alpha", "hops", leaf=lambda p: p.run)
 
 
 # ----------------------------------------------------------------------
@@ -52,25 +63,23 @@ def vegas_alpha_bandwidth_study(
     bandwidths: Sequence[float] = (2.0, 5.5, 11.0),
     alphas: Sequence[float] = (2.0, 3.0, 4.0),
     hops: int = 7,
+    runner: Optional[StudyRunner] = None,
 ) -> Dict[float, Dict[float, ScenarioResult]]:
     """Vegas α sweep across bandwidths on the 7-hop chain (Figure 4).
 
     Returns:
         ``results[alpha][bandwidth]`` → :class:`ScenarioResult`.
     """
-    results: Dict[float, Dict[float, ScenarioResult]] = {}
-    for alpha in alphas:
-        per_bandwidth: Dict[float, ScenarioResult] = {}
-        for bandwidth in bandwidths:
-            config = replace(
-                base_config,
-                variant=TransportVariant.VEGAS,
-                vegas_alpha=alpha,
-                bandwidth_mbps=bandwidth,
-            )
-            per_bandwidth[bandwidth] = run_chain(config, hops)
-        results[alpha] = per_bandwidth
-    return results
+    spec = SweepSpec(
+        name="vegas-alpha-vs-bandwidth",
+        topology="chain",
+        topology_params={"hops": hops},
+        axes={"vegas_alpha": alphas, "bandwidth_mbps": bandwidths},
+        base=replace(base_config, variant=TransportVariant.VEGAS),
+    )
+    return _execute(spec, runner).nested(
+        "vegas_alpha", "bandwidth_mbps", leaf=lambda p: p.run
+    )
 
 
 # ----------------------------------------------------------------------
@@ -80,6 +89,7 @@ def vegas_thinning_study(
     base_config: ScenarioConfig,
     hop_counts: Sequence[int],
     thinning_alphas: Sequence[float] = (2.0, 3.0, 4.0),
+    runner: Optional[StudyRunner] = None,
 ) -> Dict[str, Dict[int, ScenarioResult]]:
     """Vegas (α=2) vs. Vegas + ACK thinning for α ∈ {2,3,4} (Figure 5).
 
@@ -87,15 +97,26 @@ def vegas_thinning_study(
         ``results[label][hops]``; labels are ``"Vegas α=2"`` and
         ``"Vegas α=<a> ACK Thinning"``.
     """
-    results: Dict[str, Dict[int, ScenarioResult]] = {}
-    plain = replace(base_config, variant=TransportVariant.VEGAS, vegas_alpha=2.0)
-    results["Vegas α=2"] = {hops: run_chain(plain, hops) for hops in hop_counts}
+    plain = SweepSpec(
+        name="vegas-plain-vs-hops",
+        topology="chain",
+        axes={"hops": hop_counts},
+        base=replace(base_config, variant=TransportVariant.VEGAS, vegas_alpha=2.0),
+    )
+    thinning = SweepSpec(
+        name="vegas-thinning-vs-hops",
+        topology="chain",
+        axes={"vegas_alpha": thinning_alphas, "hops": hop_counts},
+        base=replace(base_config, variant=TransportVariant.VEGAS_ACK_THINNING),
+    )
+    results: Dict[str, Dict[int, ScenarioResult]] = {
+        "Vegas α=2": _execute(plain, runner).nested("hops", leaf=lambda p: p.run)
+    }
+    by_alpha = _execute(thinning, runner).nested(
+        "vegas_alpha", "hops", leaf=lambda p: p.run
+    )
     for alpha in thinning_alphas:
-        config = replace(
-            base_config, variant=TransportVariant.VEGAS_ACK_THINNING, vegas_alpha=alpha
-        )
-        label = f"Vegas α={alpha:g} ACK Thinning"
-        results[label] = {hops: run_chain(config, hops) for hops in hop_counts}
+        results[f"Vegas α={alpha:g} ACK Thinning"] = by_alpha[alpha]
     return results
 
 
@@ -114,6 +135,7 @@ def protocol_comparison_vs_hops(
     base_config: ScenarioConfig,
     hop_counts: Sequence[int],
     variants: Sequence[TransportVariant] = DEFAULT_CHAIN_VARIANTS,
+    runner: Optional[StudyRunner] = None,
 ) -> Dict[TransportVariant, Dict[int, ScenarioResult]]:
     """One run per (variant, hop count) on the 2 Mbit/s chain.
 
@@ -124,11 +146,13 @@ def protocol_comparison_vs_hops(
     Returns:
         ``results[variant][hops]`` → :class:`ScenarioResult`.
     """
-    results: Dict[TransportVariant, Dict[int, ScenarioResult]] = {}
-    for variant in variants:
-        config = replace(base_config, variant=variant)
-        results[variant] = {hops: run_chain(config, hops) for hops in hop_counts}
-    return results
+    spec = SweepSpec(
+        name="protocol-comparison-vs-hops",
+        topology="chain",
+        axes={"variant": variants, "hops": hop_counts},
+        base=base_config,
+    )
+    return _execute(spec, runner).nested("variant", "hops", leaf=lambda p: p.run)
 
 
 # ----------------------------------------------------------------------
@@ -138,19 +162,21 @@ def paced_udp_rate_sweep(
     base_config: ScenarioConfig,
     intervals: Sequence[float],
     hops: int = 7,
+    runner: Optional[StudyRunner] = None,
 ) -> Dict[float, ScenarioResult]:
     """Sweep the paced-UDP inter-packet time *t* on the 7-hop chain (Figure 10).
 
     Returns:
         ``results[t]`` → :class:`ScenarioResult`, for each interval in seconds.
     """
-    results: Dict[float, ScenarioResult] = {}
-    for interval in intervals:
-        config = replace(
-            base_config, variant=TransportVariant.PACED_UDP, udp_interval=interval
-        )
-        results[interval] = run_chain(config, hops)
-    return results
+    spec = SweepSpec(
+        name="paced-udp-rate-sweep",
+        topology="chain",
+        topology_params={"hops": hops},
+        axes={"udp_interval": intervals},
+        base=replace(base_config, variant=TransportVariant.PACED_UDP),
+    )
+    return _execute(spec, runner).nested("udp_interval", leaf=lambda p: p.run)
 
 
 def default_sweep_intervals(
@@ -174,6 +200,7 @@ def find_optimal_udp_interval(
     base_config: ScenarioConfig,
     hops: int = 7,
     intervals: Optional[Sequence[float]] = None,
+    runner: Optional[StudyRunner] = None,
 ) -> Tuple[float, Dict[float, ScenarioResult]]:
     """Offline search for the goodput-maximizing pacing interval (Section 4.2).
 
@@ -182,6 +209,6 @@ def find_optimal_udp_interval(
     """
     if intervals is None:
         intervals = default_sweep_intervals(base_config.bandwidth_mbps)
-    sweep = paced_udp_rate_sweep(base_config, intervals, hops=hops)
+    sweep = paced_udp_rate_sweep(base_config, intervals, hops=hops, runner=runner)
     best = max(sweep, key=lambda t: sweep[t].aggregate_goodput_bps)
     return best, sweep

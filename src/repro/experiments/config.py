@@ -6,16 +6,25 @@ and the run length (packet target / batch structure).  The defaults reproduce
 the paper's setup at a scaled-down run length so the whole harness finishes on
 a laptop; set ``packet_target=110_000`` and ``batch_count=11`` for full
 paper-scale runs.
+
+The transport variant may be given as a :class:`TransportVariant` enum member
+(the paper's six variants), as a registry name (``"vegas-at"``), or as a
+display label (``"Vegas ACK Thinning"``); strings naming a variant that has no
+enum member — i.e. one added through
+:func:`repro.transport.registry.register_transport` — are kept as canonical
+registry names.  Variant-specific validation lives on the registered
+:class:`repro.transport.registry.TransportProfile`, not here.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.errors import ConfigurationError
 from repro.transport.ack_thinning import AckThinningPolicy
+from repro.transport.registry import get_transport, transport_key
 from repro.transport.tcp_base import TcpConfig
 from repro.transport.vegas import VegasParameters
 
@@ -49,12 +58,45 @@ class TransportVariant(enum.Enum):
         return self in (TransportVariant.VEGAS, TransportVariant.VEGAS_ACK_THINNING)
 
 
+#: Canonical registry name → enum member, for the variants the enum covers.
+_VARIANT_BY_KEY = {transport_key(member): member for member in TransportVariant}
+
+#: A transport variant in any accepted spelling: enum member, registry name,
+#: label or alias.  Configs normalise strings back to the enum when possible.
+VariantLike = Union[TransportVariant, str]
+
+
+def resolve_variant(variant: VariantLike) -> VariantLike:
+    """Normalise a variant spelling.
+
+    Returns the matching :class:`TransportVariant` member when one exists
+    (so legacy ``config.variant is TransportVariant.VEGAS`` checks keep
+    working), otherwise the canonical registry name of the registered
+    profile.
+
+    Raises:
+        ConfigurationError: If the variant is not registered.
+    """
+    key = transport_key(variant)
+    if isinstance(variant, TransportVariant):
+        return variant
+    return _VARIANT_BY_KEY.get(key, key)
+
+
+def variant_label(variant: VariantLike) -> str:
+    """Human-readable label of a variant (``TransportVariant.value`` for
+    the built-ins, :attr:`TransportProfile.label` in general)."""
+    return get_transport(variant).label
+
+
 @dataclass(frozen=True)
 class ScenarioConfig:
     """All parameters of one simulation scenario.
 
     Attributes:
-        variant: Transport protocol variant used by every flow.
+        variant: Transport protocol variant used by every flow — an enum
+            member, a registry name (``"vegas-at"``) or a label; strings are
+            normalised by :func:`resolve_variant`.
         bandwidth_mbps: 802.11 data rate (2, 5.5 or 11 in the paper).
         vegas_alpha: Vegas α (= β = γ) threshold in packets.
         newreno_max_cwnd: Window clamp for the "optimal window" variant
@@ -82,7 +124,7 @@ class ScenarioConfig:
             overlapping signal collides) and is used by the ablation bench.
     """
 
-    variant: TransportVariant = TransportVariant.VEGAS
+    variant: VariantLike = TransportVariant.VEGAS
     bandwidth_mbps: float = 2.0
     vegas_alpha: float = 2.0
     newreno_max_cwnd: Optional[float] = None
@@ -108,12 +150,8 @@ class ScenarioConfig:
             raise ConfigurationError("batch_count must be at least 2")
         if self.routing not in ("aodv", "static"):
             raise ConfigurationError(f"unknown routing {self.routing!r}")
-        if self.variant is TransportVariant.NEWRENO_OPTIMAL_WINDOW and (
-            self.newreno_max_cwnd is None
-        ):
-            raise ConfigurationError(
-                "NEWRENO_OPTIMAL_WINDOW requires newreno_max_cwnd to be set"
-            )
+        object.__setattr__(self, "variant", resolve_variant(self.variant))
+        get_transport(self.variant).validate_config(self)
 
     # ------------------------------------------------------------------
     # Convenience derivations
@@ -124,7 +162,7 @@ class ScenarioConfig:
             alpha=self.vegas_alpha, beta=self.vegas_alpha, gamma=self.vegas_alpha
         )
 
-    def with_variant(self, variant: TransportVariant, **overrides) -> "ScenarioConfig":
+    def with_variant(self, variant: VariantLike, **overrides) -> "ScenarioConfig":
         """Copy of this config with a different transport variant."""
         return replace(self, variant=variant, **overrides)
 

@@ -8,13 +8,11 @@ aggregate goodput per bandwidth (Fig. 16), the per-flow goodput breakdown at
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.config import PAPER_BANDWIDTHS, ScenarioConfig, TransportVariant
 from repro.experiments.results import ScenarioResult
-from repro.experiments.runner import run_scenario
-from repro.topology.grid import grid_topology
+from repro.experiments.study import StudyRunner, SweepSpec
 
 #: Variant line-up of the multi-flow comparisons (Figures 16-19, Tables 3-4).
 DEFAULT_MULTIFLOW_VARIANTS: Tuple[TransportVariant, ...] = (
@@ -29,6 +27,7 @@ def grid_study(
     base_config: ScenarioConfig,
     bandwidths: Sequence[float] = PAPER_BANDWIDTHS,
     variants: Sequence[TransportVariant] = DEFAULT_MULTIFLOW_VARIANTS,
+    runner: Optional[StudyRunner] = None,
 ) -> Dict[TransportVariant, Dict[float, ScenarioResult]]:
     """Run every (variant, bandwidth) combination on the 21-node grid.
 
@@ -37,15 +36,14 @@ def grid_study(
         per-flow goodputs (Fig. 17) and Jain index (Table 3) are properties of
         each :class:`ScenarioResult`.
     """
-    topology = grid_topology()
-    results: Dict[TransportVariant, Dict[float, ScenarioResult]] = {}
-    for variant in variants:
-        per_bandwidth: Dict[float, ScenarioResult] = {}
-        for bandwidth in bandwidths:
-            config = replace(base_config, variant=variant, bandwidth_mbps=bandwidth)
-            per_bandwidth[bandwidth] = run_scenario(topology, config)
-        results[variant] = per_bandwidth
-    return results
+    spec = SweepSpec(
+        name="grid-study",
+        topology="grid",
+        axes={"variant": variants, "bandwidth_mbps": bandwidths},
+        base=base_config,
+    )
+    study = (runner or StudyRunner()).run(spec)
+    return study.nested("variant", "bandwidth_mbps", leaf=lambda p: p.run)
 
 
 def fairness_table(

@@ -12,13 +12,12 @@ paper-scale topology is a parameter change.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.config import PAPER_BANDWIDTHS, ScenarioConfig, TransportVariant
 from repro.experiments.grid_experiments import DEFAULT_MULTIFLOW_VARIANTS, fairness_table
 from repro.experiments.results import ScenarioResult
-from repro.experiments.runner import run_scenario
+from repro.experiments.study import StudyRunner, SweepSpec
 from repro.topology.base import Topology
 from repro.topology.random_topology import random_topology
 
@@ -40,6 +39,7 @@ def random_topology_study(
     topology: Topology,
     bandwidths: Sequence[float] = PAPER_BANDWIDTHS,
     variants: Sequence[TransportVariant] = DEFAULT_MULTIFLOW_VARIANTS,
+    runner: Optional[StudyRunner] = None,
 ) -> Dict[TransportVariant, Dict[float, ScenarioResult]]:
     """Run every (variant, bandwidth) combination on a random topology.
 
@@ -50,14 +50,14 @@ def random_topology_study(
     Returns:
         ``results[variant][bandwidth_mbps]`` → :class:`ScenarioResult`.
     """
-    results: Dict[TransportVariant, Dict[float, ScenarioResult]] = {}
-    for variant in variants:
-        per_bandwidth: Dict[float, ScenarioResult] = {}
-        for bandwidth in bandwidths:
-            config = replace(base_config, variant=variant, bandwidth_mbps=bandwidth)
-            per_bandwidth[bandwidth] = run_scenario(topology, config)
-        results[variant] = per_bandwidth
-    return results
+    spec = SweepSpec(
+        name="random-topology-study",
+        topology=topology,
+        axes={"variant": variants, "bandwidth_mbps": bandwidths},
+        base=base_config,
+    )
+    study = (runner or StudyRunner()).run(spec)
+    return study.nested("variant", "bandwidth_mbps", leaf=lambda p: p.run)
 
 
 __all__ = [

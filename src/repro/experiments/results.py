@@ -44,6 +44,38 @@ class FlowResult:
         """Goodput in kbit/s (the unit used in the paper's figures)."""
         return kbps(self.goodput_bps)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (see :meth:`from_dict`)."""
+        return {
+            "flow_id": self.flow_id,
+            "source": self.source,
+            "destination": self.destination,
+            "delivered_packets": self.delivered_packets,
+            "goodput_bps": self.goodput_bps,
+            "goodput_ci": self.goodput_ci.to_dict() if self.goodput_ci else None,
+            "retransmissions": self.retransmissions,
+            "retransmissions_per_packet": self.retransmissions_per_packet,
+            "timeouts": self.timeouts,
+            "average_window": self.average_window,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FlowResult":
+        """Rebuild a :class:`FlowResult` from :meth:`to_dict` output."""
+        ci = data.get("goodput_ci")
+        return cls(
+            flow_id=data["flow_id"],
+            source=data["source"],
+            destination=data["destination"],
+            delivered_packets=data["delivered_packets"],
+            goodput_bps=data["goodput_bps"],
+            goodput_ci=ConfidenceInterval.from_dict(ci) if ci else None,
+            retransmissions=data["retransmissions"],
+            retransmissions_per_packet=data["retransmissions_per_packet"],
+            timeouts=data["timeouts"],
+            average_window=data["average_window"],
+        )
+
 
 @dataclass
 class ScenarioResult:
@@ -96,6 +128,44 @@ class ScenarioResult:
             if flow.flow_id == flow_id:
                 return flow
         raise KeyError(f"no flow {flow_id} in scenario {self.name}")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (see :meth:`from_dict`).
+
+        Floats survive a JSON round trip exactly, so
+        ``ScenarioResult.from_dict(json.loads(json.dumps(r.to_dict()))) == r``.
+        """
+        return {
+            "name": self.name,
+            "variant": self.variant,
+            "bandwidth_mbps": self.bandwidth_mbps,
+            "simulated_time": self.simulated_time,
+            "delivered_packets": self.delivered_packets,
+            "flows": [flow.to_dict() for flow in self.flows],
+            "false_route_failures": self.false_route_failures,
+            "link_layer_drop_probability": self.link_layer_drop_probability,
+            "mac_frames_sent": self.mac_frames_sent,
+            "reached_packet_target": self.reached_packet_target,
+            "energy": self.energy.to_dict() if self.energy else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioResult":
+        """Rebuild a :class:`ScenarioResult` from :meth:`to_dict` output."""
+        energy = data.get("energy")
+        return cls(
+            name=data["name"],
+            variant=data["variant"],
+            bandwidth_mbps=data["bandwidth_mbps"],
+            simulated_time=data["simulated_time"],
+            delivered_packets=data["delivered_packets"],
+            flows=[FlowResult.from_dict(f) for f in data.get("flows", [])],
+            false_route_failures=data["false_route_failures"],
+            link_layer_drop_probability=data["link_layer_drop_probability"],
+            mac_frames_sent=data["mac_frames_sent"],
+            reached_packet_target=data["reached_packet_target"],
+            energy=EnergyReport.from_dict(energy) if energy else None,
+        )
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

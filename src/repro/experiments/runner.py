@@ -6,19 +6,22 @@ network (channel, nodes, transport agents, applications), runs it until the
 configured number of packets has been delivered (or the time limit is hit) and
 returns a :class:`repro.experiments.results.ScenarioResult` with the measures
 the paper reports.
+
+The runner is transport-agnostic: the configured variant is resolved through
+:mod:`repro.transport.registry` and the registered
+:class:`~repro.transport.registry.TransportProfile` builds the sender, sink
+and driving application for every flow.  Adding a transport variant therefore
+never requires touching this module.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.app.cbr import CbrApplication
-from repro.app.ftp import FtpApplication
 from repro.core.engine import Simulator
 from repro.core.randomness import RandomManager
 from repro.core.tracing import NULL_TRACER, Tracer
-from repro.experiments.config import ScenarioConfig, TransportVariant
-from repro.experiments.paced_udp import default_udp_interval
+from repro.experiments.config import ScenarioConfig
 from repro.experiments.results import FlowResult, ScenarioResult
 from repro.mac.timing import MacTiming, timing_for_bandwidth
 from repro.net.address import FlowAddress
@@ -28,12 +31,8 @@ from repro.phy.energy import EnergyModel, scenario_energy
 from repro.phy.propagation import RangePropagationModel
 from repro.routing.static import StaticRouting
 from repro.topology.base import Topology, all_next_hop_tables
-from repro.transport.newreno import NewRenoSender
-from repro.transport.sink import AckThinningSink, TcpSink
+from repro.transport.registry import TransportBuildContext, get_transport
 from repro.transport.stats import FlowStats
-from repro.transport.tcp_base import TcpSender
-from repro.transport.udp import UdpSender, UdpSink
-from repro.transport.vegas import VegasSender
 
 #: Base port numbers used for flow endpoints.
 _SRC_PORT_BASE = 5000
@@ -58,6 +57,7 @@ class Scenario:
         self.topology = topology
         self.config = config
         self.tracer = tracer
+        self.profile = get_transport(config.variant)
 
         self.sim = Simulator()
         self.randomness = RandomManager(config.seed)
@@ -121,65 +121,15 @@ class Scenario:
         self.flow_stats.append(stats)
         start_time = (index - 1) * config.flow_start_stagger
 
-        if config.variant is TransportVariant.PACED_UDP:
-            self._build_udp_flow(flow, stats, start_time)
-        else:
-            self._build_tcp_flow(flow, stats, start_time)
-
-    def _build_tcp_flow(self, flow: FlowAddress, stats: FlowStats, start_time: float) -> None:
-        config = self.config
-        sender: TcpSender
-        if config.variant.is_vegas:
-            sender = VegasSender(
-                self.sim, flow, stats,
-                config=config.tcp,
-                parameters=config.vegas_parameters(),
-                tracer=self.tracer,
-            )
-        elif config.variant is TransportVariant.NEWRENO_OPTIMAL_WINDOW:
-            sender = NewRenoSender(
-                self.sim, flow, stats,
-                config=config.tcp,
-                max_cwnd=config.newreno_max_cwnd,
-                tracer=self.tracer,
-            )
-        else:
-            sender = NewRenoSender(
-                self.sim, flow, stats, config=config.tcp, tracer=self.tracer
-            )
-
-        if config.variant.uses_ack_thinning:
-            sink: TcpSink = AckThinningSink(
-                self.sim, flow, stats,
-                mss=config.tcp.mss,
-                policy=config.ack_thinning,
-                tracer=self.tracer,
-            )
-        else:
-            sink = TcpSink(
-                self.sim, flow, stats, mss=config.tcp.mss, tracer=self.tracer
-            )
-
-        self.nodes[flow.src_node].register_agent(sender)
-        self.nodes[flow.dst_node].register_agent(sink)
-        application = FtpApplication(self.sim, sender, start_time=start_time)
-        application.schedule_start()
-
-        self.senders.append(sender)
-        self.sinks.append(sink)
-        self.applications.append(application)
-
-    def _build_udp_flow(self, flow: FlowAddress, stats: FlowStats, start_time: float) -> None:
-        config = self.config
-        sender = UdpSender(self.sim, flow, stats, payload_size=config.tcp.mss,
-                           tracer=self.tracer)
-        sink = UdpSink(self.sim, flow, stats, tracer=self.tracer)
-        self.nodes[flow.src_node].register_agent(sender)
-        self.nodes[flow.dst_node].register_agent(sink)
-        interval = config.udp_interval or default_udp_interval(self.timing, config.tcp.mss)
-        application = CbrApplication(
-            self.sim, sender, interval=interval, start_time=start_time
+        context = TransportBuildContext(
+            sim=self.sim, flow=flow, stats=stats, config=config,
+            timing=self.timing, tracer=self.tracer,
         )
+        sender = self.profile.build_sender(context)
+        sink = self.profile.build_sink(context)
+        self.nodes[flow.src_node].register_agent(sender)
+        self.nodes[flow.dst_node].register_agent(sink)
+        application = self.profile.build_application(context, sender, start_time)
         application.schedule_start()
 
         self.senders.append(sender)
@@ -218,9 +168,9 @@ class Scenario:
             flow_results.append(self._flow_result(stats, flow_spec.source,
                                                   flow_spec.destination, now))
         result = ScenarioResult(
-            name=f"{self.topology.name}/{self.config.variant.value}"
+            name=f"{self.topology.name}/{self.profile.label}"
                  f"/{self.config.bandwidth_mbps:g}Mbps",
-            variant=self.config.variant.value,
+            variant=self.profile.label,
             bandwidth_mbps=self.config.bandwidth_mbps,
             simulated_time=now,
             delivered_packets=self.total_delivered,

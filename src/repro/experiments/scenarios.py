@@ -1,12 +1,20 @@
-"""Named scenario presets.
+"""Named scenario presets, generated from the transport/topology registries.
 
-A small registry of ready-made (topology, config) pairs for the scenarios the
-paper evaluates, so examples, notebooks and ad-hoc exploration can run a
-standard setup by name::
+A registry of ready-made (topology, config) pairs for the scenarios the paper
+evaluates, so examples, notebooks and ad-hoc exploration can run a standard
+setup by name::
 
     from repro.experiments.scenarios import build_named_scenario
 
     result = build_named_scenario("chain7-vegas-2mbps", packet_target=300).run()
+
+The preset table is derived from :mod:`repro.transport.registry`: every
+registered transport variant automatically gets a ``chain7-<variant>-<bw>``,
+``grid-<variant>-<bw>`` and ``random-<variant>-<bw>`` entry per paper
+bandwidth, using the variant's ``preset_overrides`` (e.g. the window clamp the
+"optimal window" variant needs).  Registering a new transport therefore also
+registers its presets — no change here required.  Additional hand-written
+presets can be added with :func:`register_scenario`.
 """
 
 from __future__ import annotations
@@ -15,86 +23,116 @@ from dataclasses import replace
 from typing import Callable, Dict, List, Tuple
 
 from repro.core.errors import ConfigurationError
-from repro.experiments.config import ScenarioConfig, TransportVariant
+from repro.core.tracing import NULL_TRACER, Tracer
+from repro.experiments.config import PAPER_BANDWIDTHS, ScenarioConfig
 from repro.experiments.runner import Scenario
 from repro.topology.base import Topology
-from repro.topology.chain import chain_topology
-from repro.topology.grid import grid_topology
-from repro.topology.random_topology import random_topology
+from repro.topology.registry import get_topology, topology_profiles
+from repro.topology.registry import registry_generation as _topology_generation
+from repro.transport.registry import transport_profiles
+from repro.transport.registry import registry_generation as _transport_generation
 
 #: Scenario factory type: returns (topology, config).
 ScenarioFactory = Callable[[], Tuple[Topology, ScenarioConfig]]
 
+#: Hand-registered presets layered on top of the generated table.
+_EXTRA_SCENARIOS: Dict[str, ScenarioFactory] = {}
+#: Bumped on every register_scenario call (cache-invalidation stamp).
+_EXTRA_GENERATION = 0
 
-def _chain(variant: TransportVariant, hops: int, bandwidth: float) -> ScenarioFactory:
+
+def _bandwidth_tag(bandwidth: float) -> str:
+    return f"{bandwidth:g}mbps"
+
+
+def _preset_factory(family: str, params: Dict[str, object], variant_name: str,
+                    bandwidth: float, overrides: Dict[str, object]) -> ScenarioFactory:
     def factory() -> Tuple[Topology, ScenarioConfig]:
-        return chain_topology(hops=hops), ScenarioConfig(
-            variant=variant, bandwidth_mbps=bandwidth,
-            newreno_max_cwnd=3.0 if variant is TransportVariant.NEWRENO_OPTIMAL_WINDOW else None,
-        )
+        topology = get_topology(family).build(**params)
+        config = ScenarioConfig(variant=variant_name, bandwidth_mbps=bandwidth,
+                                **overrides)
+        return topology, config
     return factory
 
 
-def _grid(variant: TransportVariant, bandwidth: float) -> ScenarioFactory:
-    def factory() -> Tuple[Topology, ScenarioConfig]:
-        return grid_topology(), ScenarioConfig(variant=variant, bandwidth_mbps=bandwidth)
-    return factory
+#: Memoized preset table: rebuilt only when the transport/topology registries
+#: (tracked via their generation counters) or the hand-registered extras
+#: change.
+_PRESET_CACHE: Tuple[Tuple[int, int, int], Dict[str, ScenarioFactory]] = (
+    (-1, -1, -1), {},
+)
 
 
-def _random(variant: TransportVariant, bandwidth: float) -> ScenarioFactory:
-    def factory() -> Tuple[Topology, ScenarioConfig]:
-        topology = random_topology(node_count=120, area=(2500.0, 1000.0),
-                                   flow_count=10, seed=7)
-        return topology, ScenarioConfig(variant=variant, bandwidth_mbps=bandwidth)
-    return factory
+def _generated_presets() -> Dict[str, ScenarioFactory]:
+    """The preset table for the currently registered transports/topologies.
+
+    The returned dict is the internal cache — treat it as read-only; use
+    :func:`register_scenario` to add presets.
+    """
+    global _PRESET_CACHE
+    stamp = (_transport_generation(), _topology_generation(), _EXTRA_GENERATION)
+    if _PRESET_CACHE[0] == stamp:
+        return _PRESET_CACHE[1]
+    presets: Dict[str, ScenarioFactory] = {}
+    for profile in transport_profiles():
+        for topology in topology_profiles():
+            if topology.preset_prefix is None:
+                continue
+            for bandwidth in PAPER_BANDWIDTHS:
+                name = (f"{topology.preset_prefix}-{profile.name}"
+                        f"-{_bandwidth_tag(bandwidth)}")
+                presets[name] = _preset_factory(
+                    topology.name, dict(topology.preset_params),
+                    profile.name, bandwidth, dict(profile.preset_overrides),
+                )
+    presets.update(_EXTRA_SCENARIOS)
+    _PRESET_CACHE = (stamp, presets)
+    return presets
 
 
-#: The named presets.  Chain scenarios use the paper's focal 7-hop chain.
-SCENARIOS: Dict[str, ScenarioFactory] = {}
+def register_scenario(name: str, factory: ScenarioFactory,
+                      replace_existing: bool = False) -> None:
+    """Register a custom named preset on top of the generated table.
+
+    Raises:
+        ConfigurationError: If the name collides without ``replace_existing``.
+    """
+    global _EXTRA_GENERATION
+    if not replace_existing and name in _generated_presets():
+        raise ConfigurationError(f"scenario {name!r} is already registered")
+    _EXTRA_SCENARIOS[name] = factory
+    _EXTRA_GENERATION += 1
 
 
-def _register_presets() -> None:
-    for variant, tag in (
-        (TransportVariant.VEGAS, "vegas"),
-        (TransportVariant.NEWRENO, "newreno"),
-        (TransportVariant.VEGAS_ACK_THINNING, "vegas-at"),
-        (TransportVariant.NEWRENO_ACK_THINNING, "newreno-at"),
-        (TransportVariant.NEWRENO_OPTIMAL_WINDOW, "newreno-optwin"),
-        (TransportVariant.PACED_UDP, "paced-udp"),
-    ):
-        for bandwidth, btag in ((2.0, "2mbps"), (5.5, "5.5mbps"), (11.0, "11mbps")):
-            SCENARIOS[f"chain7-{tag}-{btag}"] = _chain(variant, hops=7, bandwidth=bandwidth)
-    for variant, tag in (
-        (TransportVariant.VEGAS, "vegas"),
-        (TransportVariant.NEWRENO, "newreno"),
-        (TransportVariant.VEGAS_ACK_THINNING, "vegas-at"),
-        (TransportVariant.NEWRENO_ACK_THINNING, "newreno-at"),
-    ):
-        for bandwidth, btag in ((2.0, "2mbps"), (5.5, "5.5mbps"), (11.0, "11mbps")):
-            SCENARIOS[f"grid-{tag}-{btag}"] = _grid(variant, bandwidth)
-            SCENARIOS[f"random-{tag}-{btag}"] = _random(variant, bandwidth)
-
-
-_register_presets()
+#: Snapshot (a copy) of the preset table at import time, kept for backwards
+#: compatibility.  Prefer :func:`available_scenarios` /
+#: :func:`register_scenario`: this snapshot neither reflects transports
+#: registered later nor feeds lookups if mutated.
+SCENARIOS: Dict[str, ScenarioFactory] = dict(_generated_presets())
 
 
 def available_scenarios() -> List[str]:
     """Sorted list of all registered scenario names."""
-    return sorted(SCENARIOS)
+    return sorted(_generated_presets())
 
 
-def build_named_scenario(name: str, **config_overrides) -> Scenario:
+def build_named_scenario(
+    name: str,
+    tracer: Tracer = NULL_TRACER,
+    **config_overrides,
+) -> Scenario:
     """Build a ready-to-run :class:`Scenario` by preset name.
 
     Args:
         name: One of :func:`available_scenarios`.
+        tracer: Optional tracer shared by every component of the scenario.
         **config_overrides: Fields of :class:`ScenarioConfig` to override
             (e.g. ``packet_target=500``, ``seed=7``).
 
     Raises:
         ConfigurationError: If the name is unknown.
     """
-    factory = SCENARIOS.get(name)
+    factory = _generated_presets().get(name)
     if factory is None:
         raise ConfigurationError(
             f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
@@ -102,4 +140,4 @@ def build_named_scenario(name: str, **config_overrides) -> Scenario:
     topology, config = factory()
     if config_overrides:
         config = replace(config, **config_overrides)
-    return Scenario(topology, config)
+    return Scenario(topology, config, tracer=tracer)

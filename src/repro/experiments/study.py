@@ -1,0 +1,561 @@
+"""Declarative parameter studies with a parallel, cached executor.
+
+The paper's whole evaluation is one large parameter sweep: transport variants
+× bandwidths × topologies × hop counts × Vegas α.  This module expresses such
+sweeps as *data* instead of bespoke nested loops:
+
+* :class:`SweepSpec` describes a cartesian sweep — a topology family (from
+  :mod:`repro.topology.registry`), axes of scenario/topology parameters and a
+  number of seed replications.
+* :class:`StudyRunner` executes every sweep point, optionally fanning the
+  points out over a :class:`concurrent.futures.ProcessPoolExecutor` and
+  caching each finished :class:`~repro.experiments.results.ScenarioResult`
+  as JSON keyed by a configuration hash.
+* :class:`StudyResult` aggregates the per-seed results into cross-seed
+  confidence intervals and round-trips through JSON.
+
+Quickstart::
+
+    from repro.experiments.study import SweepSpec, run_study
+
+    spec = SweepSpec(
+        name="goodput-vs-hops",
+        topology="chain",
+        axes={"variant": ["vegas", "newreno"], "hops": [2, 4, 8]},
+        base=ScenarioConfig(packet_target=250),
+        replications=3,
+    )
+    study = run_study(spec, parallel=True)
+    for point in study.points:
+        print(point.values, point.goodput_interval)
+
+Axis keys that are :class:`~repro.experiments.config.ScenarioConfig` fields
+override the base config; every other key is passed to the topology builder
+(so ``hops`` reaches :func:`repro.topology.chain.chain_topology`).  Seeds are
+never an axis: replication ``r`` runs with ``base_seed + r``, which makes a
+single-replication study bit-identical to a direct ``run_scenario`` call with
+the base config's seed.
+
+Parallel execution requires every sweep point to be picklable and every
+referenced transport/topology to be registered at import time of a module the
+worker processes also import (the built-ins always are); dynamically
+registered variants are available in serial runs regardless.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import itertools
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import ConfigurationError
+from repro.core.statistics import ConfidenceInterval, confidence_interval
+from repro.core.tracing import NULL_TRACER, Tracer
+from repro.experiments.config import ScenarioConfig, resolve_variant
+from repro.experiments.results import ScenarioResult
+from repro.experiments.runner import run_scenario
+from repro.topology.base import Topology
+from repro.topology.registry import build_topology, get_topology
+from repro.transport.registry import transport_key
+
+#: ScenarioConfig field names; axis keys in this set override the config,
+#: every other axis key is passed to the topology builder.
+_CONFIG_FIELDS = frozenset(ScenarioConfig.__dataclass_fields__)
+
+#: Bumped on cache *format* changes; cached-result *content* staleness is
+#: handled by :func:`_code_fingerprint`, which keys every cache entry to the
+#: package sources so that simulation-code edits miss the cache automatically.
+_CACHE_SCHEMA = 1
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def _code_fingerprint() -> str:
+    """Digest of every ``repro`` source file (computed once per process)."""
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        import repro
+
+        digest = hashlib.sha256()
+        root = Path(repro.__file__).resolve().parent
+        for source in sorted(root.rglob("*.py")):
+            digest.update(str(source.relative_to(root)).encode("utf-8"))
+            digest.update(source.read_bytes())
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def _jsonable(value: object) -> object:
+    """Recursively convert a value into JSON-serializable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: an index plus its axis values."""
+
+    index: int
+    values: Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative cartesian parameter sweep.
+
+    Attributes:
+        name: Study name (used in result files and reports).
+        topology: Topology family name (resolved through
+            :mod:`repro.topology.registry`) or a prebuilt
+            :class:`~repro.topology.base.Topology` shared by every point
+            (e.g. one fixed random placement, as in the paper's Section
+            4.4.2).
+        topology_params: Builder parameters common to every point.
+        axes: Ordered mapping from axis name to the values it sweeps.
+            Config-field axes override ``base``; all other axes are topology
+            builder parameters.  ``seed`` may not be an axis — use
+            ``replications``.
+        base: Baseline :class:`ScenarioConfig` every point starts from.
+        variant_overrides: Per-variant config overrides (keyed by any variant
+            spelling) applied when that variant is the point's variant —
+            e.g. ``{"newreno-optwin": {"newreno_max_cwnd": 3.0}}``.  Axis
+            values take precedence over these.
+        replications: Independent seeds per sweep point.
+        base_seed: Seed of replication 0 (defaults to ``base.seed``);
+            replication ``r`` uses ``base_seed + r``.
+    """
+
+    name: str = "study"
+    topology: Union[str, Topology] = "chain"
+    topology_params: Mapping[str, object] = field(default_factory=dict)
+    axes: Mapping[str, Sequence[object]] = field(default_factory=dict)
+    base: ScenarioConfig = field(default_factory=ScenarioConfig)
+    variant_overrides: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    replications: int = 1
+    base_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.replications < 1:
+            raise ConfigurationError("replications must be at least 1")
+        for axis, values in self.axes.items():
+            if axis == "seed":
+                raise ConfigurationError(
+                    "'seed' may not be an axis; use replications/base_seed"
+                )
+            if not list(values):
+                raise ConfigurationError(f"axis {axis!r} has no values")
+        if isinstance(self.topology, str):
+            get_topology(self.topology)  # fail fast on unknown families
+        elif self.topology_axes:
+            raise ConfigurationError(
+                "topology axes "
+                f"{sorted(self.topology_axes)} require a topology family name, "
+                "not a prebuilt Topology"
+            )
+        for variant in self.variant_overrides:
+            transport_key(variant)  # fail fast on unknown variants
+
+    # ------------------------------------------------------------------
+    # Sweep structure
+    # ------------------------------------------------------------------
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        """Axis names in declaration order."""
+        return tuple(self.axes)
+
+    @property
+    def config_axes(self) -> Tuple[str, ...]:
+        """Axes that override :class:`ScenarioConfig` fields."""
+        return tuple(a for a in self.axes if a in _CONFIG_FIELDS)
+
+    @property
+    def topology_axes(self) -> Tuple[str, ...]:
+        """Axes passed to the topology builder."""
+        return tuple(a for a in self.axes if a not in _CONFIG_FIELDS)
+
+    def points(self) -> List[SweepPoint]:
+        """All sweep points, in cartesian order (last axis fastest).
+
+        Variant axis values are normalised (enum member for the built-ins,
+        canonical registry name otherwise) so that point lookups and JSON
+        round trips are spelling-independent.
+        """
+        names = self.axis_names
+        combos = itertools.product(*(tuple(self.axes[a]) for a in names))
+        points = []
+        for index, combo in enumerate(combos):
+            values = dict(zip(names, combo))
+            if "variant" in values:
+                values["variant"] = resolve_variant(values["variant"])
+            points.append(SweepPoint(index=index, values=values))
+        return points
+
+    def seeds(self) -> List[int]:
+        """The replication seeds: ``base_seed + r`` for each replication."""
+        first = self.base.seed if self.base_seed is None else self.base_seed
+        return [first + r for r in range(self.replications)]
+
+    # ------------------------------------------------------------------
+    # Point materialization
+    # ------------------------------------------------------------------
+    def config_for(self, values: Mapping[str, object], seed: int) -> ScenarioConfig:
+        """The :class:`ScenarioConfig` of one sweep point and seed."""
+        overrides: Dict[str, object] = {}
+        variant = values.get("variant", self.base.variant)
+        for key, extra in self.variant_overrides.items():
+            if transport_key(key) == transport_key(variant):
+                overrides.update(extra)
+        overrides.update(
+            {k: v for k, v in values.items() if k in _CONFIG_FIELDS}
+        )
+        overrides["seed"] = seed
+        return replace(self.base, **overrides)
+
+    def topology_for(self, values: Mapping[str, object]) -> Topology:
+        """The :class:`Topology` of one sweep point."""
+        if not isinstance(self.topology, str):
+            return self.topology
+        params = dict(self.topology_params)
+        params.update({k: v for k, v in values.items() if k not in _CONFIG_FIELDS})
+        return build_topology(self.topology, **params)
+
+    def fingerprint(self, values: Mapping[str, object], seed: int) -> str:
+        """Stable cache key of one (point, seed) scenario run.
+
+        Hashes the full scenario configuration, the topology description, the
+        seed and a digest of the package sources, so any parameter or
+        simulation-code change misses the cache instead of returning stale
+        results.
+        """
+        if isinstance(self.topology, str):
+            params = dict(self.topology_params)
+            params.update(
+                {k: v for k, v in values.items() if k not in _CONFIG_FIELDS}
+            )
+            topo = {"family": self.topology, "params": _jsonable(params)}
+        else:
+            topo = {"instance": _jsonable(self.topology)}
+        payload = {
+            "schema": _CACHE_SCHEMA,
+            "code": _code_fingerprint(),
+            "topology": topo,
+            "config": _jsonable(self.config_for(values, seed)),
+            "seed": seed,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class PointResult:
+    """All replications of one sweep point.
+
+    Attributes:
+        values: The point's axis values.
+        seeds: Replication seeds, aligned with ``runs``.
+        runs: One :class:`ScenarioResult` per replication seed.
+    """
+
+    values: Dict[str, object]
+    seeds: List[int]
+    runs: List[ScenarioResult]
+
+    @property
+    def run(self) -> ScenarioResult:
+        """The first replication (the whole run for single-seed studies)."""
+        return self.runs[0]
+
+    @property
+    def goodput_interval(self) -> ConfidenceInterval:
+        """Cross-seed confidence interval of the aggregate goodput (bit/s)."""
+        return confidence_interval([r.aggregate_goodput_bps for r in self.runs])
+
+    @property
+    def mean_goodput_bps(self) -> float:
+        """Mean aggregate goodput over replications (bit/s)."""
+        return self.goodput_interval.mean
+
+    @property
+    def mean_goodput_kbps(self) -> float:
+        """Mean aggregate goodput over replications (kbit/s)."""
+        return self.mean_goodput_bps / 1000.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (see :meth:`from_dict`)."""
+        values = dict(self.values)
+        if "variant" in values:
+            values["variant"] = transport_key(values["variant"])
+        return {
+            "values": values,
+            "seeds": list(self.seeds),
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PointResult":
+        """Rebuild from :meth:`to_dict` output (axis values must be
+        JSON-native; the ``variant`` axis is restored to its enum member)."""
+        values = dict(data["values"])
+        if "variant" in values:
+            values["variant"] = resolve_variant(values["variant"])
+        return cls(
+            values=values,
+            seeds=list(data["seeds"]),
+            runs=[ScenarioResult.from_dict(r) for r in data["runs"]],
+        )
+
+
+@dataclass
+class StudyResult:
+    """The outcome of running a :class:`SweepSpec`."""
+
+    name: str
+    axis_names: Tuple[str, ...]
+    replications: int
+    points: List[PointResult]
+
+    def point(self, **axis_values: object) -> PointResult:
+        """The point whose axis values match ``axis_values`` exactly.
+
+        A ``variant`` value may be given in any registered spelling (enum
+        member, registry name, label); it is normalised before matching.
+
+        Raises:
+            KeyError: If no point matches.
+        """
+        if "variant" in axis_values:
+            axis_values = dict(axis_values,
+                               variant=resolve_variant(axis_values["variant"]))
+        for point in self.points:
+            if all(point.values.get(k) == v for k, v in axis_values.items()):
+                return point
+        raise KeyError(f"no sweep point matching {axis_values!r} in {self.name}")
+
+    def nested(self, *axis_names: str, leaf=None) -> dict:
+        """Reshape the flat point list into nested dicts keyed by axes.
+
+        Args:
+            *axis_names: Axes to nest by, outermost first (defaults to the
+                study's axis order).
+            leaf: Optional transform of the innermost :class:`PointResult`
+                (e.g. ``lambda p: p.run`` for the raw first-replication
+                :class:`ScenarioResult`).
+
+        Returns:
+            ``{axis0_value: {axis1_value: ... leaf(point)}}``.
+        """
+        names = axis_names or self.axis_names
+        root: dict = {}
+        for point in self.points:
+            cursor = root
+            for name in names[:-1]:
+                cursor = cursor.setdefault(point.values[name], {})
+            cursor[point.values[names[-1]]] = leaf(point) if leaf else point
+        return root
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (see :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "axis_names": list(self.axis_names),
+            "replications": self.replications,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StudyResult":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            axis_names=tuple(data["axis_names"]),
+            replications=data["replications"],
+            points=[PointResult.from_dict(p) for p in data["points"]],
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the study result as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "StudyResult":
+        """Read a study result previously written with :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _run_sweep_task(payload: Tuple[SweepSpec, Mapping[str, object], int]) -> ScenarioResult:
+    """Process-pool entry point: run one (point, seed) scenario."""
+    spec, values, seed = payload
+    return run_scenario(spec.topology_for(values), spec.config_for(values, seed))
+
+
+class StudyRunner:
+    """Executes :class:`SweepSpec` sweeps, optionally in parallel and cached.
+
+    Args:
+        max_workers: Process-pool size (default: ``os.cpu_count()``).
+        cache_dir: Directory for the JSON result cache; ``None`` disables
+            caching.  Each (point, seed) run is stored in a file named by its
+            :meth:`SweepSpec.fingerprint`, so identical configurations are
+            never simulated twice — across runners, processes and sessions.
+        tracer: Tracer passed to serially executed scenarios.  Worker
+            processes cannot share a tracer object, so parallel runs trace
+            into :data:`~repro.core.tracing.NULL_TRACER`; run serially when
+            traces matter.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.max_workers = max_workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+    def _cache_path(self, fingerprint: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{fingerprint}.json"
+
+    def _cache_load(self, fingerprint: str) -> Optional[ScenarioResult]:
+        path = self._cache_path(fingerprint)
+        if path is None or not path.is_file():
+            return None
+        try:
+            return ScenarioResult.from_dict(json.loads(path.read_text()))
+        except (ValueError, KeyError, TypeError):
+            return None  # corrupt entry: fall through to a fresh run
+
+    def _cache_store(self, fingerprint: str, result: ScenarioResult) -> None:
+        path = self._cache_path(fingerprint)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Unique tmp name per writer: concurrent runners computing the same
+        # entry must not clobber (or os.replace away) each other's tmp file.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(result.to_dict(), sort_keys=True))
+        os.replace(tmp, path)  # atomic publish
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, spec: SweepSpec, parallel: Optional[bool] = None) -> StudyResult:
+        """Run every (point, seed) combination of ``spec``.
+
+        Args:
+            spec: The sweep to execute.
+            parallel: ``True`` forces the process pool, ``False`` forces
+                serial in-process execution, ``None`` (default) picks the
+                pool when more than one uncached task exists and more than
+                one worker is available.
+
+        Returns:
+            A :class:`StudyResult` with points in cartesian sweep order and
+            replications in seed order.
+        """
+        points = spec.points()
+        seeds = spec.seeds()
+        tasks: List[Tuple[int, int, int, str]] = []  # (point, rep, seed, key)
+        results: Dict[Tuple[int, int], ScenarioResult] = {}
+        for point in points:
+            for rep, seed in enumerate(seeds):
+                key = spec.fingerprint(point.values, seed)
+                cached = self._cache_load(key)
+                if cached is not None:
+                    results[(point.index, rep)] = cached
+                else:
+                    tasks.append((point.index, rep, seed, key))
+
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = max(1, min(workers, len(tasks) or 1))
+        use_pool = parallel if parallel is not None else (
+            workers > 1 and len(tasks) > 1
+        )
+
+        if tasks and use_pool:
+            payloads = [(spec, points[p].values, seed) for p, _, seed, _ in tasks]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for (p, rep, _, key), result in zip(
+                    tasks, pool.map(_run_sweep_task, payloads)
+                ):
+                    results[(p, rep)] = result
+                    self._cache_store(key, result)
+        else:
+            for p, rep, seed, key in tasks:
+                result = run_scenario(
+                    spec.topology_for(points[p].values),
+                    spec.config_for(points[p].values, seed),
+                    tracer=self.tracer,
+                )
+                results[(p, rep)] = result
+                self._cache_store(key, result)
+
+        return StudyResult(
+            name=spec.name,
+            axis_names=spec.axis_names,
+            replications=spec.replications,
+            points=[
+                PointResult(
+                    values=dict(point.values),
+                    seeds=list(seeds),
+                    runs=[results[(point.index, rep)] for rep in range(len(seeds))],
+                )
+                for point in points
+            ],
+        )
+
+
+class Study:
+    """Convenience bundle of a :class:`SweepSpec` and a :class:`StudyRunner`.
+
+    Either wrap an existing spec (``Study(spec)``) or build one in place::
+
+        Study(topology="chain", axes={"hops": [2, 4, 8]}, replications=3).run()
+    """
+
+    def __init__(self, spec: Optional[SweepSpec] = None,
+                 runner: Optional[StudyRunner] = None, **spec_kwargs: object) -> None:
+        if spec is not None and spec_kwargs:
+            raise ConfigurationError("pass either a SweepSpec or spec kwargs, not both")
+        self.spec = spec if spec is not None else SweepSpec(**spec_kwargs)
+        self.runner = runner or StudyRunner()
+
+    def run(self, parallel: Optional[bool] = None) -> StudyResult:
+        """Execute the study; see :meth:`StudyRunner.run`."""
+        return self.runner.run(self.spec, parallel=parallel)
+
+
+def run_study(
+    spec: SweepSpec,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> StudyResult:
+    """One-call convenience wrapper around :class:`StudyRunner`."""
+    runner = StudyRunner(max_workers=max_workers, cache_dir=cache_dir, tracer=tracer)
+    return runner.run(spec, parallel=parallel)

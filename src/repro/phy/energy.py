@@ -89,6 +89,19 @@ class EnergyReport:
             return 0.0
         return self.transmit_joules / self.delivered_kilobytes
 
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {"total_joules": self.total_joules,
+                "transmit_joules": self.transmit_joules,
+                "delivered_kilobytes": self.delivered_kilobytes}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyReport":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(total_joules=data["total_joules"],
+                   transmit_joules=data["transmit_joules"],
+                   delivered_kilobytes=data["delivered_kilobytes"])
+
 
 def scenario_energy(
     model: EnergyModel,

@@ -1,12 +1,33 @@
-"""Topologies evaluated in the paper: h-hop chain, 21-node grid, random field."""
+"""Topologies evaluated in the paper: h-hop chain, 21-node grid, random field.
+
+Topology families are pluggable: :mod:`repro.topology.registry` makes them
+addressable by name (``build_topology("chain", hops=7)``), which is how the
+declarative study API and the scenario presets resolve topologies.
+"""
 
 from repro.topology.base import FlowSpec, Topology, all_next_hop_tables, shortest_path_next_hops
 from repro.topology.chain import chain_topology, hidden_terminal_pairs
 from repro.topology.grid import grid_topology, node_id_at
 from repro.topology.random_topology import random_topology
+from repro.topology.registry import (
+    TopologyProfile,
+    build_topology,
+    get_topology,
+    register_topology,
+    topology_names,
+    topology_profiles,
+    unregister_topology,
+)
 
 __all__ = [
     "FlowSpec",
+    "TopologyProfile",
+    "build_topology",
+    "get_topology",
+    "register_topology",
+    "topology_names",
+    "topology_profiles",
+    "unregister_topology",
     "Topology",
     "all_next_hop_tables",
     "shortest_path_next_hops",

@@ -1,7 +1,21 @@
-"""Transport layer: TCP NewReno, TCP Vegas, ACK thinning sinks, UDP/paced UDP."""
+"""Transport layer: TCP NewReno, TCP Vegas, ACK thinning sinks, UDP/paced UDP.
+
+Variants are pluggable: :mod:`repro.transport.registry` maps variant names to
+:class:`~repro.transport.registry.TransportProfile` factory bundles, which the
+scenario runner uses to build senders, sinks and driving applications.
+"""
 
 from repro.transport.ack_thinning import AckThinningPolicy
 from repro.transport.newreno import NewRenoSender
+from repro.transport.registry import (
+    TransportBuildContext,
+    TransportProfile,
+    get_transport,
+    register_transport,
+    transport_names,
+    transport_profiles,
+    unregister_transport,
+)
 from repro.transport.rtt import RttEstimator
 from repro.transport.sink import AckThinningSink, TcpSink
 from repro.transport.stats import FlowStats
@@ -11,6 +25,13 @@ from repro.transport.vegas import VegasParameters, VegasSender
 
 __all__ = [
     "AckThinningPolicy",
+    "TransportBuildContext",
+    "TransportProfile",
+    "get_transport",
+    "register_transport",
+    "transport_names",
+    "transport_profiles",
+    "unregister_transport",
     "NewRenoSender",
     "RttEstimator",
     "AckThinningSink",

@@ -1,0 +1,336 @@
+"""Pluggable transport-variant registry.
+
+The paper compares six transport variants (NewReno, Vegas, both with dynamic
+ACK thinning, window-clamped NewReno and optimally paced UDP).  Instead of
+hard-wiring those variants as ``if/elif`` chains inside the scenario runner,
+each variant is described by a :class:`TransportProfile` — a named bundle of
+factories that build the sender, the sink and the driving application for one
+flow — and registered here by name.  The runner only ever talks to a profile,
+so adding a new transport variant is a ~30-line registration::
+
+    from repro.transport.registry import TransportProfile, register_transport
+
+    register_transport(TransportProfile(
+        name="vegas-a4",
+        label="Vegas alpha=4",
+        build_sender=lambda ctx: VegasSender(
+            ctx.sim, ctx.flow, ctx.stats, config=ctx.config.tcp,
+            parameters=VegasParameters(alpha=4, beta=4, gamma=4),
+            tracer=ctx.tracer),
+        build_sink=tcp_sink_factory,
+    ))
+
+Profiles are looked up by canonical name (``"vegas-at"``), by display label
+(``"Vegas ACK Thinning"``), by any registered alias, or by a
+:class:`repro.experiments.config.TransportVariant` enum member — the legacy
+enum keeps working as a set of aliases for the built-in registrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.app.cbr import CbrApplication
+from repro.app.ftp import FtpApplication
+from repro.core.errors import ConfigurationError
+from repro.transport.newreno import NewRenoSender
+from repro.transport.sink import AckThinningSink, TcpSink
+from repro.transport.udp import UdpSender, UdpSink
+from repro.transport.vegas import VegasSender
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.engine import Simulator
+    from repro.core.tracing import Tracer
+    from repro.experiments.config import ScenarioConfig
+    from repro.mac.timing import MacTiming
+    from repro.net.address import FlowAddress
+    from repro.transport.stats import FlowStats
+
+
+@dataclass(frozen=True)
+class TransportBuildContext:
+    """Everything a transport factory may need to build one flow's endpoints.
+
+    Attributes:
+        sim: The scenario's simulator.
+        flow: Source/destination addresses of the flow.
+        stats: Per-flow statistics collector shared by sender and sink.
+        config: The full scenario configuration.
+        timing: MAC timing derived from the configured bandwidth.
+        tracer: Scenario-wide tracer.
+    """
+
+    sim: "Simulator"
+    flow: "FlowAddress"
+    stats: "FlowStats"
+    config: "ScenarioConfig"
+    timing: "MacTiming"
+    tracer: "Tracer"
+
+
+#: Factory building a transport agent (sender or sink) for one flow.
+AgentFactory = Callable[[TransportBuildContext], object]
+#: Factory building the application driving a sender; receives the context,
+#: the freshly built sender and the flow's start time.
+ApplicationFactory = Callable[[TransportBuildContext, object, float], object]
+#: Config validator; raises :class:`ConfigurationError` on bad parameters.
+ConfigValidator = Callable[["ScenarioConfig"], None]
+
+
+def ftp_application(ctx: TransportBuildContext, sender: object,
+                    start_time: float) -> FtpApplication:
+    """Default application factory: a persistent FTP transfer."""
+    return FtpApplication(ctx.sim, sender, start_time=start_time)
+
+
+def paced_udp_application(ctx: TransportBuildContext, sender: object,
+                          start_time: float) -> CbrApplication:
+    """CBR application paced at the configured (or analytic) UDP interval."""
+    # Imported lazily: repro.experiments must not be imported while
+    # repro.experiments.config itself is still being initialised.
+    from repro.experiments.paced_udp import default_udp_interval
+
+    interval = ctx.config.udp_interval or default_udp_interval(
+        ctx.timing, ctx.config.tcp.mss
+    )
+    return CbrApplication(ctx.sim, sender, interval=interval, start_time=start_time)
+
+
+@dataclass(frozen=True)
+class TransportProfile:
+    """One registered transport variant.
+
+    Attributes:
+        name: Canonical registry key (short slug, e.g. ``"vegas-at"``); also
+            the tag used in generated scenario preset names.
+        label: Human-readable label used in result names and figure legends.
+        build_sender: Factory for the sending transport agent.
+        build_sink: Factory for the receiving transport agent.
+        build_application: Factory for the application driving the sender
+            (defaults to a persistent FTP transfer).
+        validate: Optional scenario-config validator run at config time.
+        preset_overrides: Extra :class:`ScenarioConfig` fields the generated
+            presets (and preset-style sweeps) apply for this variant, e.g. the
+            window clamp the "optimal window" variant requires.
+        aliases: Additional lookup keys (case-insensitive).
+    """
+
+    name: str
+    label: str
+    build_sender: AgentFactory
+    build_sink: AgentFactory
+    build_application: ApplicationFactory = ftp_application
+    validate: Optional[ConfigValidator] = None
+    preset_overrides: Mapping[str, object] = field(default_factory=dict)
+    aliases: Tuple[str, ...] = ()
+
+    def validate_config(self, config: "ScenarioConfig") -> None:
+        """Run the profile's config validator, if any."""
+        if self.validate is not None:
+            self.validate(config)
+
+
+_PROFILES: Dict[str, TransportProfile] = {}
+_LOOKUP: Dict[str, str] = {}
+_GENERATION = 0
+
+
+def _norm(key: str) -> str:
+    return key.strip().lower()
+
+
+def _bump_generation() -> None:
+    global _GENERATION
+    _GENERATION += 1
+
+
+def registry_generation() -> int:
+    """Monotone counter bumped on every (un)registration.
+
+    Lets derived caches (e.g. the generated scenario preset table) detect
+    that the set of registered transports changed.
+    """
+    return _GENERATION
+
+
+def register_transport(profile: TransportProfile, replace: bool = False) -> TransportProfile:
+    """Register a transport profile under its name, label and aliases.
+
+    Args:
+        profile: The profile to register.
+        replace: Allow overwriting an existing registration with the same
+            name (aliases of *other* profiles still may not be shadowed).
+
+    Returns:
+        The registered profile (for decorator-style use).
+
+    Raises:
+        ConfigurationError: On a duplicate name/alias without ``replace``.
+    """
+    key = _norm(profile.name)
+    if key in _PROFILES and not replace:
+        raise ConfigurationError(f"transport {profile.name!r} is already registered")
+    for alias in (profile.name, profile.label, *profile.aliases):
+        owner = _LOOKUP.get(_norm(alias))
+        if owner is not None and owner != key:
+            # replace only permits overwriting the same-name profile; it never
+            # lets a registration hijack another profile's name or aliases.
+            raise ConfigurationError(
+                f"transport alias {alias!r} already points at {owner!r}"
+            )
+    if key in _PROFILES:
+        unregister_transport(key)  # drop the replaced profile's stale aliases
+    _PROFILES[key] = profile
+    for alias in (profile.name, profile.label, *profile.aliases):
+        _LOOKUP[_norm(alias)] = key
+    _bump_generation()
+    return profile
+
+
+def unregister_transport(name: str) -> None:
+    """Remove a profile (mainly for tests); unknown names are ignored."""
+    key = _LOOKUP.get(_norm(name), _norm(name))
+    profile = _PROFILES.pop(key, None)
+    if profile is None:
+        return
+    for alias in (profile.name, profile.label, *profile.aliases):
+        if _LOOKUP.get(_norm(alias)) == key:
+            del _LOOKUP[_norm(alias)]
+    _bump_generation()
+
+
+def transport_key(variant: object) -> str:
+    """Canonical registry name for a variant given in any accepted form.
+
+    Accepts a canonical name, a label, an alias, or a ``TransportVariant``
+    enum member (matched through its ``value``).
+
+    Raises:
+        ConfigurationError: If the variant is unknown.
+    """
+    raw = variant if isinstance(variant, str) else getattr(variant, "value", None)
+    if isinstance(raw, str):
+        key = _LOOKUP.get(_norm(raw))
+        if key is not None:
+            return key
+    raise ConfigurationError(
+        f"unknown transport variant {variant!r}; registered: "
+        f"{', '.join(transport_names())}"
+    )
+
+
+def get_transport(variant: object) -> TransportProfile:
+    """Resolve a variant (name, label, alias or enum member) to its profile."""
+    return _PROFILES[transport_key(variant)]
+
+
+def transport_names() -> List[str]:
+    """Sorted canonical names of all registered transports."""
+    return sorted(_PROFILES)
+
+
+def transport_profiles() -> List[TransportProfile]:
+    """All registered profiles, sorted by canonical name."""
+    return [_PROFILES[name] for name in transport_names()]
+
+
+# ======================================================================
+# Built-in registrations: the paper's six variants plus one combined
+# variant (ACK thinning + window clamp) that exists purely to show that
+# new variants are registry entries, not runner changes.
+# ======================================================================
+def _tcp_sink(ctx: TransportBuildContext) -> TcpSink:
+    return TcpSink(ctx.sim, ctx.flow, ctx.stats, mss=ctx.config.tcp.mss,
+                   tracer=ctx.tracer)
+
+
+def _thinning_sink(ctx: TransportBuildContext) -> AckThinningSink:
+    return AckThinningSink(ctx.sim, ctx.flow, ctx.stats, mss=ctx.config.tcp.mss,
+                           policy=ctx.config.ack_thinning, tracer=ctx.tracer)
+
+
+def _newreno_sender(ctx: TransportBuildContext) -> NewRenoSender:
+    return NewRenoSender(ctx.sim, ctx.flow, ctx.stats, config=ctx.config.tcp,
+                         tracer=ctx.tracer)
+
+
+def _newreno_clamped_sender(ctx: TransportBuildContext) -> NewRenoSender:
+    return NewRenoSender(ctx.sim, ctx.flow, ctx.stats, config=ctx.config.tcp,
+                         max_cwnd=ctx.config.newreno_max_cwnd, tracer=ctx.tracer)
+
+
+def _vegas_sender(ctx: TransportBuildContext) -> VegasSender:
+    return VegasSender(ctx.sim, ctx.flow, ctx.stats, config=ctx.config.tcp,
+                       parameters=ctx.config.vegas_parameters(), tracer=ctx.tracer)
+
+
+def _udp_sender(ctx: TransportBuildContext) -> UdpSender:
+    return UdpSender(ctx.sim, ctx.flow, ctx.stats, payload_size=ctx.config.tcp.mss,
+                     tracer=ctx.tracer)
+
+
+def _udp_sink(ctx: TransportBuildContext) -> UdpSink:
+    return UdpSink(ctx.sim, ctx.flow, ctx.stats, tracer=ctx.tracer)
+
+
+def _require_max_cwnd(config: "ScenarioConfig") -> None:
+    if config.newreno_max_cwnd is None:
+        raise ConfigurationError(
+            f"{transport_key(config.variant)} requires newreno_max_cwnd to be set"
+        )
+
+
+register_transport(TransportProfile(
+    name="newreno",
+    label="NewReno",
+    build_sender=_newreno_sender,
+    build_sink=_tcp_sink,
+))
+
+register_transport(TransportProfile(
+    name="vegas",
+    label="Vegas",
+    build_sender=_vegas_sender,
+    build_sink=_tcp_sink,
+))
+
+register_transport(TransportProfile(
+    name="newreno-at",
+    label="NewReno ACK Thinning",
+    build_sender=_newreno_sender,
+    build_sink=_thinning_sink,
+))
+
+register_transport(TransportProfile(
+    name="vegas-at",
+    label="Vegas ACK Thinning",
+    build_sender=_vegas_sender,
+    build_sink=_thinning_sink,
+))
+
+register_transport(TransportProfile(
+    name="newreno-optwin",
+    label="NewReno Optimal Window",
+    build_sender=_newreno_clamped_sender,
+    build_sink=_tcp_sink,
+    validate=_require_max_cwnd,
+    preset_overrides={"newreno_max_cwnd": 3.0},
+))
+
+register_transport(TransportProfile(
+    name="paced-udp",
+    label="Paced UDP",
+    build_sender=_udp_sender,
+    build_sink=_udp_sink,
+    build_application=paced_udp_application,
+))
+
+register_transport(TransportProfile(
+    name="newreno-at-optwin",
+    label="NewReno ACK Thinning Optimal Window",
+    build_sender=_newreno_clamped_sender,
+    build_sink=_thinning_sink,
+    validate=_require_max_cwnd,
+    preset_overrides={"newreno_max_cwnd": 3.0},
+))

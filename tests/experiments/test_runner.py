@@ -126,3 +126,59 @@ class TestNamedScenarios:
     def test_unknown_name_rejected(self):
         with pytest.raises(ConfigurationError):
             build_named_scenario("chain99-cubic")
+
+    def test_every_registered_transport_has_presets_for_every_topology(self):
+        from repro.transport.registry import transport_profiles
+
+        names = set(available_scenarios())
+        for profile in transport_profiles():
+            for prefix in ("chain7", "grid", "random"):
+                for btag in ("2mbps", "5.5mbps", "11mbps"):
+                    assert f"{prefix}-{profile.name}-{btag}" in names
+
+    def test_grid_and_random_presets_cover_paced_udp_and_optwin(self):
+        names = available_scenarios()
+        assert "grid-paced-udp-2mbps" in names
+        assert "random-paced-udp-11mbps" in names
+        assert "grid-newreno-optwin-5.5mbps" in names
+        assert "random-newreno-optwin-2mbps" in names
+
+    def test_optwin_presets_carry_window_clamp(self):
+        scenario = build_named_scenario("grid-newreno-optwin-2mbps")
+        assert scenario.config.newreno_max_cwnd == 3.0
+        assert scenario.senders[0].max_cwnd == 3.0
+
+    def test_tracer_threaded_through_named_scenario(self):
+        from repro.core.tracing import Tracer
+
+        tracer = Tracer(enabled=True)
+        scenario = build_named_scenario("chain7-vegas-2mbps", tracer=tracer,
+                                        packet_target=30)
+        assert scenario.tracer is tracer
+        assert all(node.tracer is tracer for node in scenario.nodes.values())
+
+    def test_presets_follow_dynamic_transport_registrations(self):
+        from repro.transport.registry import (
+            TransportProfile, register_transport, unregister_transport,
+        )
+        from repro.transport.sink import TcpSink
+        from repro.transport.vegas import VegasSender
+
+        profile = TransportProfile(
+            name="test-preset-variant",
+            label="Preset Variant (test)",
+            build_sender=lambda ctx: VegasSender(
+                ctx.sim, ctx.flow, ctx.stats, config=ctx.config.tcp,
+                tracer=ctx.tracer),
+            build_sink=lambda ctx: TcpSink(
+                ctx.sim, ctx.flow, ctx.stats, mss=ctx.config.tcp.mss,
+                tracer=ctx.tracer),
+        )
+        register_transport(profile)
+        try:
+            assert "chain7-test-preset-variant-2mbps" in available_scenarios()
+            scenario = build_named_scenario("chain7-test-preset-variant-2mbps")
+            assert isinstance(scenario.senders[0], VegasSender)
+        finally:
+            unregister_transport(profile.name)
+        assert "chain7-test-preset-variant-2mbps" not in available_scenarios()

@@ -1,0 +1,236 @@
+"""Tests for the declarative Study/Sweep API and its parallel executor."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.tracing import Tracer
+from repro.experiments.config import ScenarioConfig, TransportVariant
+from repro.experiments.runner import run_scenario
+from repro.experiments.study import (
+    Study,
+    StudyRunner,
+    SweepSpec,
+    run_study,
+)
+from repro.topology.chain import chain_topology
+
+
+def tiny_config(**overrides) -> ScenarioConfig:
+    defaults = dict(packet_target=20, max_sim_time=25.0)
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    defaults = dict(
+        name="tiny",
+        topology="chain",
+        axes={"variant": [TransportVariant.VEGAS, TransportVariant.NEWRENO],
+              "hops": [2, 3]},
+        base=tiny_config(),
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+class TestSweepSpec:
+    def test_points_are_cartesian_in_axis_order(self):
+        points = tiny_spec().points()
+        assert len(points) == 4
+        assert [p.values["hops"] for p in points] == [2, 3, 2, 3]
+        assert [p.values["variant"] for p in points] == [
+            TransportVariant.VEGAS, TransportVariant.VEGAS,
+            TransportVariant.NEWRENO, TransportVariant.NEWRENO,
+        ]
+
+    def test_axis_classification_config_vs_topology(self):
+        spec = tiny_spec()
+        assert spec.config_axes == ("variant",)
+        assert spec.topology_axes == ("hops",)
+
+    def test_variant_axis_accepts_registry_names(self):
+        spec = tiny_spec(axes={"variant": ["vegas-at"], "hops": [2]})
+        assert spec.points()[0].values["variant"] is TransportVariant.VEGAS_ACK_THINNING
+
+    def test_seed_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(axes={"seed": [1, 2]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(axes={"hops": []})
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(topology="torus")
+
+    def test_zero_replications_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(replications=0)
+
+    def test_prebuilt_topology_with_topology_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(topology=chain_topology(hops=2))
+
+    def test_seeds_follow_base_seed(self):
+        spec = tiny_spec(axes={"hops": [2]}, base=tiny_config(seed=5),
+                         replications=3)
+        assert spec.seeds() == [5, 6, 7]
+        spec = tiny_spec(axes={"hops": [2]}, replications=2, base_seed=40)
+        assert spec.seeds() == [40, 41]
+
+    def test_config_for_applies_variant_overrides_with_axis_precedence(self):
+        spec = tiny_spec(
+            axes={"variant": [TransportVariant.NEWRENO_OPTIMAL_WINDOW],
+                  "hops": [2]},
+            variant_overrides={"newreno-optwin": {"newreno_max_cwnd": 3.0,
+                                                  "queue_capacity": 10}},
+        )
+        config = spec.config_for(
+            {"variant": TransportVariant.NEWRENO_OPTIMAL_WINDOW,
+             "queue_capacity": 25, "hops": 2}, seed=9)
+        assert config.newreno_max_cwnd == 3.0
+        assert config.queue_capacity == 25  # axis value wins over override
+        assert config.seed == 9
+
+    def test_unknown_variant_override_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(variant_overrides={"cubic": {"queue_capacity": 10}})
+
+    def test_fingerprint_distinguishes_points_and_seeds(self):
+        spec = tiny_spec()
+        values_a = {"variant": TransportVariant.VEGAS, "hops": 2}
+        values_b = {"variant": TransportVariant.VEGAS, "hops": 3}
+        assert spec.fingerprint(values_a, 1) != spec.fingerprint(values_b, 1)
+        assert spec.fingerprint(values_a, 1) != spec.fingerprint(values_a, 2)
+        assert spec.fingerprint(values_a, 1) == spec.fingerprint(dict(values_a), 1)
+
+
+class TestStudyExecution:
+    def test_single_replication_matches_run_scenario(self):
+        spec = tiny_spec(axes={"hops": [3]})
+        study = run_study(spec, parallel=False)
+        direct = run_scenario(chain_topology(hops=3), tiny_config())
+        assert study.points[0].run == direct
+
+    def test_replications_use_distinct_seeds_and_aggregate(self):
+        spec = tiny_spec(axes={"hops": [2]}, replications=3)
+        study = run_study(spec, parallel=False)
+        point = study.points[0]
+        assert len(point.runs) == 3
+        assert point.seeds == [1, 2, 3]
+        interval = point.goodput_interval
+        assert interval.mean == pytest.approx(
+            sum(r.aggregate_goodput_bps for r in point.runs) / 3)
+        assert interval.half_width >= 0.0
+
+    def test_serial_and_parallel_runs_are_identical(self):
+        spec = tiny_spec(replications=2, axes={"variant": ["vegas"], "hops": [2, 3]})
+        serial = run_study(spec, parallel=False)
+        parallel = run_study(spec, parallel=True, max_workers=2)
+        assert serial == parallel
+
+    def test_nested_reshapes_by_axis(self):
+        spec = tiny_spec()
+        study = run_study(spec, parallel=False)
+        nested = study.nested("variant", "hops", leaf=lambda p: p.run)
+        assert set(nested) == {TransportVariant.VEGAS, TransportVariant.NEWRENO}
+        assert set(nested[TransportVariant.VEGAS]) == {2, 3}
+        assert nested[TransportVariant.VEGAS][2].delivered_packets >= 20
+
+    def test_point_lookup_and_missing_point(self):
+        study = run_study(tiny_spec(axes={"hops": [2]}), parallel=False)
+        assert study.point(hops=2).run.delivered_packets >= 20
+        with pytest.raises(KeyError):
+            study.point(hops=99)
+
+    def test_point_lookup_accepts_any_variant_spelling(self):
+        study = run_study(tiny_spec(axes={"variant": ["vegas"], "hops": [2]}),
+                          parallel=False)
+        by_name = study.point(variant="vegas", hops=2)
+        by_label = study.point(variant="Vegas", hops=2)
+        by_enum = study.point(variant=TransportVariant.VEGAS, hops=2)
+        assert by_name is by_label is by_enum
+
+    def test_code_change_invalidates_cache_fingerprint(self, monkeypatch):
+        import repro.experiments.study as study_module
+
+        spec = tiny_spec(axes={"hops": [2]})
+        values = spec.points()[0].values
+        before = spec.fingerprint(values, 1)
+        monkeypatch.setattr(study_module, "_CODE_FINGERPRINT", "different-code")
+        assert spec.fingerprint(values, 1) != before
+
+    def test_study_convenience_wrapper(self):
+        study = Study(topology="chain", axes={"hops": [2]}, base=tiny_config())
+        result = study.run(parallel=False)
+        assert result.points[0].run.reached_packet_target
+
+    def test_study_rejects_spec_and_kwargs_together(self):
+        with pytest.raises(ConfigurationError):
+            Study(tiny_spec(), topology="chain")
+
+    def test_tracer_reaches_serial_scenarios(self):
+        tracer = Tracer(enabled=True)
+        runner = StudyRunner(tracer=tracer)
+        runner.run(tiny_spec(axes={"hops": [2]}), parallel=False)
+        assert len(list(tracer)) > 0
+
+
+class TestStudyCache:
+    def test_cache_hit_skips_simulation(self, tmp_path, monkeypatch):
+        spec = tiny_spec(axes={"hops": [2]})
+        runner = StudyRunner(cache_dir=tmp_path)
+        first = runner.run(spec, parallel=False)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+        import repro.experiments.study as study_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("cache miss: scenario was re-simulated")
+
+        monkeypatch.setattr(study_module, "run_scenario", boom)
+        second = runner.run(spec, parallel=False)
+        assert second == first
+
+    def test_corrupt_cache_entry_triggers_rerun(self, tmp_path):
+        spec = tiny_spec(axes={"hops": [2]})
+        runner = StudyRunner(cache_dir=tmp_path)
+        first = runner.run(spec, parallel=False)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        second = runner.run(spec, parallel=False)
+        assert second == first
+
+    def test_config_change_misses_cache(self, tmp_path):
+        runner = StudyRunner(cache_dir=tmp_path)
+        runner.run(tiny_spec(axes={"hops": [2]}), parallel=False)
+        runner.run(tiny_spec(axes={"hops": [2]},
+                             base=tiny_config(queue_capacity=10)), parallel=False)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                    reason="parallel speedup needs at least 2 cores")
+def test_parallel_study_is_faster_than_serial():
+    import time
+
+    spec = tiny_spec(
+        axes={"variant": ["vegas", "newreno"], "hops": [2, 3]},
+        base=tiny_config(packet_target=120, max_sim_time=120.0),
+        replications=2,
+    )
+    start = time.perf_counter()
+    serial = run_study(spec, parallel=False)
+    serial_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_study(spec, parallel=True)
+    parallel_time = time.perf_counter() - start
+
+    assert serial == parallel
+    assert parallel_time < serial_time

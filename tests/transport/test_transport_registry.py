@@ -1,0 +1,142 @@
+"""Tests for the pluggable transport-variant registry."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.config import ScenarioConfig, TransportVariant, resolve_variant
+from repro.experiments.runner import Scenario
+from repro.topology.chain import chain_topology
+from repro.transport.newreno import NewRenoSender
+from repro.transport.registry import (
+    TransportProfile,
+    get_transport,
+    register_transport,
+    transport_key,
+    transport_names,
+    unregister_transport,
+)
+from repro.transport.sink import AckThinningSink, TcpSink
+from repro.transport.vegas import VegasSender
+
+
+class TestLookup:
+    def test_builtin_variants_registered(self):
+        names = transport_names()
+        for expected in ("newreno", "vegas", "newreno-at", "vegas-at",
+                         "newreno-optwin", "paced-udp"):
+            assert expected in names
+
+    def test_lookup_by_enum_name_label_and_case(self):
+        by_enum = get_transport(TransportVariant.VEGAS_ACK_THINNING)
+        assert by_enum is get_transport("vegas-at")
+        assert by_enum is get_transport("Vegas ACK Thinning")
+        assert by_enum is get_transport("VEGAS-AT")
+
+    def test_transport_key_canonicalizes(self):
+        assert transport_key(TransportVariant.PACED_UDP) == "paced-udp"
+        assert transport_key("Paced UDP") == "paced-udp"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_transport("cubic")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_transport(TransportProfile(
+                name="vegas", label="Vegas again",
+                build_sender=lambda ctx: None, build_sink=lambda ctx: None,
+            ))
+
+    def test_replace_cannot_hijack_another_profiles_alias(self):
+        # replace=True permits same-name overwrites only; it must never steal
+        # another profile's name or label.
+        with pytest.raises(ConfigurationError):
+            register_transport(TransportProfile(
+                name="mine", label="Vegas",
+                build_sender=lambda ctx: None, build_sink=lambda ctx: None,
+            ), replace=True)
+        assert get_transport("vegas").name == "vegas"
+
+    def test_replace_drops_the_replaced_profiles_stale_aliases(self):
+        original = get_transport("newreno-at")
+        register_transport(TransportProfile(
+            name="newreno-at", label="NR-AT (replaced)",
+            build_sender=original.build_sender, build_sink=original.build_sink,
+        ), replace=True)
+        try:
+            assert get_transport("NR-AT (replaced)").label == "NR-AT (replaced)"
+            with pytest.raises(ConfigurationError):
+                get_transport("NewReno ACK Thinning")  # old label must be gone
+        finally:
+            register_transport(original, replace=True)
+        assert get_transport(TransportVariant.NEWRENO_ACK_THINNING) is original
+
+
+class TestRunnerIsVariantAgnostic:
+    def test_runner_source_has_no_variant_branches(self):
+        # The acceptance criterion of the registry redesign: the scenario
+        # runner contains no TransportVariant-specific branches at all.
+        import repro.experiments.runner as runner_module
+
+        assert "TransportVariant" not in inspect.getsource(runner_module)
+
+
+class TestCombinedBuiltinVariant:
+    """newreno-at-optwin exists purely as a registration — no runner code."""
+
+    def test_builds_clamped_sender_and_thinning_sink(self):
+        config = ScenarioConfig(variant="newreno-at-optwin", newreno_max_cwnd=3.0,
+                                packet_target=50, max_sim_time=20.0)
+        scenario = Scenario(chain_topology(hops=2), config)
+        assert isinstance(scenario.senders[0], NewRenoSender)
+        assert scenario.senders[0].max_cwnd == 3.0
+        assert isinstance(scenario.sinks[0], AckThinningSink)
+
+    def test_requires_window_clamp(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(variant="newreno-at-optwin")
+
+
+@pytest.fixture
+def clamped_vegas_profile():
+    """A brand-new variant registered on the fly: Vegas with α=1 thresholds."""
+    profile = TransportProfile(
+        name="test-vegas-a1",
+        label="Vegas alpha=1 (test)",
+        build_sender=lambda ctx: VegasSender(
+            ctx.sim, ctx.flow, ctx.stats, config=ctx.config.tcp,
+            tracer=ctx.tracer,
+        ),
+        build_sink=lambda ctx: TcpSink(
+            ctx.sim, ctx.flow, ctx.stats, mss=ctx.config.tcp.mss,
+            tracer=ctx.tracer,
+        ),
+    )
+    register_transport(profile)
+    yield profile
+    unregister_transport(profile.name)
+
+
+class TestCustomVariant:
+    def test_config_accepts_custom_variant_as_string(self, clamped_vegas_profile):
+        config = ScenarioConfig(variant="test-vegas-a1")
+        assert config.variant == "test-vegas-a1"
+        assert resolve_variant("Vegas alpha=1 (test)") == "test-vegas-a1"
+
+    def test_scenario_builds_and_runs_custom_variant(self, clamped_vegas_profile):
+        config = ScenarioConfig(variant="test-vegas-a1", packet_target=25,
+                                max_sim_time=30.0)
+        scenario = Scenario(chain_topology(hops=2), config)
+        assert isinstance(scenario.senders[0], VegasSender)
+        assert type(scenario.sinks[0]) is TcpSink
+        result = scenario.run()
+        assert result.delivered_packets >= 25
+        assert result.variant == "Vegas alpha=1 (test)"
+
+    def test_unregistered_variant_rejected_after_teardown(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(variant="test-vegas-a1")
