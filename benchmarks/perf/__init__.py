@@ -1,0 +1,21 @@
+"""Performance benchmark suite for the simulation kernel.
+
+Unlike the ``bench_fig*`` modules (which reproduce the paper's figures), this
+package measures *simulator speed* and records it to ``BENCH_kernel.json`` at
+the repository root so every PR has a performance trajectory:
+
+* :mod:`benchmarks.perf.kernel_bench` — engine microbenchmarks (raw event
+  throughput, timer churn with tombstone cancellation), run against both the
+  current engine and the embedded pre-optimisation reference kernel.
+* :mod:`benchmarks.perf.scenario_bench` — macro benchmarks: the paper's 7-hop
+  chain FTP scenario (TCP with ACK thinning) and a 50-node random-topology
+  stress scenario with five concurrent flows.
+* :mod:`benchmarks.perf.legacy` — the pre-optimisation kernel (dataclass
+  events, ``copy.copy``-based packet copies), kept so speedups are measured
+  in the same process on the same machine instead of against stale numbers.
+
+Run the full suite (≈30 s) or a CI smoke pass with::
+
+    PYTHONPATH=src python -m benchmarks.perf
+    PYTHONPATH=src python -m benchmarks.perf --smoke
+"""

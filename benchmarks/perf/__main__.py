@@ -1,0 +1,89 @@
+"""Entry point: run the kernel perf suite and emit ``BENCH_kernel.json``.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf            # full suite (≈30 s)
+    PYTHONPATH=src python -m benchmarks.perf --smoke    # CI smoke (a few s)
+    PYTHONPATH=src python -m benchmarks.perf -o out.json
+
+The JSON records, per benchmark, wall time, events processed, events/sec and
+the same-run speedup over the embedded pre-optimisation kernel, so successive
+PRs can track the simulator's performance trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import sys
+from pathlib import Path
+
+from benchmarks.perf.kernel_bench import DEFAULT_EVENTS, run_kernel_benchmarks
+from benchmarks.perf.scenario_bench import (
+    CHAIN_PACKET_TARGET,
+    STRESS_PACKET_TARGET,
+    run_scenario_benchmarks,
+)
+
+#: Smoke-mode budgets: enough events to exercise every code path, small enough
+#: for a CI job measured in seconds.
+SMOKE_EVENTS = 20_000
+SMOKE_PACKET_TARGET = 40
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent.parent / "BENCH_kernel.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf",
+        description="Simulation-kernel performance benchmarks",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny event budget for CI smoke runs")
+    parser.add_argument("-o", "--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    n_events = SMOKE_EVENTS if args.smoke else DEFAULT_EVENTS
+    chain_target = SMOKE_PACKET_TARGET if args.smoke else CHAIN_PACKET_TARGET
+    stress_target = SMOKE_PACKET_TARGET if args.smoke else STRESS_PACKET_TARGET
+
+    print(f"engine microbenchmarks ({n_events} events each) ...", flush=True)
+    benchmarks = dict(run_kernel_benchmarks(n_events))
+    print(f"scenario benchmarks (chain target {chain_target}, "
+          f"stress target {stress_target}) ...", flush=True)
+    benchmarks.update(run_scenario_benchmarks(chain_target, stress_target))
+
+    report = {
+        "suite": "kernel",
+        "smoke": args.smoke,
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": benchmarks,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    width = max(len(name) for name in benchmarks)
+    print(f"\n{'benchmark':<{width}}  {'events/sec':>12}  {'wall (s)':>9}  speedup")
+    for name, result in benchmarks.items():
+        speedup = result.get("speedup_vs_legacy")
+        speedup_text = f"{speedup:6.2f}x" if speedup is not None else "      -"
+        print(f"{name:<{width}}  {result['events_per_sec']:>12,.0f}  "
+              f"{result['wall_time']:>9.3f}  {speedup_text}")
+    print(f"\nwrote {args.output}")
+
+    slowdowns = [
+        name for name, result in benchmarks.items()
+        if result.get("speedup_vs_legacy") is not None
+        and result["speedup_vs_legacy"] < 1.0
+    ]
+    if slowdowns:
+        print(f"WARNING: slower than the legacy kernel on: {', '.join(slowdowns)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

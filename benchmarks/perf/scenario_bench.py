@@ -1,0 +1,106 @@
+"""Macro benchmarks: full protocol-stack scenarios timed end to end.
+
+Two workloads bracket the simulator's operating range:
+
+* ``chain7_ftp`` — the paper's canonical 7-hop chain with one FTP flow over
+  TCP with ACK thinning (the ``vegas-at`` variant), the scenario every figure
+  in the paper is built from.
+* ``random50_stress`` — 50 nodes placed uniformly in a 1300 m × 800 m area
+  with five concurrent flows: heavy contention, hidden terminals and AODV
+  recovery traffic, i.e. the event mix a production-scale run produces.
+
+Each benchmark reports wall time, processed engine events and events/sec, and
+is also run with the legacy kernel swapped in (see
+:mod:`benchmarks.perf.legacy`) to yield a same-machine speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import Scenario
+from repro.experiments.scenarios import build_named_scenario
+from repro.net.packet import reset_packet_ids
+from repro.topology.random_topology import random_topology
+
+from benchmarks.perf.legacy import legacy_kernel
+
+#: Default in-order packet targets (tuned so the full suite stays ≈30 s).
+CHAIN_PACKET_TARGET = 400
+STRESS_PACKET_TARGET = 400
+
+#: 50-node stress topology parameters: the paper's random-placement density,
+#: scaled from 120 nodes / 2500×1000 m² down to 50 nodes.
+STRESS_NODE_COUNT = 50
+STRESS_AREA = (1300.0, 800.0)
+STRESS_FLOW_COUNT = 5
+STRESS_SEED = 11
+
+
+def _run_and_measure(scenario: Scenario) -> Dict[str, float]:
+    start = time.perf_counter()
+    result = scenario.run()
+    wall = time.perf_counter() - start
+    events = scenario.sim.events_processed
+    return {
+        "wall_time": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "delivered_packets": result.delivered_packets,
+        "simulated_time": result.simulated_time,
+    }
+
+
+def _build_chain7(packet_target: int) -> Scenario:
+    reset_packet_ids()
+    return build_named_scenario("chain7-vegas-at-2mbps", packet_target=packet_target,
+                                seed=3)
+
+
+def _build_random50(packet_target: int) -> Scenario:
+    reset_packet_ids()
+    topology = random_topology(node_count=STRESS_NODE_COUNT, area=STRESS_AREA,
+                               flow_count=STRESS_FLOW_COUNT, seed=STRESS_SEED)
+    config = ScenarioConfig(variant="vegas", packet_target=packet_target,
+                            seed=STRESS_SEED, max_sim_time=200.0)
+    return Scenario(topology, config)
+
+
+def bench_chain7_ftp(packet_target: int = CHAIN_PACKET_TARGET) -> Dict[str, float]:
+    """7-hop chain, one FTP flow over TCP with ACK thinning at 2 Mbit/s."""
+    return _run_and_measure(_build_chain7(packet_target))
+
+
+def bench_random50_stress(packet_target: int = STRESS_PACKET_TARGET) -> Dict[str, float]:
+    """50-node random topology, five concurrent Vegas flows."""
+    return _run_and_measure(_build_random50(packet_target))
+
+
+def run_scenario_benchmarks(
+    chain_target: int = CHAIN_PACKET_TARGET,
+    stress_target: int = STRESS_PACKET_TARGET,
+) -> Dict[str, Dict[str, float]]:
+    """Run both macro benchmarks on the current and the legacy kernel.
+
+    Returns:
+        Mapping of benchmark name to its result dict; ``*_legacy`` entries hold
+        the reference-kernel numbers and each current entry gains a
+        ``speedup_vs_legacy`` field.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    for name, builder, target in (
+        ("chain7_ftp", _build_chain7, chain_target),
+        ("random50_stress", _build_random50, stress_target),
+    ):
+        current = _run_and_measure(builder(target))
+        with legacy_kernel():
+            legacy = _run_and_measure(builder(target))
+        current["speedup_vs_legacy"] = (
+            current["events_per_sec"] / legacy["events_per_sec"]
+            if legacy["events_per_sec"] else float("nan")
+        )
+        results[name] = current
+        results[f"{name}_legacy"] = legacy
+    return results

@@ -14,19 +14,35 @@ Typical use::
 Components hold a reference to the simulator and use :meth:`Simulator.schedule`
 / :meth:`Simulator.cancel` for their timers.  The engine itself knows nothing
 about networks; it only orders callbacks in time.
+
+Performance notes
+-----------------
+This module is the hottest code in the simulator, so it deliberately trades a
+little purity for speed:
+
+* Heap entries are plain tuples ``(time, sequence, callback, args, event)``.
+  The unique, monotonically increasing ``sequence`` breaks time ties at
+  C speed (tuple comparison never reaches the callback), which both pins the
+  FIFO-among-equals ordering explicitly and avoids a Python-level ``__lt__``
+  call per heap comparison.
+* :class:`Event` is a ``__slots__`` handle used only for cancellation and
+  introspection; the run loop reads the callback straight out of the tuple.
+* Cancellation is a tombstone: the event is flagged and skipped when it
+  reaches the top of the heap, so ``cancel`` is O(1).
 """
 
 from __future__ import annotations
 
 import heapq
-import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from math import isfinite as _isfinite
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.core.errors import SchedulingError
 
+#: Heap entry layout: (time, sequence, callback, args, event-handle).
+_Entry = Tuple[float, int, Callable[..., None], tuple, "Event"]
 
-@dataclass(order=True)
+
 class Event:
     """A scheduled callback.
 
@@ -35,11 +51,39 @@ class Event:
     deterministic even when two events share the same timestamp.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        """Explicit ``(time, sequence)`` ordering (FIFO among same-time events)."""
+        if self.time != other.time:
+            return self.time < other.time
+        return self.sequence < other.sequence
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.time == other.time and self.sequence == other.sequence
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.sequence))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time!r}, seq={self.sequence}{state})"
 
     def cancel(self) -> None:
         """Mark this event as cancelled; it will be skipped when popped."""
@@ -60,7 +104,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[Event] = []
+        self._queue: List[_Entry] = []
         self._sequence: int = 0
         self._events_processed: int = 0
         self._running: bool = False
@@ -83,9 +127,16 @@ class Simulator:
         Raises:
             SchedulingError: If ``delay`` is negative or not finite.
         """
-        if delay < 0 or not math.isfinite(delay):
+        if delay < 0 or not _isfinite(delay):
             raise SchedulingError(f"invalid delay {delay!r}")
-        return self.schedule_at(self.now + delay, callback, *args)
+        # Inlined schedule_at body: `now + delay` is always a valid time here,
+        # so the past/finite re-check would be redundant work on the hot path.
+        time = self.now + delay
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, sequence, callback, args)
+        heapq.heappush(self._queue, (time, sequence, callback, args, event))
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute simulation time ``time``.
@@ -93,23 +144,25 @@ class Simulator:
         Raises:
             SchedulingError: If ``time`` lies in the past or is not finite.
         """
-        if time < self.now or not math.isfinite(time):
+        if time < self.now or not _isfinite(time):
             raise SchedulingError(
                 f"cannot schedule at {time!r}; current time is {self.now!r}"
             )
-        event = Event(time=time, sequence=self._sequence, callback=callback, args=args)
-        self._sequence += 1
-        heapq.heappush(self._queue, event)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, sequence, callback, args)
+        heapq.heappush(self._queue, (time, sequence, callback, args, event))
         return event
 
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel a previously scheduled event.
 
         Cancelling ``None`` or an already-cancelled event is a no-op, which
-        lets protocol code unconditionally cancel its timer handles.
+        lets protocol code unconditionally cancel its timer handles.  The
+        event stays in the heap as a tombstone and is discarded when popped.
         """
         if event is not None:
-            event.cancel()
+            event.cancelled = True
 
     # ------------------------------------------------------------------
     # Execution API
@@ -127,24 +180,27 @@ class Simulator:
             The number of events processed during this call.
         """
         processed = 0
+        queue = self._queue
+        pop = heapq.heappop
         self._running = True
         self._stop_requested = False
         try:
-            while self._queue:
+            while queue:
                 if self._stop_requested:
                     break
                 if max_events is not None and processed >= max_events:
                     break
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
+                entry = queue[0]
+                if entry[4].cancelled:
+                    pop(queue)
                     continue
-                if until is not None and event.time > until:
+                time = entry[0]
+                if until is not None and time > until:
                     self.now = until
                     break
-                heapq.heappop(self._queue)
-                self.now = event.time
-                event.callback(*event.args)
+                pop(queue)
+                self.now = time
+                entry[2](*entry[3])
                 processed += 1
                 self._events_processed += 1
             else:
@@ -164,8 +220,8 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled placeholders)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of events still queued (excluding cancelled tombstones)."""
+        return sum(1 for entry in self._queue if not entry[4].cancelled)
 
     @property
     def events_processed(self) -> int:
@@ -189,6 +245,8 @@ class Timer:
     have to track raw :class:`Event` handles.
     """
 
+    __slots__ = ("_sim", "_callback", "_event")
+
     def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
         self._sim = sim
         self._callback = callback
@@ -196,13 +254,16 @@ class Timer:
 
     def start(self, delay: float) -> None:
         """Start (or restart) the timer to fire ``delay`` seconds from now."""
-        self.cancel()
+        event = self._event
+        if event is not None:
+            event.cancelled = True
         self._event = self._sim.schedule(delay, self._fire)
 
     def cancel(self) -> None:
         """Cancel the timer if it is pending."""
-        if self._event is not None:
-            self._event.cancel()
+        event = self._event
+        if event is not None:
+            event.cancelled = True
             self._event = None
 
     def _fire(self) -> None:
@@ -212,11 +273,13 @@ class Timer:
     @property
     def is_pending(self) -> bool:
         """True if the timer is armed and has not fired or been cancelled."""
-        return self._event is not None and self._event.is_pending
+        event = self._event
+        return event is not None and not event.cancelled
 
     @property
     def expiry_time(self) -> Optional[float]:
         """Absolute time at which the timer will fire, or None if idle."""
-        if self.is_pending and self._event is not None:
-            return self._event.time
+        event = self._event
+        if event is not None and not event.cancelled:
+            return event.time
         return None

@@ -4,12 +4,23 @@ A :class:`Tracer` collects structured trace records (time, layer, event name,
 details).  Traces are disabled by default and intended for debugging and for
 tests that assert on protocol behaviour (e.g. "an RERR was generated after the
 MAC retry limit was exceeded").
+
+Null-tracer fast path
+---------------------
+Components that receive no tracer are handed the shared :data:`NULL_TRACER`, a
+:class:`NullTracer` whose ``record`` is a bare no-op and whose ``enabled`` flag
+is permanently ``False``.  Hot-path call sites guard their ``record`` calls
+with ``if self.tracer.enabled:`` so that an untraced simulation pays a single
+attribute load and branch per potential trace point — no method call and no
+keyword-argument dict is ever built.  Code that traces rarely may still call
+``record`` unconditionally; it remains safe on every tracer.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -73,6 +84,48 @@ class Tracer:
         ]
 
 
+def trace_digest(records: Iterable[TraceRecord]) -> str:
+    """Return a SHA-256 digest of a trace.
+
+    Two simulation runs produce the same digest exactly when every record —
+    time, layer, event name, node and detail payload — is identical, which is
+    what the golden-trace regression tests pin: kernel optimisations must not
+    change simulation behaviour in any observable way.
+    """
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(
+            repr((record.time, record.layer, record.event, record.node,
+                  record.details)).encode()
+        )
+    return digest.hexdigest()
+
+
+class NullTracer(Tracer):
+    """A tracer that can never be enabled and records nothing.
+
+    Used as the default tracer for every component so that protocol code never
+    needs a ``None`` check, while keeping untraced simulations free of tracing
+    overhead.  Attempts to enable it are silently ignored (enable tracing by
+    passing a real :class:`Tracer` to the component instead).
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def record(self, *args: Any, **kwargs: Any) -> None:
+        """No-op; the null tracer never records."""
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Keep `enabled` pinned to False so hot-path guards stay dead code
+        # even if a caller flips the flag on the shared NULL_TRACER.
+        if name == "enabled" and value:
+            return
+        super().__setattr__(name, value)
+
+
 #: A module-level tracer that is always disabled; components that receive no
 #: tracer use this one so they never need a None check.
-NULL_TRACER = Tracer(enabled=False)
+NULL_TRACER = NullTracer()

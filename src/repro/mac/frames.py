@@ -1,40 +1,64 @@
-"""Helpers for constructing 802.11 control and data frames."""
+"""Helpers for constructing 802.11 control and data frames.
+
+Control frames are built a few times per data packet (RTS/CTS/ACK), so the
+constructors below assemble the :class:`Packet` and :class:`MacHeader` with
+``__new__`` and direct slot assignment instead of the dataclass ``__init__``.
+The uid counter is advanced through :func:`repro.net.packet.next_packet_id`
+exactly as the dataclass constructor would, keeping traces bit-identical.
+"""
 
 from __future__ import annotations
 
 from repro.net.headers import BROADCAST, MacFrameType, MacHeader
-from repro.net.packet import Packet
+from repro.net.packet import Packet, next_packet_id
+
+
+def _control_frame(frame_type: MacFrameType, src: int, dst: int, nav: float) -> Packet:
+    """Build a zero-payload control frame with the given MAC header."""
+    mac = object.__new__(MacHeader)
+    mac.frame_type = frame_type
+    mac.src = src
+    mac.dst = dst
+    mac.duration = nav
+    mac.retry = False
+
+    packet = object.__new__(Packet)
+    packet.payload_size = 0
+    packet.uid = next_packet_id()
+    packet.flow_id = None
+    packet.created_at = 0.0
+    packet.mac = mac
+    packet.ip = None
+    packet.tcp = None
+    packet.udp = None
+    packet.aodv = None
+    return packet
 
 
 def make_rts(src: int, dst: int, nav: float) -> Packet:
     """Build an RTS frame reserving the medium for ``nav`` seconds."""
-    return Packet(
-        payload_size=0,
-        mac=MacHeader(frame_type=MacFrameType.RTS, src=src, dst=dst, duration=nav),
-    )
+    return _control_frame(MacFrameType.RTS, src, dst, nav)
 
 
 def make_cts(src: int, dst: int, nav: float) -> Packet:
     """Build a CTS frame addressed to the RTS originator."""
-    return Packet(
-        payload_size=0,
-        mac=MacHeader(frame_type=MacFrameType.CTS, src=src, dst=dst, duration=nav),
-    )
+    return _control_frame(MacFrameType.CTS, src, dst, nav)
 
 
 def make_ack(src: int, dst: int) -> Packet:
     """Build a MAC-level acknowledgement frame."""
-    return Packet(
-        payload_size=0,
-        mac=MacHeader(frame_type=MacFrameType.ACK, src=src, dst=dst, duration=0.0),
-    )
+    return _control_frame(MacFrameType.ACK, src, dst, 0.0)
 
 
 def attach_data_header(packet: Packet, src: int, dst: int, nav: float, retry: bool) -> Packet:
     """Attach (or replace) a DATA MAC header on a network-layer packet."""
-    packet.mac = MacHeader(
-        frame_type=MacFrameType.DATA, src=src, dst=dst, duration=nav, retry=retry
-    )
+    mac = object.__new__(MacHeader)
+    mac.frame_type = MacFrameType.DATA
+    mac.src = src
+    mac.dst = dst
+    mac.duration = nav
+    mac.retry = retry
+    packet.mac = mac
     return packet
 
 

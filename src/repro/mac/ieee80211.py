@@ -268,7 +268,9 @@ class Ieee80211Mac(PhyListener):
         self._finish_current(success=True)
 
     def _is_duplicate(self, src: int, uid: int) -> bool:
-        cache = self._rx_cache.setdefault(src, deque(maxlen=self.DEDUPE_CACHE_SIZE))
+        cache = self._rx_cache.get(src)
+        if cache is None:
+            cache = self._rx_cache[src] = deque(maxlen=self.DEDUPE_CACHE_SIZE)
         if uid in cache:
             return True
         cache.append(uid)
@@ -300,8 +302,9 @@ class Ieee80211Mac(PhyListener):
         duration = self.timing.data_duration(frame_size)
         self._current.require_mac().duration = 0.0
         self.stats.broadcasts_sent += 1
-        self.tracer.record(self.sim.now, "mac", "broadcast", node=self.node_id,
-                           uid=self._current.uid)
+        if self.tracer.enabled:
+            self.tracer.record(self.sim.now, "mac", "broadcast", node=self.node_id,
+                               uid=self._current.uid)
         self.radio.transmit(self._current, duration)
         self.sim.schedule(duration, self._broadcast_complete)
 
@@ -315,9 +318,10 @@ class Ieee80211Mac(PhyListener):
         rts = make_rts(self.node_id, self._current_next_hop, nav)
         self.state = MacState.WAIT_CTS
         self.stats.rts_tx += 1
-        self.tracer.record(self.sim.now, "mac", "rts", node=self.node_id,
-                           dst=self._current_next_hop, uid=self._current.uid,
-                           attempt=self._attempt_index())
+        if self.tracer.enabled:
+            self.tracer.record(self.sim.now, "mac", "rts", node=self.node_id,
+                               dst=self._current_next_hop, uid=self._current.uid,
+                               attempt=self._attempt_index())
         self.radio.transmit(rts, self.timing.rts_duration)
         self._response_timer.start(self.timing.rts_duration + self.timing.cts_timeout())
 
@@ -335,8 +339,9 @@ class Ieee80211Mac(PhyListener):
         )
         self.state = MacState.WAIT_ACK
         self.stats.data_tx_attempts += 1
-        self.tracer.record(self.sim.now, "mac", "data", node=self.node_id,
-                           dst=self._current_next_hop, uid=self._current.uid)
+        if self.tracer.enabled:
+            self.tracer.record(self.sim.now, "mac", "data", node=self.node_id,
+                               dst=self._current_next_hop, uid=self._current.uid)
         self.radio.transmit(self._current, duration)
         self._response_timer.start(duration + self.timing.ack_timeout())
 
@@ -349,16 +354,18 @@ class Ieee80211Mac(PhyListener):
         if self.state is MacState.WAIT_CTS:
             self.stats.rts_timeouts += 1
             self._short_retries += 1
-            self.tracer.record(self.sim.now, "mac", "cts_timeout", node=self.node_id,
-                               uid=self._current.uid, retries=self._short_retries)
+            if self.tracer.enabled:
+                self.tracer.record(self.sim.now, "mac", "cts_timeout", node=self.node_id,
+                                   uid=self._current.uid, retries=self._short_retries)
             if self._short_retries >= self.timing.short_retry_limit:
                 self._drop_current()
                 return
         elif self.state is MacState.WAIT_ACK:
             self.stats.ack_timeouts += 1
             self._long_retries += 1
-            self.tracer.record(self.sim.now, "mac", "ack_timeout", node=self.node_id,
-                               uid=self._current.uid, retries=self._long_retries)
+            if self.tracer.enabled:
+                self.tracer.record(self.sim.now, "mac", "ack_timeout", node=self.node_id,
+                                   uid=self._current.uid, retries=self._long_retries)
             if self._long_retries >= self.timing.long_retry_limit:
                 self._drop_current()
                 return
@@ -371,8 +378,9 @@ class Ieee80211Mac(PhyListener):
 
     def _drop_current(self) -> None:
         self.stats.data_dropped_retry += 1
-        self.tracer.record(self.sim.now, "mac", "retry_drop", node=self.node_id,
-                           uid=self._current.uid if self._current else None)
+        if self.tracer.enabled:
+            self.tracer.record(self.sim.now, "mac", "retry_drop", node=self.node_id,
+                               uid=self._current.uid if self._current else None)
         self._finish_current(success=False)
 
     def _finish_current(self, success: bool) -> None:

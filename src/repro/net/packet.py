@@ -5,11 +5,14 @@ added as it descends the protocol stack.  Its :attr:`Packet.size` is the sum of
 the payload and all attached header sizes, which is what the PHY uses for
 serialization delay.  Packets are copied (not shared) when broadcast to several
 receivers so per-hop mutation (TTL, MAC addressing) stays local.
+
+Packets and their headers use ``__slots__`` and hand-rolled ``copy`` paths:
+the channel clones every frame once per potential receiver, making packet
+copying one of the hottest allocation sites in the simulator.
 """
 
 from __future__ import annotations
 
-import copy
 import itertools
 from dataclasses import dataclass, field
 from typing import Optional
@@ -20,7 +23,29 @@ from repro.net.headers import AodvHeader, IpHeader, MacHeader, TcpHeader, UdpHea
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+def next_packet_id() -> int:
+    """Draw the next uid from the global packet counter.
+
+    Fast constructors that build packets with ``__new__`` (bypassing the
+    dataclass ``__init__`` and its ``default_factory``) must draw their uid
+    through this helper so the counter advances exactly as if the dataclass
+    constructor had run — pinned golden traces depend on it.
+    """
+    return next(_packet_ids)
+
+
+def reset_packet_ids() -> None:
+    """Restart the global packet uid counter at 1.
+
+    Intended for tests and benchmarks that pin deterministic traces: packet
+    uids appear in trace records, so reproducing a golden trace requires the
+    counter to start from a known state.
+    """
+    global _packet_ids
+    _packet_ids = itertools.count(1)
+
+
+@dataclass(slots=True)
 class Packet:
     """A simulated packet.
 
@@ -52,43 +77,56 @@ class Packet:
     def size(self) -> int:
         """Total on-air size in bytes: payload plus all attached headers."""
         total = self.payload_size
-        for header in (self.mac, self.ip, self.tcp, self.udp, self.aodv):
-            if header is not None:
-                total += header.size
+        if self.mac is not None:
+            total += self.mac.size
+        if self.ip is not None:
+            total += self.ip.size
+        if self.tcp is not None:
+            total += self.tcp.size
+        if self.udp is not None:
+            total += self.udp.size
+        if self.aodv is not None:
+            total += self.aodv.size
         return total
 
     @property
     def network_size(self) -> int:
         """Size in bytes above the MAC layer (payload + IP/transport headers)."""
         total = self.payload_size
-        for header in (self.ip, self.tcp, self.udp, self.aodv):
-            if header is not None:
-                total += header.size
+        if self.ip is not None:
+            total += self.ip.size
+        if self.tcp is not None:
+            total += self.tcp.size
+        if self.udp is not None:
+            total += self.udp.size
+        if self.aodv is not None:
+            total += self.aodv.size
         return total
 
     def copy(self) -> "Packet":
         """Return an independent copy of this packet (same uid, fresh headers).
 
-        Implemented with explicit per-header copies rather than
-        :func:`copy.deepcopy`: the channel copies every frame once per
-        potential receiver, so this is one of the hottest paths in the
-        simulator.
+        Implemented with ``__new__`` plus per-header ``clone()`` calls rather
+        than :func:`copy.deepcopy` or the dataclass constructor: the channel
+        copies every frame once per potential receiver, so this is one of the
+        hottest paths in the simulator.
         """
-        aodv = None
-        if self.aodv is not None:
-            aodv = copy.copy(self.aodv)
-            aodv.unreachable = list(self.aodv.unreachable)
-        return Packet(
-            payload_size=self.payload_size,
-            uid=self.uid,
-            flow_id=self.flow_id,
-            created_at=self.created_at,
-            mac=copy.copy(self.mac) if self.mac is not None else None,
-            ip=copy.copy(self.ip) if self.ip is not None else None,
-            tcp=copy.copy(self.tcp) if self.tcp is not None else None,
-            udp=copy.copy(self.udp) if self.udp is not None else None,
-            aodv=aodv,
-        )
+        new = object.__new__(Packet)
+        new.payload_size = self.payload_size
+        new.uid = self.uid
+        new.flow_id = self.flow_id
+        new.created_at = self.created_at
+        mac = self.mac
+        new.mac = mac.clone() if mac is not None else None
+        ip = self.ip
+        new.ip = ip.clone() if ip is not None else None
+        tcp = self.tcp
+        new.tcp = tcp.clone() if tcp is not None else None
+        udp = self.udp
+        new.udp = udp.clone() if udp is not None else None
+        aodv = self.aodv
+        new.aodv = aodv.clone() if aodv is not None else None
+        return new
 
     # ------------------------------------------------------------------
     # Header accessors that raise a clear error when a layer is missing.

@@ -55,6 +55,10 @@ class WirelessChannel:
         # pair.  The topologies in this study are static, so the cache never
         # invalidates unless a position is explicitly updated.
         self._link_cache: Dict[Tuple[int, int], Tuple[bool, bool, float, float]] = {}
+        # Per-sender delivery list: (radio, delay, receivable, power) for every
+        # radio inside interference range, in registration order.  Lets
+        # broadcast() skip out-of-range radios without touching them.
+        self._delivery_cache: Dict[int, List[Tuple[Radio, float, bool, float]]] = {}
 
     # ------------------------------------------------------------------
     # Registration / topology
@@ -66,6 +70,7 @@ class WirelessChannel:
         self._radios[radio.node_id] = radio
         self._positions[radio.node_id] = position
         self._link_cache.clear()
+        self._delivery_cache.clear()
 
     def set_position(self, node_id: int, position: Position) -> None:
         """Move a node (invalidates the link cache)."""
@@ -73,6 +78,7 @@ class WirelessChannel:
             raise ConfigurationError(f"unknown node {node_id}")
         self._positions[node_id] = position
         self._link_cache.clear()
+        self._delivery_cache.clear()
 
     def position_of(self, node_id: int) -> Position:
         """Return the position of ``node_id``."""
@@ -106,19 +112,34 @@ class WirelessChannel:
         receiver gets its own copy of the packet after the (tiny) propagation
         delay; whether the copy is decodable is decided by the receiving radio.
         """
-        self.stats.transmissions += 1
-        self.stats.bytes_transmitted += packet.size
+        stats = self.stats
+        stats.transmissions += 1
+        stats.bytes_transmitted += packet.size
         sender_id = sender.node_id
+        deliveries = self._delivery_cache.get(sender_id)
+        if deliveries is None:
+            deliveries = self._build_deliveries(sender_id)
+        stats.deliveries_attempted += len(deliveries)
+        schedule = self.sim.schedule
+        for radio, delay, receivable, power in deliveries:
+            schedule(delay, radio.signal_start, packet.copy(), duration, receivable, power)
+
+    def _build_deliveries(self, sender_id: int) -> List[Tuple[Radio, float, bool, float]]:
+        """Compute and cache the in-range receiver list for ``sender_id``.
+
+        Iterates radios in registration order so scheduled delivery order (and
+        with it the event sequence numbers) is identical to delivering from
+        the radio table directly — golden traces depend on that order.
+        """
+        deliveries: List[Tuple[Radio, float, bool, float]] = []
         for receiver_id, radio in self._radios.items():
             if receiver_id == sender_id:
                 continue
             receivable, interferes, delay, power = self._link(sender_id, receiver_id)
-            if not interferes:
-                continue
-            self.stats.deliveries_attempted += 1
-            self.sim.schedule(
-                delay, radio.signal_start, packet.copy(), duration, receivable, power
-            )
+            if interferes:
+                deliveries.append((radio, delay, receivable, power))
+        self._delivery_cache[sender_id] = deliveries
+        return deliveries
 
     def _link(self, src: int, dst: int) -> Tuple[bool, bool, float, float]:
         key = (src, dst)

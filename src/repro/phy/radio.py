@@ -40,7 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.phy.channel import WirelessChannel
 
 
-@dataclass
+@dataclass(slots=True)
 class _Signal:
     """One signal currently arriving at this radio."""
 
@@ -106,16 +106,18 @@ class Radio:
         """Start transmitting ``packet``; it occupies the air for ``duration`` s."""
         now = self.sim.now
         self._transmitting_until = max(self._transmitting_until, now + duration)
-        self.stats.frames_sent += 1
-        self.stats.bytes_sent += packet.size
-        self.stats.time_transmitting += duration
+        stats = self.stats
+        stats.frames_sent += 1
+        stats.bytes_sent += packet.size
+        stats.time_transmitting += duration
         # Transmitting corrupts anything we were in the middle of receiving.
         if self._locked is not None:
             self._locked.corrupted = True
-            self.stats.frames_corrupted += 1
+            stats.frames_corrupted += 1
             self._locked = None
-        self.tracer.record(now, "phy", "tx_start", node=self.node_id, uid=packet.uid,
-                           size=packet.size, duration=duration)
+        if self.tracer.enabled:
+            self.tracer.record(now, "phy", "tx_start", node=self.node_id, uid=packet.uid,
+                               size=packet.size, duration=duration)
         self.channel.broadcast(self, packet, duration)
         self._update_carrier()
         self.sim.schedule(duration, self._transmit_complete)
@@ -143,33 +145,29 @@ class Radio:
             power: Relative received power (two-ray-ground, ∝ d^-4).
         """
         now = self.sim.now
-        self._signal_counter += 1
-        signal = _Signal(
-            key=self._signal_counter,
-            packet=packet,
-            receivable=receivable,
-            power=power,
-            end_time=now + duration,
-            duration=duration,
-        )
-        self._signals[signal.key] = signal
+        key = self._signal_counter + 1
+        self._signal_counter = key
+        signal = _Signal(key, packet, receivable, power, now + duration, duration)
+        self._signals[key] = signal
 
-        if self.is_transmitting:
+        locked = self._locked
+        if now < self._transmitting_until:
             # Half duplex: anything arriving while we transmit is lost.
             signal.corrupted = True
-        elif self._locked is None:
+        elif locked is None:
             # Idle: lock onto this signal, decodable or not (ns-2 behaviour).
             self._locked = signal
         else:
             # Overlap with the locked signal: capture or collision.
-            if self._locked.power / max(power, 1e-30) >= self.capture_threshold:
+            if locked.power / max(power, 1e-30) >= self.capture_threshold:
                 self.stats.frames_captured += 1
                 signal.corrupted = True
             else:
                 self.stats.frames_corrupted += 1
-                self.tracer.record(now, "phy", "collision", node=self.node_id,
-                                   ongoing=self._locked.packet.uid, new=packet.uid)
-                self._locked.corrupted = True
+                if self.tracer.enabled:
+                    self.tracer.record(now, "phy", "collision", node=self.node_id,
+                                       ongoing=locked.packet.uid, new=packet.uid)
+                locked.corrupted = True
                 signal.corrupted = True
 
         self._update_carrier()
@@ -190,8 +188,9 @@ class Radio:
                 self.stats.frames_below_threshold += 1
             else:
                 self.stats.frames_received += 1
-                self.tracer.record(self.sim.now, "phy", "rx_ok", node=self.node_id,
-                                   uid=signal.packet.uid)
+                if self.tracer.enabled:
+                    self.tracer.record(self.sim.now, "phy", "rx_ok", node=self.node_id,
+                                       uid=signal.packet.uid)
                 if self.listener is not None:
                     self.listener.on_frame_received(signal.packet)
         self._update_carrier()
@@ -203,9 +202,12 @@ class Radio:
     def carrier_busy(self) -> bool:
         """True if the medium is sensed busy (any signal arriving or own TX)."""
         now = self.sim.now
-        if self.is_transmitting:
+        if now < self._transmitting_until:
             return True
-        return any(sig.end_time > now for sig in self._signals.values())
+        for sig in self._signals.values():
+            if sig.end_time > now:
+                return True
+        return False
 
     def _update_carrier(self) -> None:
         busy = self.carrier_busy

@@ -97,8 +97,9 @@ class TcpSink(TransportAgent):
             tcp=header,
         )
         self.stats.acks_sent += 1
-        self.tracer.record(self.sim.now, "tcp", "ack", node=self.local_node,
-                           ack=self.next_expected, flow=self.stats.flow_id)
+        if self.tracer.enabled:
+            self.tracer.record(self.sim.now, "tcp", "ack", node=self.local_node,
+                               ack=self.next_expected, flow=self.stats.flow_id)
         self._send_ip(ack_packet)
 
     # ------------------------------------------------------------------

@@ -215,8 +215,9 @@ class TcpSender(TransportAgent):
         previous = self._send_times.get(seq)
         retransmitted = is_retransmission or (previous is not None and previous[1])
         self._send_times[seq] = (now, retransmitted)
-        self.tracer.record(now, "tcp", "send", node=self.local_node, seq=seq,
-                           flow=self.stats.flow_id, rtx=is_retransmission)
+        if self.tracer.enabled:
+            self.tracer.record(now, "tcp", "send", node=self.local_node, seq=seq,
+                               flow=self.stats.flow_id, rtx=is_retransmission)
         self._send_ip(packet)
 
     def _ensure_timer(self) -> None:
@@ -293,8 +294,9 @@ class TcpSender(TransportAgent):
         if self.snd_una >= self.snd_nxt:
             return
         self.stats.timeouts += 1
-        self.tracer.record(self.sim.now, "tcp", "rto", node=self.local_node,
-                           flow=self.stats.flow_id, una=self.snd_una)
+        if self.tracer.enabled:
+            self.tracer.record(self.sim.now, "tcp", "rto", node=self.local_node,
+                               flow=self.stats.flow_id, una=self.snd_una)
         self.rtt.apply_backoff()
         self.on_timeout()
         self.retransmit(self.snd_una)

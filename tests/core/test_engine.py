@@ -201,3 +201,54 @@ class TestTimer:
         timer.start(1.0)
         sim.run()
         assert fired == [1.0, 2.0]
+
+
+class TestTieBreaking:
+    """Same-time events must fire in schedule order (explicit sequence counter)."""
+
+    def test_many_same_time_events_fire_in_schedule_order(self, sim):
+        order = []
+        for index in range(50):
+            sim.schedule(1.0, order.append, index)
+        sim.run()
+        assert order == list(range(50))
+
+    def test_interleaved_times_still_fifo_within_each_timestamp(self, sim):
+        order = []
+        for index in range(10):
+            sim.schedule(2.0, order.append, ("late", index))
+            sim.schedule(1.0, order.append, ("early", index))
+        sim.run()
+        assert order == [("early", i) for i in range(10)] + \
+                        [("late", i) for i in range(10)]
+
+    def test_fifo_survives_cancellations_in_between(self, sim):
+        order = []
+        events = [sim.schedule(1.0, order.append, index) for index in range(10)]
+        for index in (0, 3, 4, 8):
+            sim.cancel(events[index])
+        sim.run()
+        assert order == [1, 2, 5, 6, 7, 9]
+
+    def test_event_lt_is_time_then_sequence(self, sim):
+        early = sim.schedule(1.0, lambda: None)
+        late_same_time = sim.schedule(1.0, lambda: None)
+        later = sim.schedule(2.0, lambda: None)
+        assert early.sequence < late_same_time.sequence
+        assert early < late_same_time      # same time: sequence breaks the tie
+        assert late_same_time < later      # different time: time wins
+        assert not (later < early)
+
+    def test_zero_delay_event_scheduled_mid_run_respects_fifo(self, sim):
+        order = []
+
+        def spawner():
+            order.append("spawner")
+            sim.schedule(0.0, order.append, "child")
+
+        sim.schedule(1.0, spawner)
+        sim.schedule(1.0, order.append, "sibling")
+        sim.run()
+        # The child is scheduled after the sibling, so it fires last even
+        # though all three share t=1.0.
+        assert order == ["spawner", "sibling", "child"]

@@ -49,3 +49,67 @@ class TestTracer:
         tracer.record(1.5, "phy", "rx_ok", node=2)
         text = str(list(tracer)[0])
         assert "phy/rx_ok" in text and "n2" in text
+
+
+class TestNullTracer:
+    def test_null_tracer_never_records(self):
+        from repro.core.tracing import NullTracer
+
+        tracer = NullTracer()
+        tracer.record(1.0, "mac", "rts", node=1, uid=7)
+        assert len(tracer) == 0
+
+    def test_null_tracer_cannot_be_enabled(self):
+        # Hot paths guard on `tracer.enabled`; flipping the flag on the shared
+        # NULL_TRACER must not silently start tracing (records would be lost
+        # anyway since record() is a no-op).
+        NULL_TRACER.enabled = True
+        assert NULL_TRACER.enabled is False
+
+    def test_enabled_guard_matches_record_behaviour(self):
+        # The call-site fast path `if tracer.enabled: tracer.record(...)`
+        # must be observationally identical to calling record unconditionally.
+        recording = Tracer(enabled=True)
+        silent = Tracer(enabled=False)
+        for tracer in (recording, silent, NULL_TRACER):
+            if tracer.enabled:
+                tracer.record(1.0, "mac", "rts")
+        assert len(recording) == 1
+        assert len(silent) == 0
+        assert len(NULL_TRACER) == 0
+
+
+class TestTraceDigest:
+    def test_identical_traces_have_identical_digests(self):
+        from repro.core.tracing import trace_digest
+
+        def build():
+            tracer = Tracer(enabled=True)
+            tracer.record(1.0, "mac", "rts", node=1, uid=10)
+            tracer.record(2.0, "phy", "rx_ok", node=2, uid=10)
+            return tracer
+
+        assert trace_digest(build()) == trace_digest(build())
+
+    def test_any_field_change_alters_the_digest(self):
+        from repro.core.tracing import trace_digest
+
+        base = Tracer(enabled=True)
+        base.record(1.0, "mac", "rts", node=1, uid=10)
+        for mutation in (
+            dict(time=1.5, layer="mac", event="rts", node=1, uid=10),
+            dict(time=1.0, layer="phy", event="rts", node=1, uid=10),
+            dict(time=1.0, layer="mac", event="cts", node=1, uid=10),
+            dict(time=1.0, layer="mac", event="rts", node=2, uid=10),
+            dict(time=1.0, layer="mac", event="rts", node=1, uid=11),
+        ):
+            other = Tracer(enabled=True)
+            kwargs = dict(mutation)
+            other.record(kwargs.pop("time"), kwargs.pop("layer"),
+                         kwargs.pop("event"), node=kwargs.pop("node"), **kwargs)
+            assert trace_digest(other) != trace_digest(base)
+
+    def test_empty_trace_has_stable_digest(self):
+        from repro.core.tracing import trace_digest
+
+        assert trace_digest([]) == trace_digest(Tracer(enabled=True))

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the event scheduler.
+
+The fast-path engine must keep the three invariants every protocol layer
+relies on: FIFO order among same-time events, a monotonically non-decreasing
+clock, and safe cancel/reschedule under arbitrary interleavings.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import Event, Simulator, Timer
+
+#: Delays drawn from a small grid so same-time collisions are common — the
+#: interesting case for tie-breaking.
+_delay_grid = st.sampled_from([0.0, 0.5, 1.0, 1.0, 2.0, 2.0, 3.0])
+
+
+class TestFifoOrdering:
+    @given(st.lists(_delay_grid, min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_same_time_events_fire_in_schedule_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for index, delay in enumerate(delays):
+            sim.schedule(delay, fired.append, (delay, index))
+        sim.run()
+        # Sorting by (time, schedule index) must reproduce the firing order
+        # exactly: FIFO among equals, time order overall.
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(_delay_grid, min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_event_ordering_matches_explicit_lt(self, delays):
+        sim = Simulator()
+        events = [sim.schedule(delay, lambda: None) for delay in delays]
+        for earlier, later in zip(events, events[1:]):
+            if earlier.time == later.time:
+                assert earlier < later
+            else:
+                assert (earlier < later) == (earlier.time < later.time)
+
+
+class TestMonotonicClock:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=50),
+           st.lists(st.floats(min_value=0.0, max_value=10.0),
+                    min_size=0, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_clock_never_goes_backwards(self, delays, nested_delays):
+        sim = Simulator()
+        observed = []
+
+        def observe():
+            observed.append(sim.now)
+            for nested in nested_delays:
+                sim.schedule(nested, lambda: observed.append(sim.now))
+
+        for delay in delays:
+            sim.schedule(delay, observe)
+        sim.run()
+        assert observed == sorted(observed)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=50.0),
+                    min_size=1, max_size=30),
+           st.floats(min_value=0.0, max_value=60.0))
+    @settings(max_examples=100, deadline=None)
+    def test_run_until_leaves_clock_at_horizon_or_last_event(self, delays, until):
+        sim = Simulator()
+        for delay in delays:
+            sim.schedule(delay, lambda: None)
+        sim.run(until=until)
+        # Whether the queue drained or later events remain, the clock always
+        # lands exactly on the horizon.
+        assert sim.now == pytest.approx(until)
+
+
+class TestCancelRescheduleSafety:
+    @given(st.lists(st.tuples(_delay_grid, st.booleans()), min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_cancelled_events_never_fire_and_others_all_do(self, plan):
+        sim = Simulator()
+        fired = []
+        events = []
+        for index, (delay, _) in enumerate(plan):
+            events.append(sim.schedule(delay, fired.append, index))
+        cancelled = {index for index, (_, cancel) in enumerate(plan) if cancel}
+        for index in cancelled:
+            sim.cancel(events[index])
+        sim.run()
+        assert set(fired) == set(range(len(plan))) - cancelled
+        for index in cancelled:
+            assert not events[index].is_pending
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_cancel_from_within_callback_is_safe(self, data):
+        sim = Simulator()
+        fired = []
+        victims = [sim.schedule(2.0, fired.append, i) for i in range(10)]
+        to_cancel = data.draw(st.lists(st.integers(min_value=0, max_value=9),
+                                       max_size=10, unique=True))
+
+        def killer():
+            for index in to_cancel:
+                sim.cancel(victims[index])
+
+        sim.schedule(1.0, killer)
+        sim.run()
+        assert sorted(fired) == sorted(set(range(10)) - set(to_cancel))
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=5.0),
+                    min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_timer_restart_storm_fires_exactly_once(self, restarts):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        for delay in restarts:
+            timer.start(delay)
+        sim.run()
+        # However many times the timer was restarted, only the last start
+        # fires — tombstoned events stay dead.
+        assert fired == [pytest.approx(restarts[-1])]
+        assert sim.pending_events == 0
+
+    @given(st.lists(_delay_grid, min_size=1, max_size=40),
+           st.integers(min_value=0, max_value=39))
+    @settings(max_examples=50, deadline=None)
+    def test_pending_events_counts_exclude_tombstones(self, delays, cancel_count):
+        sim = Simulator()
+        events = [sim.schedule(delay, lambda: None) for delay in delays]
+        for event in events[:cancel_count]:
+            sim.cancel(event)
+        live = max(0, len(events) - cancel_count)
+        assert sim.pending_events == live
+        assert sim.run() == live
+
+
+class TestEventHandle:
+    def test_event_equality_and_hash_follow_time_and_sequence(self):
+        sim = Simulator()
+        a = sim.schedule(1.0, lambda: None)
+        b = sim.schedule(1.0, lambda: None)
+        assert a != b
+        assert a == Event(a.time, a.sequence, lambda: None)
+        assert hash(a) == hash(Event(a.time, a.sequence, lambda: None))
+
+    def test_double_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert not event.is_pending
+        assert sim.run() == 0

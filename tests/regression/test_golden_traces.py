@@ -1,0 +1,116 @@
+"""Golden-trace determinism regression tests.
+
+Each test runs a fixed-seed scenario with tracing enabled, hashes the full
+event trace (every record: time, layer, event, node, details) and compares it
+— plus the key :class:`ScenarioResult` metrics — against fixtures pinned in
+``golden_traces.json``.  The fixtures were captured from the kernel *before*
+the fast-path rework, so a passing suite proves the optimised kernel is
+bit-identical to the original.
+
+A mismatch means a kernel or protocol change altered simulation behaviour.
+If the change is intentional, regenerate the fixtures with::
+
+    REGEN_GOLDEN_TRACES=1 PYTHONPATH=src python -m pytest tests/regression
+
+and justify the behaviour change in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.tracing import Tracer, trace_digest
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.results import ScenarioResult
+from repro.experiments.runner import Scenario
+from repro.experiments.scenarios import build_named_scenario
+from repro.net.packet import reset_packet_ids
+from repro.topology.random_topology import random_topology
+
+FIXTURE_PATH = Path(__file__).parent / "golden_traces.json"
+REGEN = bool(os.environ.get("REGEN_GOLDEN_TRACES"))
+
+
+def _build_chain(tracer: Tracer) -> Scenario:
+    return build_named_scenario("chain7-vegas-2mbps", tracer=tracer,
+                                packet_target=200, seed=3)
+
+
+def _build_grid(tracer: Tracer) -> Scenario:
+    return build_named_scenario("grid-newreno-2mbps", tracer=tracer,
+                                packet_target=150, seed=5)
+
+
+def _build_random(tracer: Tracer) -> Scenario:
+    topology = random_topology(node_count=50, area=(1300.0, 800.0),
+                               flow_count=5, seed=11)
+    config = ScenarioConfig(variant="vegas", packet_target=150, seed=11,
+                            max_sim_time=120.0)
+    return Scenario(topology, config, tracer=tracer)
+
+
+SCENARIOS = {
+    "chain7-vegas-2mbps": _build_chain,
+    "grid-newreno-2mbps": _build_grid,
+    "random50-vegas-2mbps": _build_random,
+}
+
+
+def _metrics(result: ScenarioResult) -> dict:
+    """The result fields pinned alongside the trace hash."""
+    return {
+        "delivered_packets": result.delivered_packets,
+        "simulated_time": result.simulated_time,
+        "mac_frames_sent": result.mac_frames_sent,
+        "false_route_failures": result.false_route_failures,
+        "per_flow_delivered": [flow.delivered_packets for flow in result.flows],
+        "per_flow_retx": [flow.retransmissions for flow in result.flows],
+    }
+
+
+def _run_golden(name: str) -> dict:
+    # Packet uids appear in trace records and come from a process-global
+    # counter, so every golden run starts from a known counter state.
+    reset_packet_ids()
+    tracer = Tracer(enabled=True)
+    result = SCENARIOS[name](tracer).run()
+    return {"trace_sha256": trace_digest(tracer), "metrics": _metrics(result)}
+
+
+def _load_fixtures() -> dict:
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+@pytest.mark.skipif(REGEN, reason="regenerating fixtures")
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trace(name):
+    fixtures = _load_fixtures()
+    assert name in fixtures, f"no fixture pinned for {name}"
+    actual = _run_golden(name)
+    expected = fixtures[name]
+    assert actual["metrics"] == expected["metrics"], (
+        f"{name}: result metrics diverged from the pinned golden run"
+    )
+    assert actual["trace_sha256"] == expected["trace_sha256"], (
+        f"{name}: event trace diverged from the pinned golden run "
+        "(simulation behaviour changed)"
+    )
+
+
+def test_golden_runs_are_reproducible_within_process():
+    """The same seeded scenario twice in one process yields identical traces."""
+    first = _run_golden("chain7-vegas-2mbps")
+    second = _run_golden("chain7-vegas-2mbps")
+    assert first == second
+
+
+@pytest.mark.skipif(not REGEN, reason="set REGEN_GOLDEN_TRACES=1 to regenerate")
+def test_regenerate_fixtures():
+    fixtures = _load_fixtures()
+    for name in sorted(SCENARIOS):
+        fixtures[name] = _run_golden(name)
+    FIXTURE_PATH.write_text(json.dumps(fixtures, indent=2) + "\n")

@@ -1,0 +1,58 @@
+"""Tests for the dynamic ACK-thinning policy (Altman & Jiménez)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.transport.ack_thinning import AckThinningPolicy
+
+
+class TestDefaultThresholds:
+    def test_paper_recommended_defaults(self):
+        policy = AckThinningPolicy()
+        assert (policy.s1, policy.s2, policy.s3) == (2, 5, 9)
+        assert policy.max_delay == pytest.approx(0.100)
+
+    @pytest.mark.parametrize("seq,expected", [
+        (0, 1), (1, 1), (2, 1),          # n <= S1: every packet ACKed
+        (3, 2), (4, 2),                  # S1 < n < S2
+        (5, 3), (8, 3),                  # S2 <= n < S3
+        (9, 4), (10, 4), (10_000, 4),    # n >= S3: steady-state degree
+    ])
+    def test_degree_follows_paper_schedule(self, seq, expected):
+        assert AckThinningPolicy().degree(seq) == expected
+
+    def test_degree_is_monotone_nondecreasing(self):
+        policy = AckThinningPolicy()
+        degrees = [policy.degree(n) for n in range(30)]
+        assert degrees == sorted(degrees)
+        assert set(degrees) == {1, 2, 3, 4}
+
+
+class TestCustomThresholds:
+    def test_custom_thresholds_shift_the_schedule(self):
+        policy = AckThinningPolicy(s1=0, s2=2, s3=4)
+        assert policy.degree(0) == 1
+        assert policy.degree(1) == 2
+        assert policy.degree(2) == 3
+        assert policy.degree(3) == 3
+        assert policy.degree(4) == 4
+
+    def test_degenerate_policy_always_thins_maximally(self):
+        # All thresholds at zero: only n == 0 (<= s1) gets degree 1.
+        policy = AckThinningPolicy(s1=0, s2=0, s3=0)
+        assert policy.degree(0) == 1
+        assert policy.degree(1) == 4
+
+
+class TestValueSemantics:
+    def test_policy_is_frozen(self):
+        policy = AckThinningPolicy()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            policy.s1 = 10
+
+    def test_policies_with_equal_fields_compare_equal(self):
+        assert AckThinningPolicy() == AckThinningPolicy()
+        assert AckThinningPolicy(s1=3) != AckThinningPolicy()
