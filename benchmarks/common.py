@@ -15,10 +15,9 @@ over a process pool.
 Scale: the paper simulates 110 000 delivered packets per data point on ns-2;
 this pure-Python harness uses the scaled-down run lengths below so the whole
 benchmark suite finishes in minutes on a laptop.  The shapes (protocol
-ordering, trends across hops/bandwidth, fairness ordering) are preserved; see
-EXPERIMENTS.md for paper-vs-measured values.  For longer runs, raise
-``BENCH_PACKET_TARGET`` / ``MULTIFLOW_PACKET_TARGET`` (or run the examples,
-which expose the run length on the command line).
+ordering, trends across hops/bandwidth, fairness ordering) are preserved.
+For longer runs, raise ``BENCH_PACKET_TARGET`` / ``MULTIFLOW_PACKET_TARGET``
+(or run the examples, which expose the run length on the command line).
 """
 
 from __future__ import annotations

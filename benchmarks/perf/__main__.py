@@ -21,6 +21,7 @@ import sys
 from pathlib import Path
 
 from benchmarks.perf.kernel_bench import DEFAULT_EVENTS, run_kernel_benchmarks
+from benchmarks.perf.mobility_bench import DEFAULT_ROUNDS, run_mobility_benchmarks
 from benchmarks.perf.scenario_bench import (
     CHAIN_PACKET_TARGET,
     STRESS_PACKET_TARGET,
@@ -31,6 +32,7 @@ from benchmarks.perf.scenario_bench import (
 #: for a CI job measured in seconds.
 SMOKE_EVENTS = 20_000
 SMOKE_PACKET_TARGET = 40
+SMOKE_CHURN_ROUNDS = 20
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent.parent / "BENCH_kernel.json"
 
@@ -49,9 +51,12 @@ def main(argv=None) -> int:
     n_events = SMOKE_EVENTS if args.smoke else DEFAULT_EVENTS
     chain_target = SMOKE_PACKET_TARGET if args.smoke else CHAIN_PACKET_TARGET
     stress_target = SMOKE_PACKET_TARGET if args.smoke else STRESS_PACKET_TARGET
+    churn_rounds = SMOKE_CHURN_ROUNDS if args.smoke else DEFAULT_ROUNDS
 
     print(f"engine microbenchmarks ({n_events} events each) ...", flush=True)
     benchmarks = dict(run_kernel_benchmarks(n_events))
+    print(f"mobility microbenchmarks ({churn_rounds} churn rounds) ...", flush=True)
+    benchmarks.update(run_mobility_benchmarks(churn_rounds))
     print(f"scenario benchmarks (chain target {chain_target}, "
           f"stress target {stress_target}) ...", flush=True)
     benchmarks.update(run_scenario_benchmarks(chain_target, stress_target))

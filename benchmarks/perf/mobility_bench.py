@@ -1,0 +1,95 @@
+"""Mobility benchmarks: the moving-node hot path, measured not guessed.
+
+Mobile scenarios add two costs on top of a static run:
+
+* ``position_churn`` (micro) — the channel-side cost in isolation: batch
+  position updates (:meth:`~repro.phy.channel.WirelessChannel.set_positions`)
+  each invalidating the per-pair link cache and the per-sender delivery
+  lists, followed by a broadcast per node that forces the delivery lists to
+  be rebuilt from the new geometry.  This is exactly what every
+  :class:`~repro.mobility.base.MobilityManager` update interval does to the
+  channel, with the protocol stack stripped away.
+* ``mobile_chain7`` / ``mobile_random50`` (macro, in
+  :mod:`benchmarks.perf.scenario_bench`) — full mobile scenarios including
+  MAC retry storms, RERRs and AODV re-discovery traffic.
+
+Reported like the kernel microbenchmarks: ``events`` (here: scheduled signal
+deliveries), ``wall_time`` and ``events_per_sec``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.core.engine import Simulator
+from repro.net.packet import Packet, reset_packet_ids
+from repro.phy.channel import WirelessChannel
+from repro.phy.propagation import Position
+from repro.phy.radio import Radio
+
+#: Default workload: a 50-node field jittered and re-broadcast per round.
+DEFAULT_NODE_COUNT = 50
+DEFAULT_ROUNDS = 200
+#: Field dimensions (the stress-benchmark density) and per-round jitter (m).
+FIELD = (1300.0, 800.0)
+JITTER = 7.5
+
+
+def bench_position_churn(node_count: int = DEFAULT_NODE_COUNT,
+                         rounds: int = DEFAULT_ROUNDS) -> Dict[str, float]:
+    """Alternate batch moves with full delivery-list rebuilds.
+
+    Every round moves all nodes by a deterministic jitter (one cache
+    invalidation thanks to ``set_positions``) and then broadcasts once from
+    every node, so each round pays ``node_count`` delivery-list rebuilds over
+    the fresh geometry — the worst case a mobility update interval can cause.
+
+    Returns:
+        Dict with ``events`` (scheduled deliveries), ``wall_time``,
+        ``events_per_sec`` and the bookkeeping fields ``rounds`` and
+        ``node_count``.
+    """
+    reset_packet_ids()
+    sim = Simulator()
+    channel = WirelessChannel(sim)
+    radios = []
+    for node_id in range(node_count):
+        radio = Radio(sim, node_id, channel)
+        # Deterministic pseudo-grid placement with the stress density.
+        position = Position(x=(node_id * 193.0) % FIELD[0],
+                            y=(node_id * 389.0) % FIELD[1])
+        channel.register(radio, position)
+        radios.append(radio)
+    packet = Packet(payload_size=1460)
+
+    start = time.perf_counter()
+    for round_index in range(1, rounds + 1):
+        sign = 1.0 if round_index % 2 else -1.0
+        channel.set_positions({
+            radio.node_id: Position(
+                x=channel.position_of(radio.node_id).x + sign * JITTER,
+                y=channel.position_of(radio.node_id).y + sign * JITTER,
+            )
+            for radio in radios
+        })
+        for radio in radios:
+            channel.broadcast(radio, packet, 1e-4)
+        # Drop the scheduled signal events so the heap (and memory) stay flat;
+        # the measured cost is geometry + cache rebuild + scheduling.
+        sim.reset()
+    wall = time.perf_counter() - start
+    deliveries = channel.stats.deliveries_attempted
+    return {
+        "events": deliveries,
+        "wall_time": wall,
+        "events_per_sec": deliveries / wall if wall > 0 else 0.0,
+        "rounds": rounds,
+        "node_count": node_count,
+    }
+
+
+def run_mobility_benchmarks(rounds: int = DEFAULT_ROUNDS) -> Dict[str, Dict[str, float]]:
+    """Run the mobility microbenchmarks (no legacy twin: the batch-update
+    API under test did not exist in the pre-optimisation kernel)."""
+    return {"position_churn": bench_position_churn(rounds=rounds)}

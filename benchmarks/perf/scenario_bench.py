@@ -1,6 +1,6 @@
 """Macro benchmarks: full protocol-stack scenarios timed end to end.
 
-Two workloads bracket the simulator's operating range:
+Four workloads bracket the simulator's operating range:
 
 * ``chain7_ftp`` — the paper's canonical 7-hop chain with one FTP flow over
   TCP with ACK thinning (the ``vegas-at`` variant), the scenario every figure
@@ -8,6 +8,13 @@ Two workloads bracket the simulator's operating range:
 * ``random50_stress`` — 50 nodes placed uniformly in a 1300 m × 800 m area
   with five concurrent flows: heavy contention, hidden terminals and AODV
   recovery traffic, i.e. the event mix a production-scale run produces.
+* ``mobile_chain7`` — the golden-trace mobility scenario: the 7-hop chain
+  under random-waypoint movement, with mid-flow link breaks, RERRs and AODV
+  re-discovery on top of the static event mix.
+* ``mobile_random50`` — the stress topology with every node on a random walk:
+  periodic batch position updates plus delivery-cache rebuilds at scale (the
+  channel-side cost is isolated by
+  :func:`benchmarks.perf.mobility_bench.bench_position_churn`).
 
 Each benchmark reports wall time, processed engine events and events/sec, and
 is also run with the legacy kernel swapped in (see
@@ -68,6 +75,24 @@ def _build_random50(packet_target: int) -> Scenario:
     return Scenario(topology, config)
 
 
+def _build_mobile_chain7(packet_target: int) -> Scenario:
+    reset_packet_ids()
+    return build_named_scenario("chain7-rwp-vegas-2mbps",
+                                packet_target=packet_target, seed=3,
+                                max_sim_time=120.0, mobility_speed=20.0,
+                                mobility_pause=1.0)
+
+
+def _build_mobile_random50(packet_target: int) -> Scenario:
+    reset_packet_ids()
+    topology = random_topology(node_count=STRESS_NODE_COUNT, area=STRESS_AREA,
+                               flow_count=STRESS_FLOW_COUNT, seed=STRESS_SEED)
+    config = ScenarioConfig(variant="vegas", packet_target=packet_target,
+                            seed=STRESS_SEED, max_sim_time=200.0,
+                            mobility="random-walk", mobility_speed=5.0)
+    return Scenario(topology, config)
+
+
 def bench_chain7_ftp(packet_target: int = CHAIN_PACKET_TARGET) -> Dict[str, float]:
     """7-hop chain, one FTP flow over TCP with ACK thinning at 2 Mbit/s."""
     return _run_and_measure(_build_chain7(packet_target))
@@ -78,11 +103,21 @@ def bench_random50_stress(packet_target: int = STRESS_PACKET_TARGET) -> Dict[str
     return _run_and_measure(_build_random50(packet_target))
 
 
+def bench_mobile_chain7(packet_target: int = CHAIN_PACKET_TARGET) -> Dict[str, float]:
+    """Random-waypoint 7-hop chain with one Vegas flow (route breaks included)."""
+    return _run_and_measure(_build_mobile_chain7(packet_target))
+
+
+def bench_mobile_random50(packet_target: int = STRESS_PACKET_TARGET) -> Dict[str, float]:
+    """50 random-walking nodes, five concurrent Vegas flows."""
+    return _run_and_measure(_build_mobile_random50(packet_target))
+
+
 def run_scenario_benchmarks(
     chain_target: int = CHAIN_PACKET_TARGET,
     stress_target: int = STRESS_PACKET_TARGET,
 ) -> Dict[str, Dict[str, float]]:
-    """Run both macro benchmarks on the current and the legacy kernel.
+    """Run every macro benchmark on the current and the legacy kernel.
 
     Returns:
         Mapping of benchmark name to its result dict; ``*_legacy`` entries hold
@@ -93,6 +128,8 @@ def run_scenario_benchmarks(
     for name, builder, target in (
         ("chain7_ftp", _build_chain7, chain_target),
         ("random50_stress", _build_random50, stress_target),
+        ("mobile_chain7", _build_mobile_chain7, chain_target),
+        ("mobile_random50", _build_mobile_random50, stress_target),
     ):
         current = _run_and_measure(builder(target))
         with legacy_kernel():

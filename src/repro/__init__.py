@@ -1,10 +1,12 @@
 """repro — reproduction of *Improving TCP Performance for Multihop Wireless Networks*.
 
-A pure-Python discrete-event simulator of static multihop IEEE 802.11 networks
-(DCF MAC with RTS/CTS, AODV routing, DropTail interface queues) together with
-packet-level TCP NewReno, TCP Vegas, dynamic ACK thinning and an optimally
-paced UDP source, plus the experiment harness that regenerates every table and
-figure of the DSN 2005 paper by ElRakabawy, Lindemann and Vernon.
+A pure-Python discrete-event simulator of static and mobile multihop IEEE
+802.11 networks (DCF MAC with RTS/CTS, AODV routing, DropTail interface
+queues, pluggable node mobility) together with packet-level TCP NewReno, TCP
+Vegas, dynamic ACK thinning and an optimally paced UDP source, plus the
+experiment harness that regenerates every table and figure of the DSN 2005
+paper by ElRakabawy, Lindemann and Vernon — and extends its static scenarios
+with mobile ones (``ScenarioConfig(mobility="random-waypoint")``).
 
 Typical use (single scenario)::
 
@@ -46,6 +48,12 @@ from repro.experiments.study import (
     StudyRunner,
     SweepSpec,
     run_study,
+)
+from repro.mobility.registry import (
+    MobilityProfile,
+    get_mobility,
+    mobility_names,
+    register_mobility,
 )
 from repro.topology.chain import chain_topology
 from repro.topology.grid import grid_topology
@@ -95,5 +103,9 @@ __all__ = [
     "get_transport",
     "register_transport",
     "transport_names",
+    "MobilityProfile",
+    "get_mobility",
+    "register_mobility",
+    "mobility_names",
     "__version__",
 ]

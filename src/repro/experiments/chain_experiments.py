@@ -5,8 +5,8 @@ Each function is a thin compatibility wrapper around the declarative
 :class:`~repro.experiments.study.SweepSpec`, runs it (serially, or through a
 caller-supplied :class:`~repro.experiments.study.StudyRunner` for parallel
 execution and JSON caching) and reshapes the flat point list into the nested
-``results[swept_param][...]`` dictionaries the benchmark scripts and
-EXPERIMENTS.md have always consumed.
+``results[swept_param][...]`` dictionaries the benchmark scripts have always
+consumed.
 """
 
 from __future__ import annotations

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
 from repro.core.errors import ConfigurationError
+from repro.mobility.registry import get_mobility
 from repro.transport.ack_thinning import AckThinningPolicy
 from repro.transport.registry import get_transport, transport_key
 from repro.transport.tcp_base import TcpConfig
@@ -122,6 +123,17 @@ class ScenarioConfig:
         capture_threshold: PHY capture threshold (power ratio); 10 matches
             ns-2's ``CPThresh_``.  A very large value disables capture (every
             overlapping signal collides) and is used by the ablation bench.
+        mobility: Mobility model name resolved through
+            :mod:`repro.mobility.registry` (``"static"``, the default, keeps
+            the paper's fixed topologies; ``"random-waypoint"`` /
+            ``"random-walk"`` move the nodes).
+        mobility_speed: Speed knob in m/s (meaning is model-specific: maximum
+            leg speed for random waypoint, constant speed for random walk);
+            ``None`` uses the registered profile's default.
+        mobility_pause: Pause knob in seconds (waypoint pause time for random
+            waypoint, heading-redraw interval for random walk); ``None`` uses
+            the profile's default.
+        mobility_update_interval: Seconds between periodic position updates.
     """
 
     variant: VariantLike = TransportVariant.VEGAS
@@ -140,6 +152,10 @@ class ScenarioConfig:
     ack_thinning: AckThinningPolicy = field(default_factory=AckThinningPolicy)
     run_slice: float = 5.0
     capture_threshold: float = 10.0
+    mobility: str = "static"
+    mobility_speed: Optional[float] = None
+    mobility_pause: Optional[float] = None
+    mobility_update_interval: float = 0.5
 
     def __post_init__(self) -> None:
         if self.bandwidth_mbps <= 0:
@@ -150,6 +166,18 @@ class ScenarioConfig:
             raise ConfigurationError("batch_count must be at least 2")
         if self.routing not in ("aodv", "static"):
             raise ConfigurationError(f"unknown routing {self.routing!r}")
+        get_mobility(self.mobility)  # fail fast on unknown mobility models
+        if self.mobility != "static" and self.routing == "static":
+            raise ConfigurationError(
+                "static routing tables cannot follow moving nodes; "
+                "use routing='aodv' with a mobile scenario"
+            )
+        if self.mobility_speed is not None and self.mobility_speed <= 0:
+            raise ConfigurationError("mobility_speed must be positive")
+        if self.mobility_pause is not None and self.mobility_pause < 0:
+            raise ConfigurationError("mobility_pause must be non-negative")
+        if self.mobility_update_interval <= 0:
+            raise ConfigurationError("mobility_update_interval must be positive")
         object.__setattr__(self, "variant", resolve_variant(self.variant))
         get_transport(self.variant).validate_config(self)
 

@@ -7,16 +7,20 @@ configured number of packets has been delivered (or the time limit is hit) and
 returns a :class:`repro.experiments.results.ScenarioResult` with the measures
 the paper reports.
 
-The runner is transport-agnostic: the configured variant is resolved through
-:mod:`repro.transport.registry` and the registered
+The runner is registry-driven on every axis: the configured transport variant
+is resolved through :mod:`repro.transport.registry` (the registered
 :class:`~repro.transport.registry.TransportProfile` builds the sender, sink
-and driving application for every flow.  Adding a transport variant therefore
-never requires touching this module.
+and driving application for every flow) and the configured mobility model is
+resolved through :mod:`repro.mobility.registry` (a
+:class:`~repro.mobility.base.MobilityManager` drives node positions for
+mobile models; the default ``"static"`` model adds no events at all).  Adding
+a transport variant or mobility model therefore never requires touching this
+module.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.engine import Simulator
 from repro.core.randomness import RandomManager
@@ -24,6 +28,8 @@ from repro.core.tracing import NULL_TRACER, Tracer
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.results import FlowResult, ScenarioResult
 from repro.mac.timing import MacTiming, timing_for_bandwidth
+from repro.mobility.base import MobilityManager
+from repro.mobility.registry import get_mobility
 from repro.net.address import FlowAddress
 from repro.net.node import Node
 from repro.phy.channel import WirelessChannel
@@ -65,6 +71,7 @@ class Scenario:
         propagation = RangePropagationModel(capture_threshold=config.capture_threshold)
         self.channel = WirelessChannel(self.sim, propagation=propagation, tracer=tracer)
         self.nodes: Dict[int, Node] = {}
+        self.mobility: Optional[MobilityManager] = None
         self.flow_stats: List[FlowStats] = []
         self.senders: List[object] = []
         self.sinks: List[object] = []
@@ -76,6 +83,7 @@ class Scenario:
     # ==================================================================
     def _build(self) -> None:
         self._build_nodes()
+        self._build_mobility()
         if self.config.routing == "static":
             self._install_static_routes()
         for index, flow in enumerate(self.topology.flows, start=1):
@@ -94,6 +102,29 @@ class Scenario:
                 queue_capacity=self.config.queue_capacity,
                 tracer=self.tracer,
             )
+
+    def _build_mobility(self) -> None:
+        """Attach a mobility manager when the configured model moves nodes.
+
+        For the default ``"static"`` model nothing is built at all: the event
+        stream of a static scenario is bit-identical to one constructed
+        before mobility existed (pinned by the golden-trace tests).
+        """
+        config = self.config
+        model = get_mobility(config.mobility).build(
+            speed=config.mobility_speed, pause=config.mobility_pause,
+        )
+        if not model.mobile:
+            return
+        self.mobility = MobilityManager(
+            sim=self.sim,
+            channel=self.channel,
+            model=model,
+            update_interval=config.mobility_update_interval,
+            rng=self.randomness.stream("mobility"),
+            tracer=self.tracer,
+        )
+        self.mobility.start()
 
     def _install_static_routes(self) -> None:
         graph = self.topology.connectivity_graph(self.channel.propagation)

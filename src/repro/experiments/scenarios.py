@@ -8,24 +8,36 @@ setup by name::
 
     result = build_named_scenario("chain7-vegas-2mbps", packet_target=300).run()
 
-The preset table is derived from :mod:`repro.transport.registry`: every
-registered transport variant automatically gets a ``chain7-<variant>-<bw>``,
-``grid-<variant>-<bw>`` and ``random-<variant>-<bw>`` entry per paper
-bandwidth, using the variant's ``preset_overrides`` (e.g. the window clamp the
-"optimal window" variant needs).  Registering a new transport therefore also
-registers its presets — no change here required.  Additional hand-written
-presets can be added with :func:`register_scenario`.
+The preset table is derived from the transport, topology and mobility
+registries: every registered transport variant automatically gets a
+``chain7-<variant>-<bw>``, ``grid-<variant>-<bw>`` and ``random-<variant>-<bw>``
+entry per paper bandwidth, using the variant's ``preset_overrides`` (e.g. the
+window clamp the "optimal window" variant needs); every mobility profile with
+a ``preset_tag`` additionally gets a mobile twin of each of those entries
+(``chain7-rwp-<variant>-<bw>``, …).  Registering a new transport or mobility
+model therefore also registers its presets — no change here required.
+Additional hand-written presets can be added with :func:`register_scenario`.
+
+This module is also the scenario-catalog generator::
+
+    PYTHONPATH=src python -m repro.experiments.scenarios --catalog -o docs/scenario-catalog.md
+    PYTHONPATH=src python -m repro.experiments.scenarios --check docs/scenario-catalog.md
+
+``--catalog`` renders every registered profile and preset as markdown;
+``--check`` exits non-zero when the committed catalog is stale (used by CI).
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.core.tracing import NULL_TRACER, Tracer
 from repro.experiments.config import PAPER_BANDWIDTHS, ScenarioConfig
 from repro.experiments.runner import Scenario
+from repro.mobility.registry import mobility_profiles
+from repro.mobility.registry import registry_generation as _mobility_generation
 from repro.topology.base import Topology
 from repro.topology.registry import get_topology, topology_profiles
 from repro.topology.registry import registry_generation as _topology_generation
@@ -55,24 +67,27 @@ def _preset_factory(family: str, params: Dict[str, object], variant_name: str,
     return factory
 
 
-#: Memoized preset table: rebuilt only when the transport/topology registries
-#: (tracked via their generation counters) or the hand-registered extras
-#: change.
-_PRESET_CACHE: Tuple[Tuple[int, int, int], Dict[str, ScenarioFactory]] = (
-    (-1, -1, -1), {},
+#: Memoized preset table: rebuilt only when the transport/topology/mobility
+#: registries (tracked via their generation counters) or the hand-registered
+#: extras change.
+_PRESET_CACHE: Tuple[Tuple[int, int, int, int], Dict[str, ScenarioFactory]] = (
+    (-1, -1, -1, -1), {},
 )
 
 
 def _generated_presets() -> Dict[str, ScenarioFactory]:
-    """The preset table for the currently registered transports/topologies.
+    """The preset table for the currently registered profiles.
 
     The returned dict is the internal cache — treat it as read-only; use
     :func:`register_scenario` to add presets.
     """
     global _PRESET_CACHE
-    stamp = (_transport_generation(), _topology_generation(), _EXTRA_GENERATION)
+    stamp = (_transport_generation(), _topology_generation(),
+             _mobility_generation(), _EXTRA_GENERATION)
     if _PRESET_CACHE[0] == stamp:
         return _PRESET_CACHE[1]
+    mobile_variants = [(m.preset_tag, m.name) for m in mobility_profiles()
+                       if m.preset_tag is not None]
     presets: Dict[str, ScenarioFactory] = {}
     for profile in transport_profiles():
         for topology in topology_profiles():
@@ -85,6 +100,16 @@ def _generated_presets() -> Dict[str, ScenarioFactory]:
                     topology.name, dict(topology.preset_params),
                     profile.name, bandwidth, dict(profile.preset_overrides),
                 )
+                for tag, mobility_name in mobile_variants:
+                    overrides = dict(profile.preset_overrides)
+                    overrides["mobility"] = mobility_name
+                    presets[
+                        f"{topology.preset_prefix}-{tag}-{profile.name}"
+                        f"-{_bandwidth_tag(bandwidth)}"
+                    ] = _preset_factory(
+                        topology.name, dict(topology.preset_params),
+                        profile.name, bandwidth, overrides,
+                    )
     presets.update(_EXTRA_SCENARIOS)
     _PRESET_CACHE = (stamp, presets)
     return presets
@@ -141,3 +166,152 @@ def build_named_scenario(
     if config_overrides:
         config = replace(config, **config_overrides)
     return Scenario(topology, config, tracer=tracer)
+
+
+# ======================================================================
+# Scenario catalog: markdown rendering and the freshness-check CLI
+# ======================================================================
+def _markdown_table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return lines
+
+
+def _format_params(params: Dict[str, object]) -> str:
+    if not params:
+        return "—"
+    return ", ".join(f"`{key}={value!r}`" for key, value in sorted(params.items()))
+
+
+def catalog_markdown() -> str:
+    """Render every registered profile and preset as a markdown catalog.
+
+    The output is deterministic (sorted, no timestamps) so the committed
+    ``docs/scenario-catalog.md`` can be diffed against a fresh render; CI
+    fails when they differ.
+    """
+    from repro.topology.registry import topology_profiles as _topologies
+    from repro.transport.registry import transport_profiles as _transports
+
+    lines: List[str] = [
+        "# Scenario catalog",
+        "",
+        "All registered transport variants, topology families, mobility models",
+        "and the scenario presets generated from them.",
+        "",
+        "> **Generated file — do not edit.**  Regenerate with",
+        "> `PYTHONPATH=src python -m repro.experiments.scenarios --catalog -o docs/scenario-catalog.md`",
+        "> after registering new profiles; CI fails when this file is stale.",
+        "",
+        "## Transport variants",
+        "",
+    ]
+    lines.extend(_markdown_table(
+        ["name", "label", "aliases", "preset overrides"],
+        [[f"`{p.name}`", p.label,
+          ", ".join(f"`{alias}`" for alias in p.aliases) or "—",
+          _format_params(dict(p.preset_overrides))]
+         for p in _transports()],
+    ))
+    lines += ["", "## Topology families", ""]
+    lines.extend(_markdown_table(
+        ["name", "description", "preset prefix", "preset params"],
+        [[f"`{p.name}`", p.description or "—",
+          f"`{p.preset_prefix}`" if p.preset_prefix else "—",
+          _format_params(dict(p.preset_params))]
+         for p in _topologies()],
+    ))
+    lines += ["", "## Mobility models", ""]
+    lines.extend(_markdown_table(
+        ["name", "description", "preset tag", "default speed (m/s)",
+         "default pause (s)"],
+        [[f"`{p.name}`", p.description or "—",
+          f"`{p.preset_tag}`" if p.preset_tag else "—",
+          f"{p.default_speed:g}", f"{p.default_pause:g}"]
+         for p in mobility_profiles()],
+    ))
+    presets = _generated_presets()
+    lines += [
+        "",
+        f"## Scenario presets ({len(presets)} total)",
+        "",
+        "Naming scheme: `<topology-prefix>[-<mobility-tag>]-<transport>-<bandwidth>`;",
+        "build one with `build_named_scenario(name)`.",
+        "",
+    ]
+    extras = sorted(_EXTRA_SCENARIOS)
+    generated = sorted(name for name in presets if name not in _EXTRA_SCENARIOS)
+    groups: Dict[str, List[str]] = {}
+    for topology in _topologies():
+        if topology.preset_prefix is None:
+            continue
+        groups[f"{topology.preset_prefix} (static)"] = []
+        for mobility in mobility_profiles():
+            if mobility.preset_tag is not None:
+                groups[f"{topology.preset_prefix}-{mobility.preset_tag} "
+                       f"({mobility.name})"] = []
+    for name in generated:
+        prefix, tag = name.split("-")[0], name.split("-")[1]
+        key = next(
+            (group for group in groups
+             if group.startswith(f"{prefix}-{tag} ")), f"{prefix} (static)",
+        )
+        groups.setdefault(key, []).append(name)
+    for group in sorted(groups):
+        names = groups[group]
+        lines += [f"### {group} — {len(names)} presets", ""]
+        lines.append(", ".join(f"`{name}`" for name in names) or "—")
+        lines.append("")
+    if extras:
+        lines += [f"### hand-registered — {len(extras)} presets", ""]
+        lines.append(", ".join(f"`{name}`" for name in extras))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: list, render or freshness-check the scenario catalog."""
+    import argparse
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.scenarios",
+        description="List scenario presets or (re)generate the markdown catalog.",
+    )
+    parser.add_argument("--catalog", action="store_true",
+                        help="render the markdown catalog instead of the name list")
+    parser.add_argument("-o", "--output", type=Path, default=None,
+                        help="write the catalog to this file instead of stdout")
+    parser.add_argument("--check", type=Path, default=None, metavar="PATH",
+                        help="exit 1 if PATH differs from a fresh catalog render")
+    args = parser.parse_args(argv)
+
+    if args.check is not None:
+        expected = catalog_markdown()
+        actual = args.check.read_text() if args.check.is_file() else None
+        if actual != expected:
+            print(f"{args.check} is stale; regenerate with:\n"
+                  "  PYTHONPATH=src python -m repro.experiments.scenarios "
+                  f"--catalog -o {args.check}")
+            return 1
+        print(f"{args.check} is up to date")
+        return 0
+    if args.catalog:
+        markdown = catalog_markdown()
+        if args.output is not None:
+            args.output.parent.mkdir(parents=True, exist_ok=True)
+            args.output.write_text(markdown)
+            print(f"wrote {args.output}")
+        else:
+            print(markdown, end="")
+        return 0
+    for name in available_scenarios():
+        print(name)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    import sys
+
+    sys.exit(main())

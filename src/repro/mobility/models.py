@@ -1,0 +1,209 @@
+"""Built-in mobility models: static, random waypoint and random walk.
+
+All models implement :class:`repro.mobility.base.MobilityModel` and are pure
+position generators — they schedule nothing and know nothing about the
+channel.  Randomness comes exclusively from the stream passed to ``bind``, so
+a fixed scenario seed replays the exact same trajectories.
+
+The two mobile models are the standard ones of the ad-hoc networking
+literature (and of ns-2's ``setdest`` tool the paper's toolchain ships with):
+
+* **Random waypoint** — pick a uniform destination in the area, travel to it
+  in a straight line at a uniformly drawn speed, pause, repeat.  The classic
+  stress test for on-demand routing: links break while a node is in transit
+  and reappear when it settles.
+* **Random walk** — travel at constant speed, redrawing a uniform heading
+  every ``turn_interval`` seconds, reflecting off the area boundary.  Gentler
+  link churn with no pause phases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.mobility.base import MobilityArea, MobilityModel
+from repro.phy.propagation import Position
+
+
+class StaticMobility(MobilityModel):
+    """The no-op model: every node stays where the topology placed it.
+
+    Exists so "no mobility" is a registry entry like any other —
+    ``ScenarioConfig(mobility="static")`` is the default and scenario
+    construction skips the manager entirely for immobile models.
+    """
+
+    mobile = False
+
+    def advance(self, node_id: int, position: Position, dt: float) -> Position:
+        """Return ``position`` unchanged."""
+        return position
+
+
+@dataclass
+class _WaypointState:
+    """Per-node trajectory state of the random-waypoint model."""
+
+    target: Position
+    speed: float
+    pause_remaining: float = 0.0
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Random-waypoint movement (Johnson & Maltz): travel, pause, repeat.
+
+    Args:
+        min_speed: Lower bound of the per-leg uniform speed draw (m/s).
+            Kept strictly positive — the literature's ``min_speed=0`` variant
+            makes nodes park forever as average speed decays.
+        max_speed: Upper bound of the per-leg speed draw (m/s).
+        pause_time: Pause at each waypoint before the next leg (s).
+    """
+
+    def __init__(self, min_speed: float = 1.0, max_speed: float = 10.0,
+                 pause_time: float = 2.0) -> None:
+        if min_speed <= 0 or max_speed < min_speed:
+            raise ConfigurationError(
+                f"need 0 < min_speed <= max_speed, got {min_speed!r}/{max_speed!r}"
+            )
+        if pause_time < 0:
+            raise ConfigurationError("pause_time must be non-negative")
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.pause_time = pause_time
+        self._area: Optional[MobilityArea] = None
+        self._rng: Optional[Random] = None
+        self._states: Dict[int, _WaypointState] = {}
+
+    def bind(self, positions: Dict[int, Position], area: MobilityArea,
+             rng: Random) -> None:
+        """Draw an initial waypoint and speed for every node (sorted-id order)."""
+        self._area = area
+        self._rng = rng
+        self._states = {
+            node_id: self._new_leg() for node_id in sorted(positions)
+        }
+
+    def _new_leg(self) -> _WaypointState:
+        assert self._area is not None and self._rng is not None
+        return _WaypointState(
+            target=self._area.random_point(self._rng),
+            speed=self._rng.uniform(self.min_speed, self.max_speed),
+        )
+
+    def advance(self, node_id: int, position: Position, dt: float) -> Position:
+        """Move ``dt`` seconds along the node's current leg (or sit out a pause)."""
+        state = self._states[node_id]
+        remaining = dt
+        while remaining > 0:
+            if state.pause_remaining > 0:
+                consumed = min(state.pause_remaining, remaining)
+                state.pause_remaining -= consumed
+                remaining -= consumed
+                continue
+            distance_left = position.distance_to(state.target)
+            step = state.speed * remaining
+            if step < distance_left:
+                fraction = step / distance_left
+                position = Position(
+                    x=position.x + (state.target.x - position.x) * fraction,
+                    y=position.y + (state.target.y - position.y) * fraction,
+                )
+                break
+            # Waypoint reached within this step: arrive, pause, pick a new leg.
+            travel_time = distance_left / state.speed
+            position = state.target
+            remaining -= travel_time
+            fresh = self._new_leg()
+            state.target = fresh.target
+            state.speed = fresh.speed
+            state.pause_remaining = self.pause_time
+            if travel_time == 0.0 and self.pause_time == 0.0:
+                break  # degenerate zero-length leg: avoid spinning in place
+        return position
+
+
+@dataclass
+class _WalkState:
+    """Per-node heading state of the random-walk model."""
+
+    heading: float
+    until_turn: float
+
+
+class RandomWalkMobility(MobilityModel):
+    """Constant-speed random walk with periodic heading changes.
+
+    Args:
+        speed: Travel speed in m/s.
+        turn_interval: Seconds between uniform heading redraws.
+    """
+
+    def __init__(self, speed: float = 5.0, turn_interval: float = 5.0) -> None:
+        if speed <= 0:
+            raise ConfigurationError("speed must be positive")
+        if turn_interval <= 0:
+            raise ConfigurationError("turn_interval must be positive")
+        self.speed = speed
+        self.turn_interval = turn_interval
+        self._area: Optional[MobilityArea] = None
+        self._rng: Optional[Random] = None
+        self._states: Dict[int, _WalkState] = {}
+
+    def bind(self, positions: Dict[int, Position], area: MobilityArea,
+             rng: Random) -> None:
+        """Draw an initial heading for every node (sorted-id order)."""
+        self._area = area
+        self._rng = rng
+        self._states = {
+            node_id: _WalkState(heading=rng.uniform(0.0, 2.0 * math.pi),
+                                until_turn=self.turn_interval)
+            for node_id in sorted(positions)
+        }
+
+    def advance(self, node_id: int, position: Position, dt: float) -> Position:
+        """Walk ``dt`` seconds, turning on schedule and reflecting at borders."""
+        state = self._states[node_id]
+        assert self._area is not None and self._rng is not None
+        remaining = dt
+        x, y = position.x, position.y
+        while remaining > 0:
+            step_time = min(remaining, state.until_turn)
+            distance = self.speed * step_time
+            x += distance * math.cos(state.heading)
+            y += distance * math.sin(state.heading)
+            x, state.heading = _reflect(x, self._area.min_x, self._area.max_x,
+                                        state.heading, axis="x")
+            y, state.heading = _reflect(y, self._area.min_y, self._area.max_y,
+                                        state.heading, axis="y")
+            state.until_turn -= step_time
+            remaining -= step_time
+            if state.until_turn <= 0:
+                state.heading = self._rng.uniform(0.0, 2.0 * math.pi)
+                state.until_turn = self.turn_interval
+        return Position(x=x, y=y)
+
+
+def _reflect(value: float, low: float, high: float, heading: float,
+             axis: str) -> Tuple[float, float]:
+    """Reflect ``value`` back into [low, high], mirroring the heading component.
+
+    A single bounce per step is exact as long as one step cannot cross the
+    whole area, which holds for any sane speed/turn-interval combination.
+    """
+    if value < low:
+        value = low + (low - value)
+    elif value > high:
+        value = high - (value - high)
+    else:
+        return value, heading
+    value = min(max(value, low), high)  # pathological step > area size
+    if axis == "x":
+        heading = math.pi - heading
+    else:
+        heading = -heading
+    return value, heading

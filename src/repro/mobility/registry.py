@@ -1,0 +1,179 @@
+"""Named mobility-profile registry.
+
+Mirrors :mod:`repro.transport.registry` and :mod:`repro.topology.registry` for
+mobility models: every model family registers a builder under a short name so
+that a scenario can select movement declaratively
+(``ScenarioConfig(mobility="random-waypoint")``) and the Study API can sweep
+mobility parameters like any other config axis
+(``axes={"mobility_speed": [1, 5, 20]}``).
+
+Profiles that set :attr:`MobilityProfile.preset_tag` take part in scenario
+preset generation: :mod:`repro.experiments.scenarios` emits a
+``<topology>-<tag>-<variant>-<bandwidth>`` preset (e.g.
+``chain7-rwp-vegas-2mbps``) for every registered transport, preset topology
+and paper bandwidth.  Registering a new mobility model therefore also
+registers its presets — no scenario-table change required.
+
+Registering a custom model::
+
+    from repro.mobility.registry import MobilityProfile, register_mobility
+
+    register_mobility(MobilityProfile(
+        name="manhattan",
+        builder=lambda speed, pause: ManhattanMobility(speed, block=100.0),
+        description="grid-street movement",
+        preset_tag="mht",
+    ))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.mobility.base import MobilityModel
+from repro.mobility.models import (
+    RandomWalkMobility,
+    RandomWaypointMobility,
+    StaticMobility,
+)
+
+
+@dataclass(frozen=True)
+class MobilityProfile:
+    """One registered mobility-model family.
+
+    Attributes:
+        name: Canonical registry key (``"static"``, ``"random-waypoint"``,
+            ``"random-walk"``).
+        builder: Callable ``(speed, pause) -> MobilityModel``.  ``speed`` and
+            ``pause`` are the two uniform scenario knobs
+            (:attr:`~repro.experiments.config.ScenarioConfig.mobility_speed` /
+            ``mobility_pause``); each family maps them onto its own
+            parameters (random walk, for instance, reads ``pause`` as its
+            turn interval).
+        description: One-line human description (shown in the scenario
+            catalog).
+        preset_tag: Short tag used in generated scenario preset names;
+            ``None`` opts the family out of preset generation (the static
+            family opts out — the plain presets already are static).
+        default_speed: ``speed`` used when the scenario does not set one.
+        default_pause: ``pause`` used when the scenario does not set one.
+    """
+
+    name: str
+    builder: Callable[[float, float], MobilityModel]
+    description: str = ""
+    preset_tag: Optional[str] = None
+    default_speed: float = 5.0
+    default_pause: float = 2.0
+
+    def build(self, speed: Optional[float] = None,
+              pause: Optional[float] = None) -> MobilityModel:
+        """Build a model instance, filling unset knobs with the defaults."""
+        effective_speed = self.default_speed if speed is None else speed
+        effective_pause = self.default_pause if pause is None else pause
+        return self.builder(effective_speed, effective_pause)
+
+
+_MOBILITY: Dict[str, MobilityProfile] = {}
+_GENERATION = 0
+
+
+def registry_generation() -> int:
+    """Monotone counter bumped on every (un)registration.
+
+    Lets derived caches (e.g. the generated scenario preset table) detect
+    that the set of registered mobility families changed.
+    """
+    return _GENERATION
+
+
+def register_mobility(profile: MobilityProfile, replace: bool = False) -> MobilityProfile:
+    """Register a mobility family by name.
+
+    Args:
+        profile: The profile to register.
+        replace: Allow overwriting an existing registration with the same name.
+
+    Returns:
+        The registered profile (for decorator-style use).
+
+    Raises:
+        ConfigurationError: On a duplicate name without ``replace``.
+    """
+    global _GENERATION
+    key = profile.name.strip().lower()
+    if key in _MOBILITY and not replace:
+        raise ConfigurationError(f"mobility model {profile.name!r} is already registered")
+    _MOBILITY[key] = profile
+    _GENERATION += 1
+    return profile
+
+
+def unregister_mobility(name: str) -> None:
+    """Remove a mobility family (mainly for tests); unknown names are ignored."""
+    global _GENERATION
+    if _MOBILITY.pop(name.strip().lower(), None) is not None:
+        _GENERATION += 1
+
+
+def get_mobility(name: str) -> MobilityProfile:
+    """Resolve a mobility family by name.
+
+    Raises:
+        ConfigurationError: If the name is unknown.
+    """
+    profile = _MOBILITY.get(name.strip().lower())
+    if profile is None:
+        raise ConfigurationError(
+            f"unknown mobility model {name!r}; registered: {', '.join(mobility_names())}"
+        )
+    return profile
+
+
+def mobility_names() -> List[str]:
+    """Sorted canonical names of all registered mobility families."""
+    return sorted(_MOBILITY)
+
+
+def mobility_profiles() -> List[MobilityProfile]:
+    """All registered mobility profiles, sorted by name."""
+    return [_MOBILITY[name] for name in mobility_names()]
+
+
+# ======================================================================
+# Built-in registrations.
+# ======================================================================
+register_mobility(MobilityProfile(
+    name="static",
+    builder=lambda speed, pause: StaticMobility(),
+    description="no movement; the paper's baseline (default)",
+))
+
+register_mobility(MobilityProfile(
+    name="random-waypoint",
+    # min_speed is a tenth of the configured speed, floored at 0.1 m/s but
+    # never above the configured speed itself, so every positive
+    # mobility_speed that passes config validation builds a valid model.
+    builder=lambda speed, pause: RandomWaypointMobility(
+        min_speed=min(speed, max(0.1, speed / 10.0)), max_speed=speed,
+        pause_time=pause,
+    ),
+    description="travel to a uniform waypoint at uniform speed, pause, repeat",
+    preset_tag="rwp",
+    default_speed=10.0,
+    default_pause=2.0,
+))
+
+register_mobility(MobilityProfile(
+    name="random-walk",
+    builder=lambda speed, pause: RandomWalkMobility(
+        speed=speed, turn_interval=pause,
+    ),
+    description="constant-speed walk, uniform heading redraw every pause interval",
+    preset_tag="rwalk",
+    default_speed=5.0,
+    default_pause=5.0,
+))

@@ -14,7 +14,12 @@ number of transport agents demultiplexed by destination port::
         |
     802.11 DCF MAC
         |
-    radio  --- shared wireless channel
+    radio  --- shared wireless channel <--- mobility manager (moves nodes)
+
+The ``position`` passed at construction is the node's *initial* placement; in
+mobile scenarios a :class:`repro.mobility.base.MobilityManager` updates the
+authoritative position held by the channel (``channel.position_of(node_id)``)
+as the simulation runs.
 """
 
 from __future__ import annotations

@@ -5,12 +5,18 @@ the signal to every other radio within interference range.  Radios within the
 (smaller) transmission range may decode the frame; radios between transmission
 and interference range only sense energy — these are the nodes whose concurrent
 transmissions create hidden-terminal collisions.
+
+Positions may change mid-run: a :class:`~repro.mobility.base.MobilityManager`
+pushes updated positions through :meth:`WirelessChannel.set_positions`, which
+invalidates the cached link classifications so reachability is recomputed from
+the new geometry on the next transmission.  Static scenarios never invalidate
+and keep the fully cached fast path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.engine import Simulator
 from repro.core.errors import ConfigurationError
@@ -52,8 +58,8 @@ class WirelessChannel:
         self._radios: Dict[int, Radio] = {}
         self._positions: Dict[int, Position] = {}
         # Cache of (receivable, interferes, delay, power) per ordered node
-        # pair.  The topologies in this study are static, so the cache never
-        # invalidates unless a position is explicitly updated.
+        # pair, invalidated only when a position changes — never during a
+        # static run, once per mobility update interval during a mobile one.
         self._link_cache: Dict[Tuple[int, int], Tuple[bool, bool, float, float]] = {}
         # Per-sender delivery list: (radio, delay, receivable, power) for every
         # radio inside interference range, in registration order.  Lets
@@ -73,10 +79,31 @@ class WirelessChannel:
         self._delivery_cache.clear()
 
     def set_position(self, node_id: int, position: Position) -> None:
-        """Move a node (invalidates the link cache)."""
+        """Move a node (invalidates the link and delivery caches)."""
         if node_id not in self._radios:
             raise ConfigurationError(f"unknown node {node_id}")
         self._positions[node_id] = position
+        self._link_cache.clear()
+        self._delivery_cache.clear()
+
+    def set_positions(self, positions: Mapping[int, Position]) -> None:
+        """Move several nodes with a single cache invalidation.
+
+        This is the mobility hot path: a
+        :class:`~repro.mobility.base.MobilityManager` moves most of the
+        population every update interval, so per-node :meth:`set_position`
+        calls would clear the caches once per node instead of once per
+        update.  Unknown node ids are rejected before any position changes.
+
+        Raises:
+            ConfigurationError: If any node id is not registered.
+        """
+        if not positions:
+            return
+        unknown = [node_id for node_id in positions if node_id not in self._radios]
+        if unknown:
+            raise ConfigurationError(f"unknown nodes {sorted(unknown)}")
+        self._positions.update(positions)
         self._link_cache.clear()
         self._delivery_cache.clear()
 

@@ -10,7 +10,10 @@ The implementation covers the mechanisms the paper's results depend on:
   the affected routes are invalidated, an RERR is propagated and the packet is
   dropped.  On the paper's *static* topologies every such event is a **false
   route failure** — the link is physically fine, the MAC just lost the
-  contention battle — and is counted as such (Figure 9 of the paper);
+  contention battle — and is counted as such (Figure 9 of the paper).  In
+  mobile scenarios (:mod:`repro.mobility`) the same feedback also detects
+  *genuine* breaks — a neighbour that moved out of range — and the subsequent
+  re-discovery is what repairs a broken route mid-flow;
 * route lifetimes with lazy expiry.
 
 Hello messages are not used: like the paper's ns-2 configuration, link failures
@@ -234,7 +237,10 @@ class AodvRouting(RoutingProtocol):
         failure: the neighbour is still there, the frames were lost to
         hidden-terminal contention.  AODV nevertheless tears the route down,
         emits an RERR and drops the packet — exactly the behaviour whose cost
-        Figure 9 quantifies.
+        Figure 9 quantifies.  Under mobility the identical feedback fires for
+        *real* breaks too (the ``false_route_failures`` counter then counts
+        all link-layer route failures, contention-caused or movement-caused —
+        the MAC cannot tell them apart, and neither does AODV).
         """
         self.stats.link_failures += 1
         if next_hop == BROADCAST:

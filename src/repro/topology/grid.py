@@ -5,8 +5,8 @@ adjacent nodes 200 m apart.  Six FTP flows compete: three horizontal flows
 (one per row, left to right) and three vertical flows (top to bottom).  The
 paper's figure does not give the exact columns of the vertical flows; we place
 them on evenly spaced columns (second, middle and second-to-last), which keeps
-every flow interfering with all others as the paper describes.  This choice is
-recorded as a deviation in DESIGN.md/EXPERIMENTS.md.
+every flow interfering with all others as the paper describes — a deliberate
+deviation from the (under-specified) paper setup.
 """
 
 from __future__ import annotations

@@ -1,0 +1,151 @@
+"""Tests for the MobilityManager and the channel's batch position updates."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.errors import ConfigurationError
+from repro.core.tracing import Tracer
+from repro.mobility.base import MobilityManager, MobilityModel
+from repro.mobility.models import RandomWaypointMobility, StaticMobility
+from repro.phy.channel import WirelessChannel
+from repro.phy.propagation import Position
+from repro.phy.radio import Radio
+
+
+class EastwardDrift(MobilityModel):
+    """Deterministic test model: every node drifts east at 10 m/s."""
+
+    def advance(self, node_id, position, dt):
+        return Position(x=position.x + 10.0 * dt, y=position.y)
+
+
+def build_channel(sim, coords):
+    channel = WirelessChannel(sim)
+    for node_id, (x, y) in enumerate(coords):
+        channel.register(Radio(sim, node_id, channel), Position(float(x), float(y)))
+    return channel
+
+
+class TestChannelBatchMoves:
+    def test_set_positions_moves_all_nodes_at_once(self, sim):
+        channel = build_channel(sim, [(0, 0), (200, 0)])
+        channel.set_positions({0: Position(50.0, 0.0), 1: Position(400.0, 0.0)})
+        assert channel.position_of(0) == Position(50.0, 0.0)
+        assert channel.position_of(1) == Position(400.0, 0.0)
+
+    def test_set_positions_rejects_unknown_node_without_partial_update(self, sim):
+        channel = build_channel(sim, [(0, 0)])
+        with pytest.raises(ConfigurationError):
+            channel.set_positions({0: Position(10.0, 0.0), 99: Position(0.0, 0.0)})
+        assert channel.position_of(0) == Position(0.0, 0.0)
+
+    def test_set_positions_invalidates_neighbor_view(self, sim):
+        channel = build_channel(sim, [(0, 0), (200, 0)])
+        assert channel.neighbors_of(0) == [1]
+        channel.set_positions({1: Position(1000.0, 0.0)})
+        assert channel.neighbors_of(0) == []
+
+
+class TestMobilityManager:
+    def test_static_model_schedules_nothing(self, sim):
+        channel = build_channel(sim, [(0, 0), (200, 0)])
+        manager = MobilityManager(sim, channel, StaticMobility())
+        manager.start()
+        assert sim.pending_events == 0
+
+    def test_periodic_updates_move_nodes(self, sim):
+        channel = build_channel(sim, [(0, 0), (200, 0)])
+        manager = MobilityManager(sim, channel, EastwardDrift(), update_interval=0.5)
+        manager.start()
+        sim.run(until=2.0)
+        assert manager.stats.updates == 4
+        assert manager.stats.position_changes == 8
+        assert channel.position_of(0).x == pytest.approx(20.0)
+        assert channel.position_of(1).x == pytest.approx(220.0)
+
+    def test_update_interval_validation(self, sim):
+        channel = build_channel(sim, [(0, 0)])
+        with pytest.raises(ConfigurationError):
+            MobilityManager(sim, channel, EastwardDrift(), update_interval=0.0)
+
+    def test_start_is_idempotent(self, sim):
+        channel = build_channel(sim, [(0, 0)])
+        manager = MobilityManager(sim, channel, EastwardDrift(), update_interval=1.0)
+        manager.start()
+        manager.start()
+        assert sim.pending_events == 1
+
+    def test_link_changes_traced(self, sim):
+        # Node 1 starts in range of node 0 (200 m < 250 m) and drifts east at
+        # 10 m/s; the 0-1 link must break when the distance passes 250 m.
+        channel = build_channel(sim, [(0, 0), (200, 0)])
+        tracer = Tracer(enabled=True)
+
+        class MoveNodeOne(MobilityModel):
+            def advance(self, node_id, position, dt):
+                if node_id != 1:
+                    return position
+                return Position(x=position.x + 10.0 * dt, y=position.y)
+
+        manager = MobilityManager(sim, channel, MoveNodeOne(),
+                                  update_interval=0.5, tracer=tracer)
+        manager.start()
+        sim.run(until=10.0)
+        downs = tracer.filter("mobility", "link_down")
+        assert len(downs) == 1
+        assert downs[0].details == {"a": 0, "b": 1}
+        assert manager.stats.links_broken == 1
+        assert manager.stats.links_formed == 0
+
+    def test_link_stats_maintained_without_tracer(self, sim):
+        # Same drift as test_link_changes_traced, but untraced: the churn
+        # counters must not depend on tracing being enabled.
+        channel = build_channel(sim, [(0, 0), (200, 0)])
+
+        class MoveNodeOne(MobilityModel):
+            def advance(self, node_id, position, dt):
+                if node_id != 1:
+                    return position
+                return Position(x=position.x + 10.0 * dt, y=position.y)
+
+        manager = MobilityManager(sim, channel, MoveNodeOne(), update_interval=0.5)
+        manager.start()
+        sim.run(until=10.0)
+        assert manager.stats.links_broken == 1
+        assert manager.stats.links_formed == 0
+
+    def test_waypoint_model_nodes_stay_in_derived_area(self, sim):
+        coords = [(0, 0), (200, 0), (400, 0), (600, 0)]
+        channel = build_channel(sim, coords)
+        manager = MobilityManager(
+            sim, channel,
+            RandomWaypointMobility(min_speed=5.0, max_speed=30.0, pause_time=0.5),
+            update_interval=0.5, rng=random.Random(11),
+        )
+        manager.start()
+        sim.run(until=60.0)
+        # area_around default margin is 150 m around the 0..600 m chain.
+        for node_id in range(4):
+            position = channel.position_of(node_id)
+            assert -150.0 <= position.x <= 750.0
+            assert -150.0 <= position.y <= 150.0
+
+    def test_same_seed_same_trajectories(self):
+        def final_positions(seed):
+            sim = Simulator()
+            channel = build_channel(sim, [(0, 0), (200, 0), (400, 0)])
+            manager = MobilityManager(
+                sim, channel,
+                RandomWaypointMobility(min_speed=2.0, max_speed=25.0),
+                update_interval=0.5, rng=random.Random(seed),
+            )
+            manager.start()
+            sim.run(until=30.0)
+            return [channel.position_of(n) for n in range(3)]
+
+        assert final_positions(5) == final_positions(5)
+        assert final_positions(5) != final_positions(6)

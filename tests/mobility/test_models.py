@@ -1,0 +1,152 @@
+"""Tests for the built-in mobility models and the movement area."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.mobility.base import MobilityArea, area_around
+from repro.mobility.models import (
+    RandomWalkMobility,
+    RandomWaypointMobility,
+    StaticMobility,
+)
+from repro.phy.propagation import Position
+
+
+AREA = MobilityArea(min_x=0.0, min_y=0.0, max_x=1000.0, max_y=500.0)
+
+
+def bound(model, positions, seed=7):
+    model.bind(positions, AREA, random.Random(seed))
+    return model
+
+
+class TestMobilityArea:
+    def test_contains_and_clamp(self):
+        assert AREA.contains(Position(500.0, 250.0))
+        assert not AREA.contains(Position(-1.0, 0.0))
+        clamped = AREA.clamp(Position(-50.0, 600.0))
+        assert clamped == Position(0.0, 500.0)
+
+    def test_random_point_is_inside(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            assert AREA.contains(AREA.random_point(rng))
+
+    def test_degenerate_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MobilityArea(min_x=10.0, min_y=0.0, max_x=0.0, max_y=5.0)
+
+    def test_area_around_grows_bounding_box(self):
+        area = area_around([Position(0.0, 0.0), Position(400.0, 100.0)], margin=50.0)
+        assert (area.min_x, area.min_y, area.max_x, area.max_y) == (
+            -50.0, -50.0, 450.0, 150.0,
+        )
+
+    def test_area_around_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            area_around([])
+
+
+class TestStaticMobility:
+    def test_is_immobile_and_identity(self):
+        model = StaticMobility()
+        assert model.mobile is False
+        position = Position(10.0, 20.0)
+        assert model.advance(1, position, 5.0) == position
+
+
+class TestRandomWaypoint:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomWaypointMobility(min_speed=0.0)
+        with pytest.raises(ConfigurationError):
+            RandomWaypointMobility(min_speed=5.0, max_speed=1.0)
+        with pytest.raises(ConfigurationError):
+            RandomWaypointMobility(pause_time=-1.0)
+
+    def test_stays_inside_area(self):
+        model = bound(RandomWaypointMobility(min_speed=5.0, max_speed=50.0,
+                                             pause_time=0.5),
+                      {0: Position(500.0, 250.0)})
+        position = Position(500.0, 250.0)
+        for _ in range(500):
+            position = model.advance(0, position, 0.5)
+            assert AREA.contains(position)
+
+    def test_step_respects_speed_bound(self):
+        model = bound(RandomWaypointMobility(min_speed=1.0, max_speed=10.0,
+                                             pause_time=0.0),
+                      {0: Position(0.0, 0.0)})
+        position = Position(0.0, 0.0)
+        for _ in range(200):
+            moved = model.advance(0, position, 0.5)
+            assert position.distance_to(moved) <= 10.0 * 0.5 + 1e-9
+            position = moved
+
+    def test_pauses_at_waypoint(self):
+        model = RandomWaypointMobility(min_speed=10.0, max_speed=10.0,
+                                       pause_time=1e9)
+        bound(model, {0: Position(0.0, 0.0)})
+        position = Position(0.0, 0.0)
+        # Travel until the (first) waypoint is reached, then the huge pause
+        # must freeze the node.
+        for _ in range(10_000):
+            position = model.advance(0, position, 1.0)
+            if model._states[0].pause_remaining > 0:
+                break
+        else:
+            pytest.fail("waypoint never reached")
+        assert model.advance(0, position, 100.0) == position
+
+    def test_deterministic_for_same_rng_seed(self):
+        def trajectory():
+            model = bound(RandomWaypointMobility(min_speed=2.0, max_speed=20.0),
+                          {0: Position(100.0, 100.0)}, seed=42)
+            position = Position(100.0, 100.0)
+            points = []
+            for _ in range(50):
+                position = model.advance(0, position, 0.5)
+                points.append(position)
+            return points
+
+        assert trajectory() == trajectory()
+
+
+class TestRandomWalk:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkMobility(speed=0.0)
+        with pytest.raises(ConfigurationError):
+            RandomWalkMobility(turn_interval=0.0)
+
+    def test_constant_speed_between_turns(self):
+        model = bound(RandomWalkMobility(speed=8.0, turn_interval=1e9),
+                      {0: Position(500.0, 250.0)})
+        position = Position(500.0, 250.0)
+        moved = model.advance(0, position, 0.25)
+        assert position.distance_to(moved) == pytest.approx(8.0 * 0.25)
+
+    def test_reflects_at_boundary_and_stays_inside(self):
+        model = bound(RandomWalkMobility(speed=40.0, turn_interval=3.0),
+                      {0: Position(1.0, 1.0)})
+        position = Position(1.0, 1.0)
+        for _ in range(500):
+            position = model.advance(0, position, 0.5)
+            assert AREA.contains(position)
+
+    def test_deterministic_for_same_rng_seed(self):
+        def trajectory():
+            model = bound(RandomWalkMobility(speed=5.0, turn_interval=2.0),
+                          {0: Position(100.0, 100.0)}, seed=9)
+            position = Position(100.0, 100.0)
+            points = []
+            for _ in range(50):
+                position = model.advance(0, position, 0.5)
+                points.append(position)
+            return points
+
+        assert trajectory() == trajectory()

@@ -53,10 +53,22 @@ def _build_random(tracer: Tracer) -> Scenario:
     return Scenario(topology, config, tracer=tracer)
 
 
+def _build_mobile_chain(tracer: Tracer) -> Scenario:
+    # Random-waypoint chain at vehicular speed: seed 3 produces several mid-
+    # flow link breaks followed by AODV re-discovery (asserted by
+    # tests/integration/test_mobile_integration.py, which runs the identical
+    # configuration), so this fixture pins the full move → retry-fail → RERR
+    # → RREQ → repair event sequence bit-for-bit.
+    return build_named_scenario("chain7-rwp-vegas-2mbps", tracer=tracer,
+                                packet_target=60, seed=3, max_sim_time=60.0,
+                                mobility_speed=20.0, mobility_pause=1.0)
+
+
 SCENARIOS = {
     "chain7-vegas-2mbps": _build_chain,
     "grid-newreno-2mbps": _build_grid,
     "random50-vegas-2mbps": _build_random,
+    "mobile-chain7-rwp-vegas-2mbps": _build_mobile_chain,
 }
 
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job (stdlib only, no network).
+
+Scans the given markdown files for inline links/images ``[text](target)`` and
+reference definitions ``[ref]: target`` and verifies every *local* target:
+
+* relative file targets must exist on disk (resolved against the markdown
+  file's directory; an optional ``#fragment`` is stripped first);
+* in-page anchors (``#section``) must match a heading of the same file,
+  using GitHub's slug rules (lowercase, spaces to dashes, punctuation
+  dropped);
+* external schemes (``http://``, ``https://``, ``mailto:``) are *not*
+  fetched — CI must not depend on the network — and are only reported with
+  ``--list-external``.
+
+Exit status 1 if any local target is broken.
+
+Usage::
+
+    python tools/check_markdown_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Inline links/images: [text](target) — target taken up to the first
+#: unescaped closing parenthesis; titles ("...") are stripped afterwards.
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?[^()]*)\)")
+#: Reference-style definitions: [ref]: target
+_REFERENCE = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+#: ATX headings, for anchor validation.
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+#: Fenced code blocks are stripped before scanning (``` or ~~~).
+_FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, strip punctuation,
+    spaces to dashes (backtick/bracket markup removed first)."""
+    text = re.sub(r"[`*_\[\]()]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def extract_targets(markdown: str) -> List[str]:
+    """All link targets in ``markdown``, fenced code blocks excluded."""
+    stripped = _FENCE.sub("", markdown)
+    targets = [match.group(1) for match in _INLINE.finditer(stripped)]
+    targets += [match.group(1) for match in _REFERENCE.finditer(stripped)]
+    return [target.split(' "')[0].strip("<>") for target in targets]
+
+
+def check_file(path: Path) -> Tuple[List[str], List[str]]:
+    """Return (broken local targets, external targets) for one markdown file."""
+    markdown = path.read_text()
+    anchors = {github_slug(heading) for heading in _HEADING.findall(markdown)}
+    broken: List[str] = []
+    external: List[str] = []
+    for target in extract_targets(markdown):
+        if target.startswith(_EXTERNAL_SCHEMES):
+            external.append(target)
+            continue
+        if target.startswith("#"):
+            if target[1:].lower() not in anchors:
+                broken.append(target)
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        if not (path.parent / file_part).exists():
+            broken.append(target)
+    return broken, external
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", type=Path, metavar="FILE.md")
+    parser.add_argument("--list-external", action="store_true",
+                        help="also print (unchecked) external URLs")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for path in args.files:
+        if not path.is_file():
+            print(f"{path}: file not found")
+            failures += 1
+            continue
+        broken, external = check_file(path)
+        for target in broken:
+            print(f"{path}: broken link -> {target}")
+        failures += len(broken)
+        if args.list_external:
+            for target in external:
+                print(f"{path}: external (unchecked) -> {target}")
+        if not broken:
+            print(f"{path}: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
