@@ -19,6 +19,11 @@ Four workloads bracket the simulator's operating range:
 Each benchmark reports wall time, processed engine events and events/sec, and
 is also run with the legacy kernel swapped in (see
 :mod:`benchmarks.perf.legacy`) to yield a same-machine speedup.
+
+``chain7_metrics`` additionally runs the chain workload with the time-series
+metrics plane enabled and reports ``overhead_vs_disabled`` (wall-time ratio
+against the plain ``chain7_ftp`` run of the same suite invocation), which is
+what ``tools/check_perf_overhead.py`` guards in CI.
 """
 
 from __future__ import annotations
@@ -64,6 +69,12 @@ def _build_chain7(packet_target: int) -> Scenario:
     reset_packet_ids()
     return build_named_scenario("chain7-vegas-at-2mbps", packet_target=packet_target,
                                 seed=3)
+
+
+def _build_chain7_metrics(packet_target: int) -> Scenario:
+    reset_packet_ids()
+    return build_named_scenario("chain7-vegas-at-2mbps", packet_target=packet_target,
+                                seed=3, metrics=True)
 
 
 def _build_random50(packet_target: int) -> Scenario:
@@ -113,6 +124,11 @@ def bench_mobile_random50(packet_target: int = STRESS_PACKET_TARGET) -> Dict[str
     return _run_and_measure(_build_mobile_random50(packet_target))
 
 
+def bench_chain7_metrics(packet_target: int = CHAIN_PACKET_TARGET) -> Dict[str, float]:
+    """The chain workload with time-series metrics collection enabled."""
+    return _run_and_measure(_build_chain7_metrics(packet_target))
+
+
 def run_scenario_benchmarks(
     chain_target: int = CHAIN_PACKET_TARGET,
     stress_target: int = STRESS_PACKET_TARGET,
@@ -140,4 +156,14 @@ def run_scenario_benchmarks(
         )
         results[name] = current
         results[f"{name}_legacy"] = legacy
+
+    # Metrics-plane overhead: same chain workload with time series enabled,
+    # compared by wall time against the metrics-off run above (events/sec is
+    # not comparable — the sampler adds events of its own).
+    metrics_run = _run_and_measure(_build_chain7_metrics(chain_target))
+    plain_wall = results["chain7_ftp"]["wall_time"]
+    metrics_run["overhead_vs_disabled"] = (
+        metrics_run["wall_time"] / plain_wall if plain_wall else float("nan")
+    )
+    results["chain7_metrics"] = metrics_run
     return results

@@ -49,6 +49,7 @@ from repro.experiments.study import (
     SweepSpec,
     run_study,
 )
+from repro.metrics import Counter, Gauge, MetricsRegistry, TimeSeries
 from repro.mobility.registry import (
     MobilityProfile,
     get_mobility,
@@ -107,5 +108,9 @@ __all__ = [
     "get_mobility",
     "register_mobility",
     "mobility_names",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "TimeSeries",
     "__version__",
 ]

@@ -9,8 +9,10 @@ UDP sender).
 from __future__ import annotations
 
 import abc
+from typing import Optional
 
 from repro.core.engine import Simulator
+from repro.metrics import Counter, Gauge, MetricsRegistry
 
 
 class Application(abc.ABC):
@@ -20,6 +22,22 @@ class Application(abc.ABC):
         self.sim = sim
         self.start_time = start_time
         self._started = False
+        self._starts_counter: Optional[Counter] = None
+        self._started_at_gauge: Optional[Gauge] = None
+
+    def bind_metrics(self, registry: MetricsRegistry, prefix: str) -> None:
+        """Register the application's instruments under ``prefix``.
+
+        Called by the scenario runner after construction (applications are
+        built by transport-profile factories that know nothing about the
+        metrics plane).  Registers ``<prefix>.starts`` and
+        ``<prefix>.started_at``.
+        """
+        self._starts_counter = registry.counter(
+            f"{prefix}.starts", description="Times the application started.")
+        self._started_at_gauge = registry.gauge(
+            f"{prefix}.started_at", unit="s",
+            description="Simulated time traffic generation began.")
 
     def schedule_start(self) -> None:
         """Schedule the application to start at its configured start time."""
@@ -30,6 +48,9 @@ class Application(abc.ABC):
         if self._started:
             return
         self._started = True
+        if self._starts_counter is not None:
+            self._starts_counter.inc()
+            self._started_at_gauge.set(self.sim.now)
         self.on_start()
 
     @property

@@ -134,6 +134,13 @@ class ScenarioConfig:
             waypoint, heading-redraw interval for random walk); ``None`` uses
             the profile's default.
         mobility_update_interval: Seconds between periodic position updates.
+        metrics: Enable the time-series metrics plane: per-flow cwnd/RTT
+            series, periodic probe sampling (queue occupancy, link churn,
+            energy) and the ``timeseries`` section of the result.  Scalar
+            counters are collected regardless; disabled runs schedule no
+            extra events (golden traces stay bit-identical).
+        metrics_interval: Cadence of the periodic probe sampler in simulated
+            seconds.
     """
 
     variant: VariantLike = TransportVariant.VEGAS
@@ -156,6 +163,8 @@ class ScenarioConfig:
     mobility_speed: Optional[float] = None
     mobility_pause: Optional[float] = None
     mobility_update_interval: float = 0.5
+    metrics: bool = False
+    metrics_interval: float = 0.1
 
     def __post_init__(self) -> None:
         if self.bandwidth_mbps <= 0:
@@ -178,6 +187,8 @@ class ScenarioConfig:
             raise ConfigurationError("mobility_pause must be non-negative")
         if self.mobility_update_interval <= 0:
             raise ConfigurationError("mobility_update_interval must be positive")
+        if self.metrics_interval <= 0:
+            raise ConfigurationError("metrics_interval must be positive")
         object.__setattr__(self, "variant", resolve_variant(self.variant))
         get_transport(self.variant).validate_config(self)
 

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.statistics import ConfidenceInterval, jain_fairness_index
 from repro.core.units import kbps
@@ -79,7 +80,17 @@ class FlowResult:
 
 @dataclass
 class ScenarioResult:
-    """Aggregate measures for one scenario run."""
+    """Aggregate measures for one scenario run.
+
+    Attributes (beyond the headline scalars):
+        metrics: Flat snapshot of every counter/gauge instrument at the end
+            of the run, keyed by hierarchical name
+            (``mac.node3.data_dropped_retry``).  Populated for every run; see
+            :meth:`metric_total` for wildcard aggregation.
+        timeseries: Time-series payloads (``{name: {unit, times, values}}``)
+            collected while the metrics plane was enabled
+            (``ScenarioConfig.metrics=True``); ``None`` otherwise.
+    """
 
     name: str
     variant: str
@@ -92,6 +103,8 @@ class ScenarioResult:
     mac_frames_sent: int = 0
     reached_packet_target: bool = True
     energy: Optional[EnergyReport] = None
+    metrics: Optional[Dict[str, float]] = None
+    timeseries: Optional[Dict[str, dict]] = None
 
     @property
     def aggregate_goodput_bps(self) -> float:
@@ -129,6 +142,34 @@ class ScenarioResult:
                 return flow
         raise KeyError(f"no flow {flow_id} in scenario {self.name}")
 
+    # ------------------------------------------------------------------
+    # Metrics access
+    # ------------------------------------------------------------------
+    def metric_total(self, pattern: str) -> float:
+        """Sum of the snapshot values whose names match ``pattern``.
+
+        ``pattern`` uses shell-style wildcards over the hierarchical
+        instrument name, e.g. ``metric_total("mac.node*.data_dropped_retry")``
+        for the network-wide retry-drop count or
+        ``metric_total("route.node*.rerrs_sent")`` for total RERRs.  Returns
+        0.0 when no snapshot was collected or nothing matches.
+        """
+        if not self.metrics:
+            return 0.0
+        return sum(value for name, value in self.metrics.items()
+                   if fnmatchcase(name, pattern))
+
+    def series(self, name: str) -> Tuple[List[float], List[float]]:
+        """The ``(times, values)`` of one exported time series.
+
+        Raises:
+            KeyError: If no time series were collected or the name is absent.
+        """
+        if not self.timeseries or name not in self.timeseries:
+            raise KeyError(f"no time series {name!r} in scenario {self.name}")
+        data = self.timeseries[name]
+        return list(data["times"]), list(data["values"])
+
     def to_dict(self) -> dict:
         """JSON-serializable representation (see :meth:`from_dict`).
 
@@ -147,6 +188,11 @@ class ScenarioResult:
             "mac_frames_sent": self.mac_frames_sent,
             "reached_packet_target": self.reached_packet_target,
             "energy": self.energy.to_dict() if self.energy else None,
+            "metrics": dict(self.metrics) if self.metrics is not None else None,
+            "timeseries": (
+                {name: dict(series) for name, series in self.timeseries.items()}
+                if self.timeseries is not None else None
+            ),
         }
 
     @classmethod
@@ -165,6 +211,8 @@ class ScenarioResult:
             mac_frames_sent=data["mac_frames_sent"],
             reached_packet_target=data["reached_packet_target"],
             energy=EnergyReport.from_dict(energy) if energy else None,
+            metrics=data.get("metrics"),
+            timeseries=data.get("timeseries"),
         )
 
 

@@ -16,10 +16,24 @@ resolved through :mod:`repro.mobility.registry` (a
 mobile models; the default ``"static"`` model adds no events at all).  Adding
 a transport variant or mobility model therefore never requires touching this
 module.
+
+Every scenario also owns a :class:`~repro.metrics.registry.MetricsRegistry`
+shared by all layers of the stack.  End-of-run scalars are harvested from a
+single registry snapshot (no per-layer point-to-point sums); when
+``config.metrics`` is true, the registry additionally collects per-flow
+cwnd/RTT series and runs a periodic probe sampler (queue occupancy, link
+churn, radio energy), all exported through ``ScenarioResult.timeseries``.
+
+Run ``python -m repro.experiments.runner --help`` for the command-line
+front end that executes a named scenario and exports its metrics as JSON.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.core.engine import Simulator
@@ -28,12 +42,18 @@ from repro.core.tracing import NULL_TRACER, Tracer
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.results import FlowResult, ScenarioResult
 from repro.mac.timing import MacTiming, timing_for_bandwidth
+from repro.metrics import MetricsRegistry
 from repro.mobility.base import MobilityManager
 from repro.mobility.registry import get_mobility
 from repro.net.address import FlowAddress
 from repro.net.node import Node
 from repro.phy.channel import WirelessChannel
-from repro.phy.energy import EnergyModel, scenario_energy
+from repro.phy.energy import (
+    EnergyModel,
+    install_energy_probes,
+    scenario_energy,
+    set_energy_gauges,
+)
 from repro.phy.propagation import RangePropagationModel
 from repro.routing.static import StaticRouting
 from repro.topology.base import Topology, all_next_hop_tables
@@ -52,6 +72,13 @@ class Scenario:
         topology: Node placement and flow pattern.
         config: Scenario parameters (variant, bandwidth, run length, …).
         tracer: Optional tracer shared by every component.
+
+    Attributes:
+        metrics: The scenario's freshly created
+            :class:`~repro.metrics.registry.MetricsRegistry` (its time-series
+            plane follows ``config.metrics``).  Each scenario owns its own
+            registry — counters are get-or-create, so sharing one across
+            scenarios would double-count every harvested result.
     """
 
     def __init__(
@@ -63,6 +90,7 @@ class Scenario:
         self.topology = topology
         self.config = config
         self.tracer = tracer
+        self.metrics = MetricsRegistry(enabled=config.metrics)
         self.profile = get_transport(config.variant)
 
         self.sim = Simulator()
@@ -88,6 +116,8 @@ class Scenario:
             self._install_static_routes()
         for index, flow in enumerate(self.topology.flows, start=1):
             self._build_flow(index, flow.source, flow.destination)
+        self._install_probes()
+        self.metrics.start_sampling(self.sim, self.config.metrics_interval)
 
     def _build_nodes(self) -> None:
         for node_id in self.topology.node_ids:
@@ -101,6 +131,7 @@ class Scenario:
                 routing=self.config.routing,
                 queue_capacity=self.config.queue_capacity,
                 tracer=self.tracer,
+                metrics=self.metrics,
             )
 
     def _build_mobility(self) -> None:
@@ -123,8 +154,29 @@ class Scenario:
             update_interval=config.mobility_update_interval,
             rng=self.randomness.stream("mobility"),
             tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.mobility.start()
+
+    def _install_probes(self) -> None:
+        """Register the periodic probes (no-op on a disabled registry).
+
+        Probes cover the pull-style quantities the paper's time-evolution
+        analysis needs: per-node interface-queue occupancy (the per-hop
+        queueing the window-size figures explain) and cumulative radio
+        energy.  Mobility's link-count probe registers itself when the
+        manager starts.
+        """
+        metrics = self.metrics
+        if not metrics.enabled:
+            return
+        for node_id, node in self.nodes.items():
+            metrics.add_probe(
+                f"mac.node{node_id}.queue_len", node.queue.__len__,
+                unit="packets", description="Interface-queue occupancy.")
+        install_energy_probes(
+            metrics, EnergyModel(), self.sim,
+            {node_id: node.radio.stats for node_id, node in self.nodes.items()})
 
     def _install_static_routes(self) -> None:
         graph = self.topology.connectivity_graph(self.channel.propagation)
@@ -148,7 +200,8 @@ class Scenario:
             dst_node=destination,
             dst_port=_DST_PORT_BASE + index,
         )
-        stats = FlowStats(flow_id=index, batch_size=self._per_flow_batch_size())
+        stats = FlowStats(flow_id=index, batch_size=self._per_flow_batch_size(),
+                          registry=self.metrics)
         self.flow_stats.append(stats)
         start_time = (index - 1) * config.flow_start_stagger
 
@@ -161,6 +214,7 @@ class Scenario:
         self.nodes[flow.src_node].register_agent(sender)
         self.nodes[flow.dst_node].register_agent(sink)
         application = self.profile.build_application(context, sender, start_time)
+        application.bind_metrics(self.metrics, f"app.flow{index}")
         application.schedule_start()
 
         self.senders.append(sender)
@@ -193,12 +247,25 @@ class Scenario:
     # Result collection
     # ==================================================================
     def _collect_results(self, reached_target: bool) -> ScenarioResult:
+        """Harvest the registry into a :class:`ScenarioResult`.
+
+        All network-wide scalars come out of the single metrics snapshot
+        (wildcard sums over the hierarchical names) instead of per-layer
+        loops over nodes, so every run path shares one harvesting story.
+        """
         now = self.sim.now
+        metrics = self.metrics
+        energy = self._energy_report(now)
+
         flow_results = []
         for stats, flow_spec in zip(self.flow_stats, self.topology.flows):
             flow_results.append(self._flow_result(stats, flow_spec.source,
                                                   flow_spec.destination, now))
-        result = ScenarioResult(
+
+        dropped = metrics.total("mac.node*.data_dropped_retry")
+        succeeded = metrics.total("mac.node*.data_tx_success")
+        finished = dropped + succeeded
+        return ScenarioResult(
             name=f"{self.topology.name}/{self.profile.label}"
                  f"/{self.config.bandwidth_mbps:g}Mbps",
             variant=self.profile.label,
@@ -206,24 +273,29 @@ class Scenario:
             simulated_time=now,
             delivered_packets=self.total_delivered,
             flows=flow_results,
-            false_route_failures=self._total_false_route_failures(),
-            link_layer_drop_probability=self._link_drop_probability(),
-            mac_frames_sent=sum(node.radio.stats.frames_sent for node in self.nodes.values()),
+            false_route_failures=int(metrics.total("route.node*.false_route_failures")),
+            link_layer_drop_probability=dropped / finished if finished else 0.0,
+            mac_frames_sent=int(metrics.total("phy.node*.frames_sent")),
             reached_packet_target=reached_target,
-            energy=self._energy_report(now),
+            energy=energy,
+            metrics=metrics.snapshot(),
+            timeseries=metrics.timeseries_data() if metrics.enabled else None,
         )
-        return result
 
     def _energy_report(self, now: float):
+        model = EnergyModel()
+        radio_stats = {node_id: node.radio.stats
+                       for node_id, node in self.nodes.items()}
+        set_energy_gauges(self.metrics, model, now, radio_stats)
         airtimes = [
             {
-                "time_transmitting": node.radio.stats.time_transmitting,
-                "time_receiving": node.radio.stats.time_receiving,
+                "time_transmitting": stats.time_transmitting,
+                "time_receiving": stats.time_receiving,
             }
-            for node in self.nodes.values()
+            for stats in radio_stats.values()
         ]
-        delivered_bytes = sum(stats.bytes_delivered for stats in self.flow_stats)
-        return scenario_energy(EnergyModel(), now, airtimes, delivered_bytes)
+        delivered_bytes = self.metrics.total("tcp.flow*.bytes_delivered")
+        return scenario_energy(model, now, airtimes, delivered_bytes)
 
     def _flow_result(self, stats: FlowStats, source: int, destination: int,
                      now: float) -> FlowResult:
@@ -249,17 +321,6 @@ class Scenario:
             average_window=stats.average_window(now),
         )
 
-    def _total_false_route_failures(self) -> int:
-        return sum(node.routing.stats.false_route_failures for node in self.nodes.values())
-
-    def _link_drop_probability(self) -> float:
-        dropped = sum(node.mac.stats.data_dropped_retry for node in self.nodes.values())
-        succeeded = sum(node.mac.stats.data_tx_success for node in self.nodes.values())
-        total = dropped + succeeded
-        if total == 0:
-            return 0.0
-        return dropped / total
-
 
 def run_scenario(
     topology: Topology,
@@ -268,3 +329,93 @@ def run_scenario(
 ) -> ScenarioResult:
     """Convenience wrapper: build a :class:`Scenario` and run it."""
     return Scenario(topology, config, tracer=tracer).run()
+
+
+# ======================================================================
+# Command-line front end
+# ======================================================================
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run a named scenario and (optionally) export its metrics as JSON.
+
+    Examples::
+
+        PYTHONPATH=src python -m repro.experiments.runner --list
+        PYTHONPATH=src python -m repro.experiments.runner chain7-vegas-2mbps \\
+            --metrics --packets 500 -o chain7_metrics.json
+
+    With ``--metrics`` the exported JSON contains the full
+    ``ScenarioResult.to_dict()`` payload including the ``timeseries``
+    section (``tcp.flow1.cwnd``, ``mac.node3.queue_len``, …) — the raw
+    material of the paper's time-evolution figures.
+    """
+    # Imported lazily: repro.experiments.scenarios imports this module.
+    from repro.experiments.scenarios import available_scenarios, build_named_scenario
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Run one named scenario, optionally exporting metric "
+                    "time series (cwnd, queue occupancy, energy) as JSON.",
+    )
+    parser.add_argument("scenario", nargs="?", default="chain7-vegas-2mbps",
+                        help="preset name (default: %(default)s); see --list")
+    parser.add_argument("--list", action="store_true",
+                        help="list available scenario presets and exit")
+    parser.add_argument("--metrics", action="store_true",
+                        help="enable the time-series metrics plane")
+    parser.add_argument("--metrics-interval", type=float, default=None,
+                        metavar="S", help="probe sampling cadence in simulated "
+                                          "seconds (default: config default)")
+    parser.add_argument("--packets", type=int, default=None,
+                        help="override the packet target")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the RNG seed")
+    parser.add_argument("--max-sim-time", type=float, default=None,
+                        help="override the simulated-time limit")
+    parser.add_argument("-o", "--output", type=Path, default=None,
+                        help="write the full result (ScenarioResult.to_dict) "
+                             "as JSON to this path")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in available_scenarios():
+            print(name)
+        return 0
+
+    overrides: Dict[str, object] = {}
+    if args.metrics:
+        overrides["metrics"] = True
+    if args.metrics_interval is not None:
+        overrides["metrics_interval"] = args.metrics_interval
+    if args.packets is not None:
+        overrides["packet_target"] = args.packets
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.max_sim_time is not None:
+        overrides["max_sim_time"] = args.max_sim_time
+
+    scenario = build_named_scenario(args.scenario, **overrides)
+    result = scenario.run()
+
+    print(f"{result.name}: {result.delivered_packets} packets in "
+          f"{result.simulated_time:.1f} s simulated, aggregate goodput "
+          f"{result.aggregate_goodput_kbps:.1f} kbit/s")
+    if result.timeseries is not None:
+        print(f"{len(result.timeseries)} time series collected:")
+        for name, data in sorted(result.timeseries.items()):
+            values = data["values"]
+            if not values:
+                continue
+            unit = f" {data['unit']}" if data.get("unit") else ""
+            print(f"  {name}: {len(values)} samples, "
+                  f"last {values[-1]:.4g}{unit}")
+
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(result.to_dict(), indent=2,
+                                          sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -286,6 +286,30 @@ class PointResult:
         """Cross-seed confidence interval of the aggregate goodput (bit/s)."""
         return confidence_interval([r.aggregate_goodput_bps for r in self.runs])
 
+    # ------------------------------------------------------------------
+    # Metric selection
+    # ------------------------------------------------------------------
+    def metric_values(self, pattern: str) -> List[float]:
+        """Per-replication totals of the instruments matching ``pattern``.
+
+        ``pattern`` is a shell-style wildcard over hierarchical instrument
+        names (see :meth:`repro.experiments.results.ScenarioResult.metric_total`),
+        so a sweep can aggregate *any* instrument the stack registers, e.g.
+        ``point.metric_values("route.node*.rerrs_sent")``.
+        """
+        return [run.metric_total(pattern) for run in self.runs]
+
+    def metric_interval(self, pattern: str) -> ConfidenceInterval:
+        """Cross-seed confidence interval of the matched instrument total.
+
+        Composes with :meth:`StudyResult.nested` for whole-study tables::
+
+            study.nested("variant", "hops",
+                         leaf=lambda p: p.metric_interval(
+                             "mac.node*.data_dropped_retry").mean)
+        """
+        return confidence_interval(self.metric_values(pattern))
+
     @property
     def mean_goodput_bps(self) -> float:
         """Mean aggregate goodput over replications (bit/s)."""

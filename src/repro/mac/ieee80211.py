@@ -29,6 +29,7 @@ from repro.mac.frames import attach_data_header, make_ack, make_cts, make_rts
 from repro.mac.queue import DropTailQueue
 from repro.mac.stats import MacStats
 from repro.mac.timing import MacTiming
+from repro.metrics import MetricsRegistry, NULL_METRICS
 from repro.net.headers import BROADCAST, MacFrameType, MacHeader
 from repro.net.interfaces import MacListener, PhyListener
 from repro.net.packet import Packet
@@ -64,6 +65,8 @@ class Ieee80211Mac(PhyListener):
         timing: MAC/PHY timing parameters (bandwidth-dependent).
         rng: Random stream for backoff slot selection.
         tracer: Optional tracer.
+        metrics: Optional metrics registry; the MAC's counters register under
+            ``mac.node<N>.*``.
     """
 
     #: Number of recently received frame uids remembered per neighbour for
@@ -79,6 +82,7 @@ class Ieee80211Mac(PhyListener):
         timing: MacTiming,
         rng,
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -90,7 +94,7 @@ class Ieee80211Mac(PhyListener):
         self.rng = rng
         self.tracer = tracer
         self.listener: Optional[MacListener] = None
-        self.stats = MacStats()
+        self.stats = MacStats(metrics, prefix=f"mac.node{node_id}")
 
         self.state = MacState.IDLE
         self._access_phase = _AccessPhase.INACTIVE

@@ -1,0 +1,40 @@
+"""Unified metrics and time-series telemetry for the whole stack.
+
+Every layer registers its instruments — :class:`Counter`, :class:`Gauge`,
+:class:`TimeSeries` — in the scenario's :class:`MetricsRegistry` under
+hierarchical dotted names (``phy.node2.frames_sent``, ``tcp.flow1.cwnd``).
+The experiment harness harvests scalars with
+:meth:`MetricsRegistry.snapshot`/:meth:`MetricsRegistry.total` and, when the
+registry is enabled, exports time series through
+:class:`repro.experiments.results.ScenarioResult`.
+
+See ``docs/metrics.md`` for the instrument catalog and naming scheme.
+"""
+
+from repro.metrics.instruments import (
+    Counter,
+    Gauge,
+    Instrument,
+    TimeSeries,
+    instrument_property,
+)
+from repro.metrics.registry import (
+    DEFAULT_MAX_SAMPLES,
+    DEFAULT_SAMPLE_INTERVAL,
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Instrument",
+    "TimeSeries",
+    "instrument_property",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "DEFAULT_MAX_SAMPLES",
+    "DEFAULT_SAMPLE_INTERVAL",
+]

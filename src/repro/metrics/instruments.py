@@ -1,0 +1,161 @@
+"""Metric instruments: the primitive value holders of the metrics plane.
+
+Three instrument kinds cover everything the stack measures:
+
+* :class:`Counter` — a monotonically increasing count (frames sent, RERRs
+  originated).  Counters are the *system of record* for the end-of-run scalars
+  the paper reports, so they count whether or not time-series collection is
+  enabled.
+* :class:`Gauge` — a value that moves both ways (cumulative airtime, energy,
+  an application's start time).
+* :class:`TimeSeries` — timestamped samples of a time-evolving quantity
+  (congestion window, queue occupancy).  Series are only populated when the
+  owning :class:`~repro.metrics.registry.MetricsRegistry` is enabled; when a
+  sample budget is set the series decimates itself (doubling its stride and
+  keeping every other retained sample) so memory stays bounded on long runs
+  while coverage of the whole run is preserved.
+
+Instruments are deliberately dumb: no locks (the simulator is single
+threaded), no label sets (hierarchy lives in the dotted instrument *name*,
+e.g. ``mac.node3.data_dropped_retry``) and plain-attribute value storage so a
+hot-path increment costs no more than the dataclass field it replaced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Instrument:
+    """Common base: a named, unit-annotated measurement holder."""
+
+    __slots__ = ("name", "unit", "description")
+
+    #: Short kind tag used in exports ("counter", "gauge", "timeseries").
+    kind = "instrument"
+
+    def __init__(self, name: str, unit: str = "", description: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.description = description
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Counter(Instrument):
+    """A monotonically increasing count.
+
+    The ``value`` attribute is public so existing ``stats.field += 1`` style
+    call sites (through the stats-view properties) stay cheap; new code should
+    prefer :meth:`inc`.
+    """
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self, name: str, unit: str = "", description: str = "") -> None:
+        super().__init__(name, unit, description)
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Increase the counter by ``amount`` (default 1)."""
+        self.value += amount
+
+
+class Gauge(Instrument):
+    """A value that can move in both directions."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self, name: str, unit: str = "", description: str = "") -> None:
+        super().__init__(name, unit, description)
+        self.value: Number = 0.0
+
+    def set(self, value: Number) -> None:
+        """Set the gauge to ``value``."""
+        self.value = value
+
+    def add(self, delta: Number) -> None:
+        """Move the gauge by ``delta`` (may be negative)."""
+        self.value += delta
+
+
+class TimeSeries(Instrument):
+    """Timestamped samples of one quantity.
+
+    Args:
+        max_samples: Optional retention budget.  When the series reaches the
+            budget it halves itself (keeping every other sample) and doubles
+            the recording stride, so the memory stays within the budget while
+            samples keep spanning the whole run.  ``None`` retains everything.
+    """
+
+    __slots__ = ("times", "values", "max_samples", "_stride", "_skip")
+
+    kind = "timeseries"
+
+    def __init__(self, name: str, unit: str = "", description: str = "",
+                 max_samples: Optional[int] = None) -> None:
+        super().__init__(name, unit, description)
+        if max_samples is not None and max_samples < 2:
+            raise ValueError(f"max_samples must be at least 2, got {max_samples}")
+        self.times: List[float] = []
+        self.values: List[float] = []
+        self.max_samples = max_samples
+        self._stride = 1
+        self._skip = 0
+
+    def record(self, time: float, value: Number) -> None:
+        """Append a sample (subject to the decimation stride)."""
+        if self._skip:
+            self._skip -= 1
+            return
+        self._skip = self._stride - 1
+        self.times.append(time)
+        self.values.append(float(value))
+        if self.max_samples is not None and len(self.times) >= self.max_samples:
+            self.times = self.times[::2]
+            self.values = self.values[::2]
+            self._stride *= 2
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def last(self) -> Optional[float]:
+        """Most recent sample value, or None for an empty series."""
+        return self.values[-1] if self.values else None
+
+    @property
+    def last_time(self) -> Optional[float]:
+        """Timestamp of the most recent sample, or None for an empty series."""
+        return self.times[-1] if self.times else None
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation ``{unit, times, values}``."""
+        return {"unit": self.unit, "times": list(self.times),
+                "values": list(self.values)}
+
+
+def instrument_property(slot: str, doc: str = "") -> property:
+    """A property exposing ``self.<slot>.value`` for read *and* write.
+
+    The stats-view classes (``MacStats``, ``FlowStats``, …) use this to keep
+    their historical public fields working on top of registry instruments:
+    reads return the instrument value, writes (deprecated, kept for
+    backward compatibility) overwrite it.
+    """
+
+    def fget(self) -> Number:
+        return getattr(self, slot).value
+
+    def fset(self, value: Number) -> None:
+        getattr(self, slot).value = value
+
+    return property(fget, fset, doc=doc)

@@ -1,0 +1,255 @@
+"""The per-scenario metrics registry and its periodic sampler.
+
+One :class:`MetricsRegistry` instance exists per scenario and is shared by
+every layer of the stack, exactly like the scenario's
+:class:`~repro.core.tracing.Tracer`.  Components register instruments under
+hierarchical dotted names (``mac.node3.data_dropped_retry``,
+``tcp.flow1.cwnd``) and the experiment harness harvests them at the end of a
+run with :meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.total`.
+
+Enabled vs. disabled
+--------------------
+Counters and gauges are *always* live — they are the system of record for the
+end-of-run scalars (goodput, retransmissions, drop probabilities) every run
+needs, and an increment costs no more than the dataclass field it replaced.
+The registry's ``enabled`` flag gates only the *time-series plane*:
+
+* :meth:`timeseries` still returns an instrument, but stats views only create
+  (and feed) series when ``enabled`` is true;
+* :meth:`add_probe` registers nothing when disabled;
+* :meth:`start_sampling` schedules no engine events when disabled.
+
+A disabled run therefore schedules exactly the same events as a run built
+before the metrics plane existed — the golden-trace regression suite pins
+this — and pays only a pointer-indirection per counter update.
+
+Components constructed without a registry receive the shared
+:data:`NULL_METRICS`, whose instruments are live but unregistered (so
+stand-alone unit-test components keep counting) and which can never be
+enabled, mirroring :class:`repro.core.tracing.NullTracer`.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.metrics.instruments import Counter, Gauge, Instrument, TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.engine import Simulator
+
+#: Default cadence (simulated seconds) of the periodic probe sampler.
+DEFAULT_SAMPLE_INTERVAL = 0.1
+
+#: Default per-series retention budget for probe-fed series (None = unbounded;
+#: the registry default keeps even multi-thousand-second runs to a few
+#: thousand samples per series via stride doubling).
+DEFAULT_MAX_SAMPLES = 4096
+
+
+class MetricsRegistry:
+    """Hierarchically named instruments for one scenario.
+
+    Args:
+        enabled: Whether the time-series plane (series recording + periodic
+            probe sampling) is active.  Scalar counters/gauges work either
+            way.
+        max_series_samples: Retention budget handed to every
+            :class:`TimeSeries` created through the registry (``None``
+            retains every sample).
+    """
+
+    def __init__(self, enabled: bool = False,
+                 max_series_samples: Optional[int] = DEFAULT_MAX_SAMPLES) -> None:
+        self.enabled = enabled
+        self.max_series_samples = max_series_samples
+        self._instruments: Dict[str, Instrument] = {}
+        self._probes: List[Tuple[TimeSeries, Callable[[], float]]] = []
+        self._sampling_started = False
+        self.samples_taken = 0
+
+    # ------------------------------------------------------------------
+    # Instrument creation (get-or-create)
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, unit: str, description: str,
+                       **kwargs: Any) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"instrument {name!r} is a {existing.kind}, not a {cls.kind}"
+                )
+            return existing
+        instrument = cls(name, unit=unit, description=description, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, unit: str = "", description: str = "") -> Counter:
+        """Get or create the :class:`Counter` registered under ``name``."""
+        return self._get_or_create(Counter, name, unit, description)
+
+    def gauge(self, name: str, unit: str = "", description: str = "") -> Gauge:
+        """Get or create the :class:`Gauge` registered under ``name``."""
+        return self._get_or_create(Gauge, name, unit, description)
+
+    def timeseries(self, name: str, unit: str = "",
+                   description: str = "") -> TimeSeries:
+        """Get or create the :class:`TimeSeries` registered under ``name``."""
+        return self._get_or_create(TimeSeries, name, unit, description,
+                                   max_samples=self.max_series_samples)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[Instrument]:
+        """The instrument registered under ``name``, or None."""
+        return self._instruments.get(name)
+
+    def names(self, pattern: Optional[str] = None) -> List[str]:
+        """Sorted instrument names, optionally fnmatch-filtered.
+
+        ``pattern`` uses shell-style wildcards over the full dotted name,
+        e.g. ``"mac.*.data_dropped_retry"`` or ``"tcp.flow1.*"``.
+        """
+        names = sorted(self._instruments)
+        if pattern is None:
+            return names
+        return [name for name in names if fnmatchcase(name, pattern)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(self._instruments.values())
+
+    # ------------------------------------------------------------------
+    # Probes and periodic sampling
+    # ------------------------------------------------------------------
+    def add_probe(self, name: str, fn: Callable[[], float], unit: str = "",
+                  description: str = "") -> Optional[TimeSeries]:
+        """Register a callable sampled into a :class:`TimeSeries` every tick.
+
+        Probes are the pull half of the metrics plane: quantities nobody
+        *events* on (queue occupancy, cumulative energy) are read by the
+        sampler at the configured cadence.  No-op (returns None) when the
+        registry is disabled.
+        """
+        if not self.enabled:
+            return None
+        series = self.timeseries(name, unit=unit, description=description)
+        self._probes.append((series, fn))
+        return series
+
+    def sample(self, now: float) -> None:
+        """Record one sample of every probe at time ``now``."""
+        for series, fn in self._probes:
+            series.record(now, float(fn()))
+        self.samples_taken += 1
+
+    def start_sampling(self, sim: "Simulator",
+                       interval: float = DEFAULT_SAMPLE_INTERVAL) -> None:
+        """Begin periodic engine-driven probe sampling.
+
+        Takes an immediate sample (the t≈0 baseline) and then one every
+        ``interval`` simulated seconds.  Sampler callbacks only *read*
+        component state, so interleaving them with protocol events cannot
+        change simulation behaviour.  No-op when the registry is disabled,
+        so a metrics-off run schedules no extra events at all.
+        """
+        if not self.enabled or self._sampling_started:
+            return
+        if interval <= 0:
+            raise ValueError(f"sampling interval must be positive, got {interval!r}")
+        self._sampling_started = True
+
+        def tick() -> None:
+            self.sample(sim.now)
+            sim.schedule(interval, tick)
+
+        self.sample(sim.now)
+        sim.schedule(interval, tick)
+
+    # ------------------------------------------------------------------
+    # Harvesting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """Current value of every counter and gauge, keyed by name (sorted).
+
+        This is the one harvesting path the experiment harness uses; it
+        replaces the per-layer point-to-point sums the runner used to do.
+        """
+        return {
+            name: instrument.value
+            for name, instrument in sorted(self._instruments.items())
+            if isinstance(instrument, (Counter, Gauge))
+        }
+
+    def total(self, pattern: str) -> float:
+        """Sum of all counter/gauge values whose names match ``pattern``.
+
+        e.g. ``total("mac.node*.data_dropped_retry")`` is the network-wide
+        retry-drop count.
+        """
+        return sum(
+            instrument.value
+            for name, instrument in self._instruments.items()
+            if isinstance(instrument, (Counter, Gauge)) and fnmatchcase(name, pattern)
+        )
+
+    def timeseries_data(self, pattern: Optional[str] = None) -> Dict[str, Dict[str, object]]:
+        """All (optionally filtered) time series as JSON-ready dicts."""
+        return {
+            name: instrument.as_dict()
+            for name, instrument in sorted(self._instruments.items())
+            if isinstance(instrument, TimeSeries)
+            and (pattern is None or fnmatchcase(name, pattern))
+        }
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """A registry that can never be enabled and retains nothing.
+
+    Components constructed without an explicit registry share this instance.
+    Instrument factories hand back *live but unregistered* instruments, so a
+    stand-alone component (e.g. a MAC built directly in a unit test) still
+    counts correctly into its own stats view; the instruments are simply
+    invisible to snapshots, and two components can never collide on a name.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False, max_series_samples=DEFAULT_MAX_SAMPLES)
+
+    def counter(self, name: str, unit: str = "", description: str = "") -> Counter:
+        return Counter(name, unit=unit, description=description)
+
+    def gauge(self, name: str, unit: str = "", description: str = "") -> Gauge:
+        return Gauge(name, unit=unit, description=description)
+
+    def timeseries(self, name: str, unit: str = "",
+                   description: str = "") -> TimeSeries:
+        return TimeSeries(name, unit=unit, description=description,
+                          max_samples=self.max_series_samples)
+
+    def add_probe(self, name: str, fn: Callable[[], float], unit: str = "",
+                  description: str = "") -> None:
+        return None
+
+    def start_sampling(self, sim: "Simulator",
+                       interval: float = DEFAULT_SAMPLE_INTERVAL) -> None:
+        return None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Keep `enabled` pinned to False so series guards stay dead code even
+        # if a caller flips the flag on the shared NULL_METRICS.
+        if name == "enabled" and value:
+            return
+        super().__setattr__(name, value)
+
+
+#: Shared always-disabled registry; components built without an explicit
+#: registry use this one so they never need a None check.
+NULL_METRICS = NullMetricsRegistry()

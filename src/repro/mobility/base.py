@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from repro.core.engine import Simulator
 from repro.core.errors import ConfigurationError
 from repro.core.tracing import NULL_TRACER, Tracer
+from repro.metrics import MetricsRegistry, NULL_METRICS, instrument_property
 from repro.phy.channel import WirelessChannel
 from repro.phy.propagation import Position
 
@@ -136,14 +137,28 @@ class MobilityModel(ABC):
         """Return ``node_id``'s position ``dt`` seconds after ``position``."""
 
 
-@dataclass
 class MobilityStats:
-    """Counters the manager maintains about movement and link dynamics."""
+    """Counters the manager maintains about movement and link dynamics.
 
-    updates: int = 0
-    position_changes: int = 0
-    links_broken: int = 0
-    links_formed: int = 0
+    A view over registry counters named ``mobility.<field>``; public fields
+    stay readable/writable, but direct mutation from outside the manager is
+    deprecated.
+    """
+
+    _COUNTERS = ("updates", "position_changes", "links_broken", "links_formed")
+
+    def __init__(self, registry: MetricsRegistry = NULL_METRICS,
+                 prefix: str = "mobility") -> None:
+        for field in self._COUNTERS:
+            setattr(self, f"_{field}", registry.counter(f"{prefix}.{field}"))
+
+    updates = instrument_property("_updates", "Periodic position updates run.")
+    position_changes = instrument_property(
+        "_position_changes", "Individual node moves applied to the channel.")
+    links_broken = instrument_property(
+        "_links_broken", "Transmission-range links lost to movement.")
+    links_formed = instrument_property(
+        "_links_formed", "Transmission-range links created by movement.")
 
 
 class MobilityManager:
@@ -163,6 +178,9 @@ class MobilityManager:
         tracer: Optional tracer; when enabled, per-update summaries and every
             individual link break/formation are recorded under the
             ``mobility`` layer.
+        metrics: Optional metrics registry; churn counters register under
+            ``mobility.*`` and, when the registry is enabled, an
+            ``mobility.active_links`` probe samples the live link count.
     """
 
     def __init__(
@@ -173,6 +191,7 @@ class MobilityManager:
         update_interval: float = 0.5,
         rng: Optional[Random] = None,
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         if update_interval <= 0 or not math.isfinite(update_interval):
             raise ConfigurationError(
@@ -184,7 +203,8 @@ class MobilityManager:
         self.update_interval = update_interval
         self.rng = rng if rng is not None else Random(0)
         self.tracer = tracer
-        self.stats = MobilityStats()
+        self.metrics = metrics
+        self.stats = MobilityStats(metrics)
         self._node_ids: List[int] = sorted(channel.node_ids)
         self._started = False
         self._links: Set[Tuple[int, int]] = set()
@@ -205,6 +225,9 @@ class MobilityManager:
         positions = {node: self.channel.position_of(node) for node in self._node_ids}
         self.model.bind(positions, area_around(positions.values()), self.rng)
         self._links = self._current_links()
+        self.metrics.add_probe(
+            "mobility.active_links", lambda: len(self._links), unit="links",
+            description="Bidirectional in-transmission-range pairs.")
         self.sim.schedule(self.update_interval, self._update)
 
     # ------------------------------------------------------------------

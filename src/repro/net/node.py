@@ -33,6 +33,7 @@ from repro.core.tracing import NULL_TRACER, Tracer
 from repro.mac.ieee80211 import Ieee80211Mac
 from repro.mac.queue import DropTailQueue
 from repro.mac.timing import MacTiming
+from repro.metrics import MetricsRegistry, NULL_METRICS
 from repro.net.headers import IpProtocol
 from repro.net.packet import Packet
 from repro.phy.channel import WirelessChannel
@@ -59,6 +60,9 @@ class Node:
         queue_capacity: Interface queue size in packets (the paper uses 50).
         aodv_config: Optional AODV constants override.
         tracer: Optional tracer shared across the stack.
+        metrics: Optional metrics registry shared across the stack; every
+            layer of this node registers its instruments under
+            ``<layer>.node<N>.*``.
     """
 
     def __init__(
@@ -73,16 +77,19 @@ class Node:
         queue_capacity: int = DropTailQueue.DEFAULT_CAPACITY,
         aodv_config: Optional[AodvConfig] = None,
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
         self.position = position
         self.tracer = tracer
+        self.metrics = metrics
 
         self.radio = Radio(
             sim, node_id, channel,
             capture_threshold=channel.propagation.capture_threshold,
             tracer=tracer,
+            metrics=metrics,
         )
         channel.register(self.radio, position)
         self.queue = DropTailQueue(capacity=queue_capacity)
@@ -94,6 +101,7 @@ class Node:
             timing=timing,
             rng=randomness.stream(f"mac.{node_id}"),
             tracer=tracer,
+            metrics=metrics,
         )
         self.routing = self._build_routing(routing, randomness, aodv_config)
         self.mac.listener = self.routing
@@ -116,6 +124,7 @@ class Node:
                 rng=randomness.stream(f"aodv.{self.node_id}"),
                 config=aodv_config,
                 tracer=self.tracer,
+                metrics=self.metrics,
             )
         if routing == "static":
             return StaticRouting(
@@ -125,6 +134,7 @@ class Node:
                 deliver_local=self.deliver_local,
                 next_hops={},
                 tracer=self.tracer,
+                metrics=self.metrics,
             )
         raise ConfigurationError(f"unknown routing protocol {routing!r}")
 

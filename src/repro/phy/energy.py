@@ -18,7 +18,13 @@ claim be checked quantitatively (see ``benchmarks/bench_energy_proxy.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.engine import Simulator
+    from repro.phy.radio import RadioStats
 
 
 @dataclass(frozen=True)
@@ -130,3 +136,48 @@ def scenario_energy(
         transmit_joules=transmit,
         delivered_kilobytes=delivered_bytes / 1000.0,
     )
+
+
+# ======================================================================
+# Metrics-plane integration
+# ======================================================================
+def install_energy_probes(
+    registry: MetricsRegistry,
+    model: EnergyModel,
+    sim: "Simulator",
+    radio_stats: Mapping[int, "RadioStats"],
+) -> None:
+    """Register per-node cumulative-energy probes (``phy.node<N>.energy``).
+
+    Each probe evaluates the linear power model against the radio's airtime
+    gauges at the moment it is sampled, giving an energy-vs-time series per
+    node when the registry's periodic sampler is enabled.  No-op on a
+    disabled registry.
+    """
+    for node_id, stats in sorted(radio_stats.items()):
+        def probe(stats=stats) -> float:
+            return model.node_energy(sim.now, stats.time_transmitting,
+                                     stats.time_receiving)
+        registry.add_probe(f"phy.node{node_id}.energy", probe, unit="J",
+                           description="Cumulative radio energy (linear model).")
+
+
+def set_energy_gauges(
+    registry: MetricsRegistry,
+    model: EnergyModel,
+    elapsed: float,
+    radio_stats: Mapping[int, "RadioStats"],
+) -> float:
+    """Set the end-of-run ``phy.node<N>.energy_joules`` gauges.
+
+    Returns the network-wide total, which is also published as the
+    ``phy.energy_total_joules`` gauge.
+    """
+    total = 0.0
+    for node_id, stats in sorted(radio_stats.items()):
+        joules = model.node_energy(elapsed, stats.time_transmitting,
+                                   stats.time_receiving)
+        registry.gauge(f"phy.node{node_id}.energy_joules", unit="J").set(joules)
+        total += joules
+    registry.gauge("phy.energy_total_joules", unit="J").set(total)
+    return total

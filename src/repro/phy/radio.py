@@ -33,6 +33,7 @@ from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.core.engine import Simulator
 from repro.core.tracing import NULL_TRACER, Tracer
+from repro.metrics import MetricsRegistry, NULL_METRICS, instrument_property
 from repro.net.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -53,18 +54,49 @@ class _Signal:
     corrupted: bool = False
 
 
-@dataclass
 class RadioStats:
-    """Counters the radio maintains for diagnostics and energy accounting."""
+    """Counters the radio maintains for diagnostics and energy accounting.
 
-    frames_sent: int = 0
-    bytes_sent: int = 0
-    frames_received: int = 0
-    frames_corrupted: int = 0
-    frames_captured: int = 0
-    frames_below_threshold: int = 0
-    time_transmitting: float = 0.0
-    time_receiving: float = 0.0
+    A view over registry instruments named ``phy.node<N>.<field>``: the frame
+    counts are :class:`~repro.metrics.instruments.Counter` instruments, the
+    cumulative airtimes (``time_transmitting`` / ``time_receiving``, which
+    feed the energy model) are :class:`~repro.metrics.instruments.Gauge`
+    instruments.  The public fields remain readable and writable, but direct
+    mutation by anything other than the owning radio is deprecated.
+    """
+
+    _COUNTERS = (
+        "frames_sent",
+        "bytes_sent",
+        "frames_received",
+        "frames_corrupted",
+        "frames_captured",
+        "frames_below_threshold",
+    )
+    _GAUGES = ("time_transmitting", "time_receiving")
+
+    def __init__(self, registry: MetricsRegistry = NULL_METRICS,
+                 prefix: str = "phy") -> None:
+        for field in self._COUNTERS:
+            unit = "bytes" if field == "bytes_sent" else "frames"
+            setattr(self, f"_{field}", registry.counter(f"{prefix}.{field}", unit=unit))
+        for field in self._GAUGES:
+            setattr(self, f"_{field}", registry.gauge(f"{prefix}.{field}", unit="s"))
+
+    frames_sent = instrument_property("_frames_sent", "Frames transmitted.")
+    bytes_sent = instrument_property("_bytes_sent", "Bytes transmitted.")
+    frames_received = instrument_property(
+        "_frames_received", "Frames decoded and handed to the MAC.")
+    frames_corrupted = instrument_property(
+        "_frames_corrupted", "Receptions lost to collisions or own transmissions.")
+    frames_captured = instrument_property(
+        "_frames_captured", "Later overlapping frames ignored by capture.")
+    frames_below_threshold = instrument_property(
+        "_frames_below_threshold", "Locked frames from outside transmission range.")
+    time_transmitting = instrument_property(
+        "_time_transmitting", "Cumulative transmit airtime in seconds.")
+    time_receiving = instrument_property(
+        "_time_receiving", "Cumulative receive/overhear airtime in seconds.")
 
 
 class Radio:
@@ -76,6 +108,8 @@ class Radio:
         channel: The shared wireless channel.
         capture_threshold: Power ratio for the capture decision (ns-2 default 10).
         tracer: Optional tracer for debugging.
+        metrics: Optional metrics registry; the radio's instruments register
+            under ``phy.node<N>.*``.
     """
 
     def __init__(
@@ -85,6 +119,7 @@ class Radio:
         channel: "WirelessChannel",
         capture_threshold: float = 10.0,
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -92,7 +127,7 @@ class Radio:
         self.capture_threshold = capture_threshold
         self.tracer = tracer
         self.listener: Optional["PhyListener"] = None
-        self.stats = RadioStats()
+        self.stats = RadioStats(metrics, prefix=f"phy.node{node_id}")
         self._signals: Dict[int, _Signal] = {}
         self._locked: Optional[_Signal] = None
         self._transmitting_until: float = 0.0

@@ -29,6 +29,7 @@ from typing import Callable, Deque, Dict, Optional, Set, Tuple
 from repro.core.engine import Simulator, Timer
 from repro.core.tracing import NULL_TRACER, Tracer
 from repro.mac.queue import DropTailQueue
+from repro.metrics import MetricsRegistry, NULL_METRICS
 from repro.net.headers import (
     BROADCAST,
     AodvHeader,
@@ -90,8 +91,9 @@ class AodvRouting(RoutingProtocol):
         rng,
         config: Optional[AodvConfig] = None,
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
-        super().__init__(sim, node_id, queue, deliver_local, tracer)
+        super().__init__(sim, node_id, queue, deliver_local, tracer, metrics)
         self.config = config or AodvConfig()
         self.rng = rng
         self.table = RoutingTable()
@@ -139,6 +141,7 @@ class AodvRouting(RoutingProtocol):
             discovery = _Discovery(destination=ip.dst)
             self._discoveries[ip.dst] = discovery
             discovery.buffer.append(packet)
+            self.stats.route_discoveries += 1
             self._send_rreq(discovery)
         else:
             if len(discovery.buffer) >= self.config.packet_buffer_size:
@@ -396,6 +399,7 @@ class AodvRouting(RoutingProtocol):
             aodv=header,
         )
         self.stats.control_packets_sent += 1
+        self.stats.rerrs_sent += 1
         self.tracer.record(self.sim.now, "aodv", "rerr_send", node=self.node_id,
                            unreachable=list(unreachable))
         self._broadcast_to_mac(packet)

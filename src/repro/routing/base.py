@@ -11,31 +11,71 @@ queue.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.engine import Simulator
 from repro.core.tracing import NULL_TRACER, Tracer
 from repro.mac.frames import attach_data_header
 from repro.mac.queue import DropTailQueue
+from repro.metrics import MetricsRegistry, NULL_METRICS, instrument_property
 from repro.net.headers import BROADCAST
 from repro.net.interfaces import MacListener
 from repro.net.packet import Packet
 
 
-@dataclass
 class RoutingStats:
-    """Counters common to all routing protocols."""
+    """Counters common to all routing protocols.
 
-    packets_originated: int = 0
-    packets_forwarded: int = 0
-    packets_delivered: int = 0
-    packets_dropped_no_route: int = 0
-    packets_dropped_link_failure: int = 0
-    packets_dropped_queue_full: int = 0
-    link_failures: int = 0
-    false_route_failures: int = 0
-    control_packets_sent: int = 0
+    A view over registry counters named ``route.node<N>.<field>``.  The
+    public fields remain readable and writable for backward compatibility,
+    but direct mutation from outside the owning routing agent is deprecated.
+    ``route_discoveries`` and ``rerrs_sent`` stay zero for protocols without
+    on-demand discovery (static routing).
+    """
+
+    _COUNTERS = (
+        "packets_originated",
+        "packets_forwarded",
+        "packets_delivered",
+        "packets_dropped_no_route",
+        "packets_dropped_link_failure",
+        "packets_dropped_queue_full",
+        "link_failures",
+        "false_route_failures",
+        "control_packets_sent",
+        "route_discoveries",
+        "rerrs_sent",
+    )
+
+    def __init__(self, registry: MetricsRegistry = NULL_METRICS,
+                 prefix: str = "route") -> None:
+        for field in self._COUNTERS:
+            setattr(self, f"_{field}",
+                    registry.counter(f"{prefix}.{field}", unit="packets"))
+
+    packets_originated = instrument_property(
+        "_packets_originated", "Locally originated data packets routed.")
+    packets_forwarded = instrument_property(
+        "_packets_forwarded", "Transit data packets forwarded.")
+    packets_delivered = instrument_property(
+        "_packets_delivered", "Packets delivered to the local stack.")
+    packets_dropped_no_route = instrument_property(
+        "_packets_dropped_no_route", "Packets dropped for lack of a route.")
+    packets_dropped_link_failure = instrument_property(
+        "_packets_dropped_link_failure", "Packets dropped on a link failure.")
+    packets_dropped_queue_full = instrument_property(
+        "_packets_dropped_queue_full", "Packets dropped at a full interface queue.")
+    link_failures = instrument_property(
+        "_link_failures", "MAC retry-limit failures reported to routing.")
+    false_route_failures = instrument_property(
+        "_false_route_failures",
+        "Link failures on routes that were actually intact (Fig. 9).")
+    control_packets_sent = instrument_property(
+        "_control_packets_sent", "Routing control packets originated.")
+    route_discoveries = instrument_property(
+        "_route_discoveries", "Route discoveries started (AODV RREQ floods).")
+    rerrs_sent = instrument_property(
+        "_rerrs_sent", "Route-error messages originated (AODV RERR).")
 
 
 class RoutingProtocol(MacListener, abc.ABC):
@@ -47,6 +87,8 @@ class RoutingProtocol(MacListener, abc.ABC):
         queue: The node's interface queue (towards the MAC).
         deliver_local: Callback invoked with packets destined to this node.
         tracer: Optional tracer.
+        metrics: Optional metrics registry; routing counters register under
+            ``route.node<N>.*``.
     """
 
     def __init__(
@@ -56,13 +98,14 @@ class RoutingProtocol(MacListener, abc.ABC):
         queue: DropTailQueue,
         deliver_local: Callable[[Packet], None],
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
         self.queue = queue
         self.deliver_local = deliver_local
         self.tracer = tracer
-        self.stats = RoutingStats()
+        self.stats = RoutingStats(metrics, prefix=f"route.node{node_id}")
 
     # ------------------------------------------------------------------
     # Downward path

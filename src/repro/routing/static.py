@@ -14,6 +14,7 @@ from typing import Callable, Dict, Mapping
 from repro.core.engine import Simulator
 from repro.core.tracing import NULL_TRACER, Tracer
 from repro.mac.queue import DropTailQueue
+from repro.metrics import MetricsRegistry, NULL_METRICS
 from repro.net.headers import BROADCAST
 from repro.net.packet import Packet
 from repro.routing.base import RoutingProtocol
@@ -35,8 +36,9 @@ class StaticRouting(RoutingProtocol):
         deliver_local: Callable[[Packet], None],
         next_hops: Mapping[int, int],
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
-        super().__init__(sim, node_id, queue, deliver_local, tracer)
+        super().__init__(sim, node_id, queue, deliver_local, tracer, metrics)
         self._next_hops: Dict[int, int] = dict(next_hops)
 
     def set_next_hop(self, destination: int, next_hop: int) -> None:

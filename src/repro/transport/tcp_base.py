@@ -246,6 +246,8 @@ class TcpSender(TransportAgent):
         sample = self._rtt_sample(tcp)
         if sample is not None:
             self.rtt.update(sample)
+            if self.stats.series_enabled:
+                self.stats.record_rtt(self.sim.now, sample)
         newly_acked = ack - self.snd_una
         for seq in range(self.snd_una, ack):
             self._send_times.pop(seq, None)

@@ -1,0 +1,144 @@
+"""Tests for the MetricsRegistry: naming, probes, sampling, null object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    TimeSeries,
+)
+
+
+class TestGetOrCreate:
+    def test_counter_is_get_or_create(self):
+        registry = MetricsRegistry()
+        a = registry.counter("mac.node0.rts_tx")
+        b = registry.counter("mac.node0.rts_tx")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_lookup_and_containment(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.b")
+        assert registry.get("a.b") is counter
+        assert registry.get("missing") is None
+        assert "a.b" in registry
+        assert len(registry) == 1
+
+    def test_names_pattern_filter(self):
+        registry = MetricsRegistry()
+        registry.counter("mac.node0.drops")
+        registry.counter("mac.node1.drops")
+        registry.counter("mac.node1.rts_tx")
+        registry.counter("tcp.flow1.packets_sent")
+        assert registry.names("mac.*.drops") == ["mac.node0.drops", "mac.node1.drops"]
+        assert registry.names() == sorted(registry.names())
+
+    def test_timeseries_inherits_sample_budget(self):
+        registry = MetricsRegistry(enabled=True, max_series_samples=16)
+        series = registry.timeseries("x")
+        assert series.max_samples == 16
+
+
+class TestSnapshotAndTotal:
+    def test_snapshot_covers_counters_and_gauges_only(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("a").inc(3)
+        registry.gauge("b").set(1.5)
+        registry.timeseries("c").record(0.0, 9.0)
+        assert registry.snapshot() == {"a": 3, "b": 1.5}
+
+    def test_total_sums_matching_names(self):
+        registry = MetricsRegistry()
+        registry.counter("mac.node0.drops").inc(2)
+        registry.counter("mac.node1.drops").inc(3)
+        registry.counter("mac.node1.rts_tx").inc(100)
+        assert registry.total("mac.node*.drops") == 5
+        assert registry.total("nothing.*") == 0
+
+
+class TestProbesAndSampling:
+    def test_probe_sampled_periodically(self):
+        sim = Simulator()
+        registry = MetricsRegistry(enabled=True)
+        state = {"value": 0}
+        registry.add_probe("net.queue", lambda: state["value"])
+        registry.start_sampling(sim, interval=1.0)
+        state["value"] = 7
+        sim.run(until=2.5)
+        series = registry.get("net.queue")
+        # Immediate t=0 sample plus ticks at t=1 and t=2.
+        assert series.times == [0.0, 1.0, 2.0]
+        assert series.values == [0.0, 7.0, 7.0]
+
+    def test_sampling_noop_when_disabled(self):
+        sim = Simulator()
+        registry = MetricsRegistry(enabled=False)
+        assert registry.add_probe("x", lambda: 1.0) is None
+        registry.start_sampling(sim, interval=0.1)
+        assert sim.pending_events == 0
+        assert registry.samples_taken == 0
+
+    def test_start_sampling_is_idempotent(self):
+        sim = Simulator()
+        registry = MetricsRegistry(enabled=True)
+        registry.start_sampling(sim, interval=1.0)
+        registry.start_sampling(sim, interval=1.0)
+        sim.run(until=0.5)
+        assert registry.samples_taken == 1  # just the immediate baseline
+
+    def test_invalid_interval_rejected(self):
+        registry = MetricsRegistry(enabled=True)
+        with pytest.raises(ValueError):
+            registry.start_sampling(Simulator(), interval=0.0)
+
+    def test_timeseries_data_export(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.timeseries("tcp.flow1.cwnd", unit="packets").record(0.0, 2.0)
+        registry.timeseries("mac.node0.queue_len").record(0.0, 1.0)
+        data = registry.timeseries_data("tcp.*")
+        assert list(data) == ["tcp.flow1.cwnd"]
+        assert data["tcp.flow1.cwnd"]["values"] == [2.0]
+
+
+class TestNullRegistry:
+    def test_instruments_are_live_but_unregistered(self):
+        counter = NULL_METRICS.counter("mac.rts_tx")
+        counter.inc()
+        assert counter.value == 1
+        assert len(NULL_METRICS) == 0
+        assert NULL_METRICS.get("mac.rts_tx") is None
+
+    def test_same_name_gives_independent_instruments(self):
+        a = NULL_METRICS.counter("x")
+        b = NULL_METRICS.counter("x")
+        assert a is not b
+        a.inc()
+        assert b.value == 0
+
+    def test_enabled_is_pinned_false(self):
+        NULL_METRICS.enabled = True
+        assert NULL_METRICS.enabled is False
+
+    def test_probe_and_sampling_are_noops(self):
+        sim = Simulator()
+        assert NULL_METRICS.add_probe("x", lambda: 1.0) is None
+        NULL_METRICS.start_sampling(sim, interval=0.1)
+        assert sim.pending_events == 0
+
+    def test_instrument_kinds(self):
+        assert isinstance(NULL_METRICS.counter("a"), Counter)
+        assert isinstance(NULL_METRICS.gauge("b"), Gauge)
+        assert isinstance(NULL_METRICS.timeseries("c"), TimeSeries)
+        assert isinstance(NULL_METRICS, NullMetricsRegistry)

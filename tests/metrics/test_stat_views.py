@@ -1,0 +1,121 @@
+"""The per-layer stats classes as registry-backed views.
+
+Pins the two contracts of the metrics refactor: (1) the historical public
+fields of ``MacStats``/``FlowStats``/``RoutingStats``/``RadioStats``/
+``MobilityStats`` keep working (read and legacy write), and (2) the same
+numbers are visible through the registry under hierarchical names.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mac.stats import MacStats
+from repro.metrics import MetricsRegistry
+from repro.mobility.base import MobilityStats
+from repro.phy.radio import RadioStats
+from repro.routing.base import RoutingStats
+from repro.transport.stats import FlowStats
+
+
+class TestMacStatsView:
+    def test_counters_visible_through_registry(self):
+        registry = MetricsRegistry()
+        stats = MacStats(registry, prefix="mac.node3")
+        stats.rts_tx += 2
+        stats.data_dropped_retry += 1
+        assert registry.get("mac.node3.rts_tx").value == 2
+        assert registry.total("mac.node*.data_dropped_retry") == 1
+
+    def test_keyword_initialisation(self):
+        stats = MacStats(data_tx_success=8, data_dropped_retry=2)
+        assert stats.drop_probability == pytest.approx(0.2)
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(TypeError):
+            MacStats(not_a_field=1)
+
+    def test_two_nodes_do_not_collide(self):
+        registry = MetricsRegistry()
+        a = MacStats(registry, prefix="mac.node0")
+        b = MacStats(registry, prefix="mac.node1")
+        a.rts_tx += 5
+        assert b.rts_tx == 0
+        assert registry.total("mac.node*.rts_tx") == 5
+
+
+class TestFlowStatsView:
+    def test_counters_visible_through_registry(self):
+        registry = MetricsRegistry()
+        stats = FlowStats(flow_id=1, batch_size=10, registry=registry)
+        stats.record_delivery(now=1.0, payload_bytes=1460)
+        stats.retransmissions += 2
+        assert registry.get("tcp.flow1.packets_delivered").value == 1
+        assert registry.get("tcp.flow1.bytes_delivered").value == 1460
+        assert registry.get("tcp.flow1.retransmissions").value == 2
+
+    def test_series_disabled_by_default(self):
+        registry = MetricsRegistry(enabled=False)
+        stats = FlowStats(flow_id=1, registry=registry)
+        assert not stats.series_enabled
+        stats.record_window(0.0, 2.0)
+        stats.record_rtt(0.0, 0.1)  # harmless no-op
+        assert registry.names("tcp.flow1.cwnd") == []
+
+    def test_cwnd_and_rtt_series_when_enabled(self):
+        registry = MetricsRegistry(enabled=True)
+        stats = FlowStats(flow_id=1, registry=registry)
+        assert stats.series_enabled
+        stats.record_window(0.0, 1.0)
+        stats.record_window(0.5, 2.0)
+        stats.record_rtt(0.6, 0.25)
+        cwnd = registry.get("tcp.flow1.cwnd")
+        assert cwnd.values == [1.0, 2.0]
+        assert registry.get("tcp.flow1.rtt").values == [0.25]
+        # The time-weighted average still works alongside the series.
+        assert stats.average_window(now=1.0) == pytest.approx(1.5)
+
+    def test_stand_alone_instances_stay_independent(self):
+        a = FlowStats(flow_id=1)
+        b = FlowStats(flow_id=1)
+        a.packets_sent += 3
+        assert b.packets_sent == 0
+
+
+class TestRoutingStatsView:
+    def test_new_discovery_and_rerr_counters(self):
+        registry = MetricsRegistry()
+        stats = RoutingStats(registry, prefix="route.node2")
+        stats.route_discoveries += 1
+        stats.rerrs_sent += 2
+        assert registry.get("route.node2.route_discoveries").value == 1
+        assert registry.get("route.node2.rerrs_sent").value == 2
+
+    def test_false_route_failures_total(self):
+        registry = MetricsRegistry()
+        for node in range(3):
+            stats = RoutingStats(registry, prefix=f"route.node{node}")
+            stats.false_route_failures += node
+        assert registry.total("route.node*.false_route_failures") == 3
+
+
+class TestRadioStatsView:
+    def test_counters_and_airtime_gauges(self):
+        registry = MetricsRegistry()
+        stats = RadioStats(registry, prefix="phy.node0")
+        stats.frames_sent += 1
+        stats.time_transmitting += 0.002
+        stats.time_receiving += 0.004
+        assert registry.get("phy.node0.frames_sent").value == 1
+        assert registry.get("phy.node0.time_transmitting").value == pytest.approx(0.002)
+        assert registry.get("phy.node0.time_receiving").kind == "gauge"
+
+
+class TestMobilityStatsView:
+    def test_churn_counters(self):
+        registry = MetricsRegistry()
+        stats = MobilityStats(registry)
+        stats.links_broken += 2
+        stats.links_formed += 1
+        assert registry.get("mobility.links_broken").value == 2
+        assert registry.get("mobility.links_formed").value == 1

@@ -1,10 +1,22 @@
-"""Tests for the radio energy model and scenario energy aggregation."""
+"""Tests for the radio energy model, scenario aggregation and energy gauges."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.phy.energy import EnergyModel, EnergyReport, scenario_energy
+from repro.core.engine import Simulator
+from repro.metrics import MetricsRegistry
+from repro.phy.channel import WirelessChannel
+from repro.phy.energy import (
+    EnergyModel,
+    EnergyReport,
+    install_energy_probes,
+    scenario_energy,
+    set_energy_gauges,
+)
+from repro.phy.propagation import Position
+from repro.phy.radio import Radio, RadioStats
+from repro.net.packet import Packet
 
 
 class TestEnergyModel:
@@ -87,3 +99,98 @@ class TestScenarioEnergy:
         assert result.energy.joules_per_kilobyte > 0
         # Transmit energy is a small fraction of total (radios mostly listen).
         assert result.energy.transmit_joules < result.energy.total_joules
+        # The per-node end-of-run gauges land in the metrics snapshot and sum
+        # to the reported total.
+        assert result.metric_total("phy.node*.energy_joules") == pytest.approx(
+            result.energy.total_joules)
+        assert result.metrics["phy.energy_total_joules"] == pytest.approx(
+            result.energy.total_joules)
+
+
+class TestRadioTransitionAccounting:
+    """Energy accounting driven through actual radio tx/rx/idle transitions."""
+
+    def _radio(self, sim):
+        channel = WirelessChannel(sim)
+        radio = Radio(sim, node_id=0, channel=channel)
+        channel.register(radio, Position(0, 0))
+        return radio
+
+    def test_airtime_accumulates_across_transitions(self):
+        sim = Simulator()
+        radio = self._radio(sim)
+        # transmit 2 ms, idle until t=0.01, receive 3 ms, idle again.
+        radio.transmit(Packet(payload_size=100), duration=0.002)
+        sim.run()
+        sim.schedule(0.008, radio.signal_start, Packet(), 0.003, True, 1.0)
+        sim.run()
+        assert radio.stats.time_transmitting == pytest.approx(0.002)
+        assert radio.stats.time_receiving == pytest.approx(0.003)
+
+        model = EnergyModel(tx_power=2.0, rx_power=1.0, idle_power=0.5)
+        elapsed = sim.now
+        energy = model.node_energy(elapsed, radio.stats.time_transmitting,
+                                   radio.stats.time_receiving)
+        expected = 0.002 * 2.0 + 0.003 * 1.0 + (elapsed - 0.005) * 0.5
+        assert energy == pytest.approx(expected)
+
+    def test_overheard_frames_count_as_receive_time(self):
+        sim = Simulator()
+        radio = self._radio(sim)
+        # A locked but undecodable (out-of-range) signal still burns rx power.
+        radio.signal_start(Packet(), duration=0.004, receivable=False, power=0.01)
+        sim.run()
+        assert radio.stats.frames_below_threshold == 1
+        assert radio.stats.time_receiving == pytest.approx(0.004)
+
+    def test_back_to_back_transmissions_accumulate(self):
+        sim = Simulator()
+        radio = self._radio(sim)
+        radio.transmit(Packet(), duration=0.001)
+        sim.run()
+        radio.transmit(Packet(), duration=0.002)
+        sim.run()
+        assert radio.stats.time_transmitting == pytest.approx(0.003)
+
+
+class TestEnergyGauges:
+    def _stats(self, registry, node_id, tx, rx):
+        stats = RadioStats(registry, prefix=f"phy.node{node_id}")
+        stats.time_transmitting = tx
+        stats.time_receiving = rx
+        return stats
+
+    def test_set_energy_gauges(self):
+        registry = MetricsRegistry()
+        model = EnergyModel(tx_power=2.0, rx_power=1.0, idle_power=0.5)
+        radio_stats = {
+            0: self._stats(registry, 0, tx=1.0, rx=2.0),
+            1: self._stats(registry, 1, tx=0.0, rx=0.0),
+        }
+        total = set_energy_gauges(registry, model, elapsed=10.0,
+                                  radio_stats=radio_stats)
+        node0 = 1 * 2.0 + 2 * 1.0 + 7 * 0.5
+        node1 = 10 * 0.5
+        assert registry.get("phy.node0.energy_joules").value == pytest.approx(node0)
+        assert registry.get("phy.node1.energy_joules").value == pytest.approx(node1)
+        assert registry.get("phy.energy_total_joules").value == pytest.approx(total)
+        assert total == pytest.approx(node0 + node1)
+
+    def test_install_energy_probes_samples_over_time(self):
+        sim = Simulator()
+        registry = MetricsRegistry(enabled=True)
+        model = EnergyModel(tx_power=2.0, rx_power=1.0, idle_power=0.5)
+        stats = self._stats(registry, 0, tx=0.0, rx=0.0)
+        install_energy_probes(registry, model, sim, {0: stats})
+        registry.start_sampling(sim, interval=1.0)
+        sim.run(until=2.5)
+        series = registry.get("phy.node0.energy")
+        # Idle-only node: energy grows linearly with idle power.
+        assert series.values == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_install_energy_probes_noop_when_disabled(self):
+        sim = Simulator()
+        registry = MetricsRegistry(enabled=False)
+        stats = self._stats(registry, 0, tx=0.0, rx=0.0)
+        install_energy_probes(registry, EnergyModel(), sim, {0: stats})
+        assert registry.names("phy.node0.energy") == []

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Guard the simulator's performance against metrics-plane regressions.
+
+Compares a freshly generated kernel-benchmark report (``python -m
+benchmarks.perf [--smoke]``) against the committed baseline
+``BENCH_kernel.json`` and fails when either
+
+1. a macro benchmark's ``speedup_vs_legacy`` fell below the baseline's by
+   more than ``--tolerance`` (relative).  The speedup is measured against the
+   embedded pre-optimisation *kernel* in the same process, so it is largely
+   machine-independent and guards the event-loop fast path (a heavier event
+   mix — e.g. sampler events leaking into metrics-disabled runs — lowers it
+   on any machine); or
+2. the metrics-*enabled* chain run costs more than ``--max-metrics-overhead``
+   times the metrics-disabled wall time (``chain7_metrics.overhead_vs_disabled``,
+   also a same-process ratio), which bounds the price of the time-series
+   plane itself.
+
+The golden-trace suite (``tests/regression``) separately pins that
+metrics-disabled runs stay behaviourally bit-identical; this script pins
+the performance envelope around them.
+
+Usage::
+
+    PYTHONPATH=src:. python -m benchmarks.perf --smoke -o BENCH_new.json
+    python tools/check_perf_overhead.py BENCH_new.json \
+        --baseline BENCH_kernel.json --tolerance 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+#: Tolerances are deliberately loose: CI runners are noisy and smoke budgets
+#: are tiny; the guard is meant to catch structural regressions (2x
+#: slowdowns), not single-digit-percent jitter.
+DEFAULT_TOLERANCE = 0.5
+DEFAULT_MAX_METRICS_OVERHEAD = 2.0
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())["benchmarks"]
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"cannot read benchmark report {path}: {exc}")
+
+
+def check(current: dict, baseline: dict, tolerance: float,
+          max_metrics_overhead: float) -> list:
+    """Return a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    compared = 0
+    for name, base_result in sorted(baseline.items()):
+        base_speedup = base_result.get("speedup_vs_legacy")
+        cur_result = current.get(name)
+        if base_speedup is None or cur_result is None:
+            continue
+        cur_speedup = cur_result.get("speedup_vs_legacy")
+        if cur_speedup is None or not math.isfinite(cur_speedup):
+            failures.append(f"{name}: no finite speedup_vs_legacy in new report")
+            continue
+        compared += 1
+        floor = base_speedup * (1.0 - tolerance)
+        if cur_speedup < floor:
+            failures.append(
+                f"{name}: speedup_vs_legacy {cur_speedup:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base_speedup:.2f}x - {tolerance:.0%})"
+            )
+    if compared == 0:
+        failures.append("no benchmark overlaps between the two reports")
+
+    metrics_bench = current.get("chain7_metrics")
+    if metrics_bench is not None:
+        overhead = metrics_bench.get("overhead_vs_disabled")
+        if overhead is None or not math.isfinite(overhead):
+            failures.append("chain7_metrics: missing overhead_vs_disabled")
+        elif overhead > max_metrics_overhead:
+            failures.append(
+                f"chain7_metrics: metrics-enabled run costs {overhead:.2f}x the "
+                f"disabled run (limit {max_metrics_overhead:.2f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path,
+                        help="freshly generated benchmark JSON")
+    parser.add_argument("--baseline", type=Path, default=Path("BENCH_kernel.json"),
+                        help="committed baseline report (default: %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed relative drop in speedup_vs_legacy "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-metrics-overhead", type=float,
+                        default=DEFAULT_MAX_METRICS_OVERHEAD,
+                        help="allowed wall-time ratio of the metrics-enabled "
+                             "chain run (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    failures = check(_load(args.report), _load(args.baseline),
+                     args.tolerance, args.max_metrics_overhead)
+    if failures:
+        print("perf overhead check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"perf overhead check passed "
+          f"(tolerance {args.tolerance:.0%}, metrics overhead limit "
+          f"{args.max_metrics_overhead:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
