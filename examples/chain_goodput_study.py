@@ -16,14 +16,15 @@ from __future__ import annotations
 import argparse
 
 from repro import ScenarioConfig, TransportVariant, format_table
+from repro.experiments.smoke import smoke_scaled
 from repro.experiments.chain_experiments import protocol_comparison_vs_hops
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--hops", type=int, nargs="+", default=[2, 4, 8],
+    parser.add_argument("--hops", type=int, nargs="+", default=smoke_scaled([2, 4, 8], [2, 4]),
                         help="hop counts to sweep (paper: 2 4 8 16 32 64)")
-    parser.add_argument("--packets", type=int, default=250,
+    parser.add_argument("--packets", type=int, default=smoke_scaled(250, 40),
                         help="delivered packets per data point (paper: 110000)")
     parser.add_argument("--bandwidth", type=float, default=2.0)
     parser.add_argument("--seed", type=int, default=3)

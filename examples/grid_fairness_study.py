@@ -17,13 +17,14 @@ from __future__ import annotations
 import argparse
 
 from repro import ScenarioConfig, TransportVariant, format_table, grid_topology, run_scenario
+from repro.experiments.smoke import smoke_scaled
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bandwidth", type=float, default=11.0,
                         help="802.11 data rate in Mbit/s")
-    parser.add_argument("--packets", type=int, default=450,
+    parser.add_argument("--packets", type=int, default=smoke_scaled(450, 60),
                         help="aggregate delivered packets per run (paper: 110000)")
     parser.add_argument("--seed", type=int, default=3)
     args = parser.parse_args()

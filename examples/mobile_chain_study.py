@@ -23,6 +23,7 @@ import argparse
 import time
 
 from repro import ScenarioConfig, SweepSpec, build_named_scenario, format_table, run_study
+from repro.experiments.smoke import smoke_scaled
 from repro.core.tracing import Tracer
 
 
@@ -86,13 +87,15 @@ def sweep_speed(args: argparse.Namespace) -> None:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--packets", type=int, default=150,
+    parser.add_argument("--packets", type=int, default=smoke_scaled(150, 40),
                         help="delivered packets per run")
     parser.add_argument("--speeds", type=float, nargs="+",
-                        default=[1.0, 5.0, 20.0],
+                        default=smoke_scaled([1.0, 5.0, 20.0], [20.0]),
                         help="random-waypoint max speeds in m/s")
-    parser.add_argument("--variants", nargs="+", default=["vegas", "newreno"])
-    parser.add_argument("--replications", type=int, default=2)
+    parser.add_argument("--variants", nargs="+",
+                        default=smoke_scaled(["vegas", "newreno"], ["vegas"]))
+    parser.add_argument("--replications", type=int,
+                        default=smoke_scaled(2, 1))
     parser.add_argument("--cache-dir", default=".study-cache",
                         help="JSON result cache directory ('' disables)")
     args = parser.parse_args()

@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 
 from repro import ScenarioConfig, TransportVariant, format_table
+from repro.experiments.smoke import smoke_scaled
 from repro.experiments.chain_experiments import default_sweep_intervals, find_optimal_udp_interval
 from repro.experiments.paced_udp import table2_propagation_delays
 
@@ -28,8 +29,9 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bandwidth", type=float, default=2.0)
     parser.add_argument("--hops", type=int, default=7)
-    parser.add_argument("--points", type=int, default=7, help="sweep points around the default")
-    parser.add_argument("--packets", type=int, default=300,
+    parser.add_argument("--points", type=int, default=smoke_scaled(7, 3),
+                        help="sweep points around the default")
+    parser.add_argument("--packets", type=int, default=smoke_scaled(300, 40),
                         help="delivered packets per sweep point")
     parser.add_argument("--seed", type=int, default=3)
     args = parser.parse_args()

@@ -16,11 +16,12 @@ from __future__ import annotations
 import argparse
 
 from repro import ScenarioConfig, TransportVariant, chain_topology, format_table, run_scenario
+from repro.experiments.smoke import smoke_scaled
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--packets", type=int, default=300,
+    parser.add_argument("--packets", type=int, default=smoke_scaled(300, 40),
                         help="delivered packets per run (paper: 110000)")
     parser.add_argument("--hops", type=int, default=7, help="chain length in hops")
     parser.add_argument("--bandwidth", type=float, default=2.0,

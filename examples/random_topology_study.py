@@ -19,16 +19,17 @@ from __future__ import annotations
 import argparse
 
 from repro import ScenarioConfig, TransportVariant, format_table, random_topology, run_scenario
+from repro.experiments.smoke import smoke_scaled
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--nodes", type=int, default=60)
-    parser.add_argument("--flows", type=int, default=6)
+    parser.add_argument("--nodes", type=int, default=smoke_scaled(60, 30))
+    parser.add_argument("--flows", type=int, default=smoke_scaled(6, 3))
     parser.add_argument("--area", type=float, nargs=2, default=[1800.0, 800.0],
                         metavar=("WIDTH", "HEIGHT"))
     parser.add_argument("--bandwidth", type=float, default=11.0)
-    parser.add_argument("--packets", type=int, default=400,
+    parser.add_argument("--packets", type=int, default=smoke_scaled(400, 60),
                         help="aggregate delivered packets per run")
     parser.add_argument("--topology-seed", type=int, default=7)
     parser.add_argument("--seed", type=int, default=3)

@@ -19,6 +19,8 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.experiments.smoke import smoke_scaled
+
 from repro import (
     ScenarioConfig,
     StudyResult,
@@ -31,13 +33,14 @@ from repro import (
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--packets", type=int, default=250,
+    parser.add_argument("--packets", type=int, default=smoke_scaled(250, 40),
                         help="delivered packets per run (paper: 110000)")
-    parser.add_argument("--hops", type=int, nargs="+", default=[2, 4, 8])
+    parser.add_argument("--hops", type=int, nargs="+",
+                        default=smoke_scaled([2, 4, 8], [2, 4]))
     parser.add_argument("--variants", nargs="+", default=["vegas", "newreno"],
                         help=f"any of: {', '.join(transport_names())}")
     parser.add_argument("--bandwidth", type=float, default=2.0)
-    parser.add_argument("--replications", type=int, default=3,
+    parser.add_argument("--replications", type=int, default=smoke_scaled(3, 1),
                         help="independent seeds per sweep point")
     parser.add_argument("--cache-dir", default=".study-cache",
                         help="JSON result cache directory ('' disables)")

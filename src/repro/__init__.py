@@ -41,6 +41,14 @@ from repro.experiments.config import (
 from repro.experiments.results import FlowResult, ScenarioResult, format_table
 from repro.experiments.runner import Scenario, run_scenario
 from repro.experiments.scenarios import available_scenarios, build_named_scenario
+from repro.experiments.workload import (
+    FlowSpec,
+    ScenarioBuilder,
+    ScenarioEvent,
+    ScenarioSpec,
+    Workload,
+    mixed_transport_workload,
+)
 from repro.experiments.study import (
     PointResult,
     Study,
@@ -85,6 +93,12 @@ __all__ = [
     "format_table",
     "Scenario",
     "run_scenario",
+    "FlowSpec",
+    "Workload",
+    "ScenarioEvent",
+    "ScenarioSpec",
+    "ScenarioBuilder",
+    "mixed_transport_workload",
     "available_scenarios",
     "build_named_scenario",
     "PointResult",

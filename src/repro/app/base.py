@@ -44,6 +44,19 @@ class Application(abc.ABC):
         delay = max(0.0, self.start_time - self.sim.now)
         self.sim.schedule(delay, self._start_once)
 
+    def start_now(self) -> None:
+        """Start generating traffic immediately (idempotent).
+
+        Used by scenario-timeline ``flow-start`` events, whose flows are not
+        auto-scheduled; calling it on an already-started application is a
+        no-op.  The event takes over the flow's schedule entirely, so a
+        configured ``start_time`` later than now is pulled forward
+        (subclasses that copy the start time into a helper object must keep
+        that copy in sync — see ``CbrApplication.start_now``).
+        """
+        self.start_time = min(self.start_time, self.sim.now)
+        self._start_once()
+
     def _start_once(self) -> None:
         if self._started:
             return

@@ -38,6 +38,17 @@ class CbrApplication(Application):
         """Inter-packet transmission time *t* in seconds."""
         return self.source.interval
 
+    def start_now(self) -> None:
+        """Start pacing immediately (scenario-timeline ``flow-start``).
+
+        The source holds its own copy of ``start_time`` and re-applies the
+        delay in :meth:`~repro.transport.udp.PacedUdpSource.start`; a
+        timeline event takes over the schedule, so pull the source's start
+        up to now before starting.
+        """
+        self.source.start_time = min(self.source.start_time, self.sim.now)
+        super().start_now()
+
     def on_start(self) -> None:
         """Start the CBR source."""
         self.source.start()

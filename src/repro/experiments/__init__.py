@@ -1,6 +1,12 @@
-"""Experiment harness: scenarios, registries, declarative studies.
+"""Experiment harness: scenarios, workloads, registries, declarative studies.
 
-Three layers, from low-level to high-level:
+Four layers, from low-level to high-level:
+
+* **Workload composition** — :class:`FlowSpec` / :class:`Workload` /
+  :class:`ScenarioEvent` / :class:`ScenarioSpec` (and the fluent
+  :class:`ScenarioBuilder`) describe *what runs*: per-flow transport
+  variants, application timing and budgets, and a scripted timeline of
+  mid-run interventions.  See :mod:`repro.experiments.workload`.
 
 * **Scenario execution** — :class:`Scenario` / :func:`run_scenario` turn one
   (:class:`~repro.topology.base.Topology`, :class:`ScenarioConfig`) pair into
@@ -44,8 +50,22 @@ from repro.experiments.study import (
     SweepSpec,
     run_study,
 )
+from repro.experiments.workload import (
+    FlowSpec,
+    ScenarioBuilder,
+    ScenarioEvent,
+    ScenarioSpec,
+    Workload,
+    mixed_transport_workload,
+)
 
 __all__ = [
+    "FlowSpec",
+    "ScenarioBuilder",
+    "ScenarioEvent",
+    "ScenarioSpec",
+    "Workload",
+    "mixed_transport_workload",
     "DEFAULT_HOP_COUNTS",
     "PAPER_BANDWIDTHS",
     "PAPER_HOP_COUNTS",

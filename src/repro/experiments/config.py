@@ -7,6 +7,11 @@ the paper's setup at a scaled-down run length so the whole harness finishes on
 a laptop; set ``packet_target=110_000`` and ``batch_count=11`` for full
 paper-scale runs.
 
+Under the Workload API (:mod:`repro.experiments.workload`) the config holds
+the *scenario-wide defaults*: each flow inherits them and may override the
+transport variant and the per-flow parameters (Vegas α, window clamp, UDP
+interval, TCP parameters, ACK thinning) through its ``FlowSpec``.
+
 The transport variant may be given as a :class:`TransportVariant` enum member
 (the paper's six variants), as a registry name (``"vegas-at"``), or as a
 display label (``"Vegas ACK Thinning"``); strings naming a variant that has no
@@ -95,9 +100,11 @@ class ScenarioConfig:
     """All parameters of one simulation scenario.
 
     Attributes:
-        variant: Transport protocol variant used by every flow — an enum
-            member, a registry name (``"vegas-at"``) or a label; strings are
-            normalised by :func:`resolve_variant`.
+        variant: Scenario-wide default transport variant — an enum member, a
+            registry name (``"vegas-at"``) or a label; strings are normalised
+            by :func:`resolve_variant`.  Every flow runs this variant unless
+            its :class:`~repro.experiments.workload.FlowSpec` overrides it
+            (mixed-transport workloads; see ``docs/workloads.md``).
         bandwidth_mbps: 802.11 data rate (2, 5.5 or 11 in the paper).
         vegas_alpha: Vegas α (= β = γ) threshold in packets.
         newreno_max_cwnd: Window clamp for the "optimal window" variant

@@ -27,6 +27,11 @@ class FlowResult:
         retransmissions_per_packet: Retransmissions per delivered packet.
         timeouts: Sender retransmission timeouts.
         average_window: Time-averaged congestion window (packets); 0 for UDP.
+        variant: Label of the transport variant *this* flow ran (flows of one
+            scenario may differ under the Workload API); empty for results
+            deserialized from pre-workload JSON.
+        label: The flow's :attr:`~repro.experiments.workload.FlowSpec.label`,
+            if one was set.
     """
 
     flow_id: int
@@ -39,6 +44,8 @@ class FlowResult:
     retransmissions_per_packet: float
     timeouts: int
     average_window: float
+    variant: str = ""
+    label: Optional[str] = None
 
     @property
     def goodput_kbps(self) -> float:
@@ -58,6 +65,8 @@ class FlowResult:
             "retransmissions_per_packet": self.retransmissions_per_packet,
             "timeouts": self.timeouts,
             "average_window": self.average_window,
+            "variant": self.variant,
+            "label": self.label,
         }
 
     @classmethod
@@ -75,6 +84,8 @@ class FlowResult:
             retransmissions_per_packet=data["retransmissions_per_packet"],
             timeouts=data["timeouts"],
             average_window=data["average_window"],
+            variant=data.get("variant", ""),
+            label=data.get("label"),
         )
 
 
@@ -141,6 +152,17 @@ class ScenarioResult:
             if flow.flow_id == flow_id:
                 return flow
         raise KeyError(f"no flow {flow_id} in scenario {self.name}")
+
+    def flow_by_label(self, label: str) -> FlowResult:
+        """Return the result of the flow whose spec carried ``label``."""
+        for flow in self.flows:
+            if flow.label == label:
+                return flow
+        raise KeyError(f"no flow labelled {label!r} in scenario {self.name}")
+
+    def flows_for_variant(self, variant_label: str) -> List[FlowResult]:
+        """All per-flow results that ran the given transport variant label."""
+        return [flow for flow in self.flows if flow.variant == variant_label]
 
     # ------------------------------------------------------------------
     # Metrics access

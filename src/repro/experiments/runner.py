@@ -1,21 +1,34 @@
 """Scenario construction and execution.
 
-A :class:`Scenario` turns a declarative :class:`repro.topology.base.Topology`
-plus a :class:`repro.experiments.config.ScenarioConfig` into a live simulated
-network (channel, nodes, transport agents, applications), runs it until the
-configured number of packets has been delivered (or the time limit is hit) and
-returns a :class:`repro.experiments.results.ScenarioResult` with the measures
-the paper reports.
+A :class:`Scenario` turns a declarative
+:class:`~repro.experiments.workload.ScenarioSpec` — topology + per-flow
+workload + scenario-wide config + a timeline of scheduled events — into a
+live simulated network (channel, nodes, transport agents, applications), runs
+it until the configured number of packets has been delivered (or the time
+limit is hit) and returns a
+:class:`repro.experiments.results.ScenarioResult` with the measures the paper
+reports.  The legacy ``Scenario(topology, config)`` entry point still works:
+the pair is compiled into a :class:`ScenarioSpec` whose flows all inherit the
+scenario-wide defaults, which reproduces the original single-variant
+behaviour bit-for-bit (pinned by the golden-trace suite).
 
-The runner is registry-driven on every axis: the configured transport variant
-is resolved through :mod:`repro.transport.registry` (the registered
+The runner is registry-driven on every axis: each flow's transport variant is
+resolved through :mod:`repro.transport.registry` (the registered
 :class:`~repro.transport.registry.TransportProfile` builds the sender, sink
-and driving application for every flow) and the configured mobility model is
-resolved through :mod:`repro.mobility.registry` (a
-:class:`~repro.mobility.base.MobilityManager` drives node positions for
-mobile models; the default ``"static"`` model adds no events at all).  Adding
-a transport variant or mobility model therefore never requires touching this
-module.
+and driving application for that flow — different flows of one scenario may
+use different variants) and the configured mobility model is resolved through
+:mod:`repro.mobility.registry` (a :class:`~repro.mobility.base.MobilityManager`
+drives node positions for mobile models; the default ``"static"`` model adds
+no events at all).  Adding a transport variant or mobility model therefore
+never requires touching this module.
+
+Timeline events (:class:`~repro.experiments.workload.ScenarioEvent`) are
+scheduled at build time in (time, declaration) order, so a scripted scenario
+is exactly as deterministic as an unscripted one: the same seed always yields
+the same trace digest.  ``flow-start`` events take over a flow's start
+entirely (the flow is not auto-started); ``flow-stop`` stops the driving
+application; ``node-down``/``node-up`` and ``link-down``/``link-up`` toggle
+scripted radio silence and link blocks at the channel.
 
 Every scenario also owns a :class:`~repro.metrics.registry.MetricsRegistry`
 shared by all layers of the stack.  End-of-run scalars are harvested from a
@@ -34,13 +47,15 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.core.engine import Simulator
+from repro.core.errors import ConfigurationError
 from repro.core.randomness import RandomManager
 from repro.core.tracing import NULL_TRACER, Tracer
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.results import FlowResult, ScenarioResult
+from repro.experiments.workload import FlowSpec, ScenarioEvent, ScenarioSpec
 from repro.mac.timing import MacTiming, timing_for_bandwidth
 from repro.metrics import MetricsRegistry
 from repro.mobility.base import MobilityManager
@@ -68,12 +83,22 @@ _DST_PORT_BASE = 6000
 class Scenario:
     """One runnable simulation scenario.
 
+    Accepts either a complete :class:`~repro.experiments.workload.ScenarioSpec`
+    (``Scenario(spec)``) or the legacy ``Scenario(topology, config)`` pair,
+    which is compiled into an all-defaults spec.
+
     Args:
-        topology: Node placement and flow pattern.
-        config: Scenario parameters (variant, bandwidth, run length, …).
+        spec_or_topology: A :class:`ScenarioSpec`, or a topology (node
+            placement and flow pattern) paired with ``config``.
+        config: Scenario parameters (variant, bandwidth, run length, …);
+            required with a topology, forbidden with a spec.
         tracer: Optional tracer shared by every component.
 
     Attributes:
+        spec: The (possibly compiled) :class:`ScenarioSpec` being run.
+        workload: The spec's per-flow workload.
+        profiles: One resolved transport profile per flow, aligned with
+            ``workload.flows`` / ``flow_stats`` / ``senders``.
         metrics: The scenario's freshly created
             :class:`~repro.metrics.registry.MetricsRegistry` (its time-series
             plane follows ``config.metrics``).  Each scenario owns its own
@@ -83,16 +108,32 @@ class Scenario:
 
     def __init__(
         self,
-        topology: Topology,
-        config: ScenarioConfig,
+        spec_or_topology: Union[ScenarioSpec, Topology],
+        config: Optional[ScenarioConfig] = None,
         tracer: Tracer = NULL_TRACER,
     ) -> None:
-        self.topology = topology
-        self.config = config
+        if isinstance(spec_or_topology, ScenarioSpec):
+            if config is not None:
+                raise ConfigurationError(
+                    "pass either a ScenarioSpec or (topology, config), not both"
+                )
+            spec = spec_or_topology
+        else:
+            if config is None:
+                raise ConfigurationError(
+                    "Scenario(topology, ...) requires a ScenarioConfig"
+                )
+            spec = ScenarioSpec.from_legacy(spec_or_topology, config)
+        self.spec = spec
+        self.topology = spec.topology
+        self.config = spec.config
+        self.workload = spec.workload
         self.tracer = tracer
-        self.metrics = MetricsRegistry(enabled=config.metrics)
-        self.profile = get_transport(config.variant)
+        self.metrics = MetricsRegistry(enabled=self.config.metrics)
+        #: Scenario-wide default profile (flows may override per spec).
+        self.profile = get_transport(self.config.variant)
 
+        config = self.config
         self.sim = Simulator()
         self.randomness = RandomManager(config.seed)
         self.timing: MacTiming = timing_for_bandwidth(config.bandwidth_mbps)
@@ -101,6 +142,7 @@ class Scenario:
         self.nodes: Dict[int, Node] = {}
         self.mobility: Optional[MobilityManager] = None
         self.flow_stats: List[FlowStats] = []
+        self.profiles: List[object] = []
         self.senders: List[object] = []
         self.sinks: List[object] = []
         self.applications: List[object] = []
@@ -114,8 +156,15 @@ class Scenario:
         self._build_mobility()
         if self.config.routing == "static":
             self._install_static_routes()
-        for index, flow in enumerate(self.topology.flows, start=1):
-            self._build_flow(index, flow.source, flow.destination)
+        timeline = self.spec.sorted_timeline()
+        # Flows with scripted flow-start events are entirely event-driven:
+        # they are not auto-started at their spec/stagger start time.
+        self._event_started = {event.target for event in timeline
+                               if event.action == "flow-start"}
+        shares = self._flow_packet_shares()
+        for index, flow_spec in enumerate(self.workload, start=1):
+            self._build_flow(index, flow_spec, shares[index - 1])
+        self._schedule_timeline(timeline)
         self._install_probes()
         self.metrics.start_sampling(self.sim, self.config.metrics_interval)
 
@@ -188,38 +237,103 @@ class Scenario:
             for destination, next_hop in tables.get(node_id, {}).items():
                 routing.set_next_hop(destination, next_hop)
 
+    def _flow_packet_shares(self) -> List[int]:
+        """Per-flow shares of ``packet_target``, remainder spread over the
+        leading flows so the shares always sum to exactly the target.
+
+        The share feeds each flow's batch-means batch size
+        (``share // batch_count``); before the remainder distribution a
+        target not divisible by ``flows * batch_count`` silently under-sized
+        every flow's batches.
+        """
+        flows = max(1, len(self.workload))
+        base, remainder = divmod(self.config.packet_target, flows)
+        return [base + (1 if index < remainder else 0) for index in range(flows)]
+
     def _per_flow_batch_size(self) -> int:
-        flows = max(1, len(self.topology.flows))
+        """Deprecated equal-share batch size (kept for external callers);
+        the builder now uses :meth:`_flow_packet_shares` per flow."""
+        flows = max(1, len(self.workload))
         return max(1, self.config.packet_target // (flows * self.config.batch_count))
 
-    def _build_flow(self, index: int, source: int, destination: int) -> None:
-        config = self.config
+    def _build_flow(self, index: int, flow_spec: FlowSpec, packet_share: int) -> None:
+        config = flow_spec.effective_config(self.config)
+        profile = get_transport(config.variant)
+        self.profiles.append(profile)
         flow = FlowAddress(
-            src_node=source,
+            src_node=flow_spec.source,
             src_port=_SRC_PORT_BASE + index,
-            dst_node=destination,
+            dst_node=flow_spec.destination,
             dst_port=_DST_PORT_BASE + index,
         )
-        stats = FlowStats(flow_id=index, batch_size=self._per_flow_batch_size(),
+        batch_size = max(1, packet_share // config.batch_count)
+        stats = FlowStats(flow_id=index, batch_size=batch_size,
                           registry=self.metrics)
         self.flow_stats.append(stats)
-        start_time = (index - 1) * config.flow_start_stagger
+        if flow_spec.start_time is not None:
+            start_time = flow_spec.start_time
+        else:
+            start_time = (index - 1) * config.flow_start_stagger
 
         context = TransportBuildContext(
             sim=self.sim, flow=flow, stats=stats, config=config,
             timing=self.timing, tracer=self.tracer,
+            data_limit=flow_spec.packet_limit,
         )
-        sender = self.profile.build_sender(context)
-        sink = self.profile.build_sink(context)
+        sender = profile.build_sender(context)
+        sink = profile.build_sink(context)
         self.nodes[flow.src_node].register_agent(sender)
         self.nodes[flow.dst_node].register_agent(sink)
-        application = self.profile.build_application(context, sender, start_time)
+        application = profile.build_application(context, sender, start_time)
         application.bind_metrics(self.metrics, f"app.flow{index}")
-        application.schedule_start()
+        if index not in self._event_started:
+            application.schedule_start()
+        if flow_spec.stop_time is not None:
+            self.sim.schedule_at(flow_spec.stop_time, application.stop)
 
         self.senders.append(sender)
         self.sinks.append(sink)
         self.applications.append(application)
+
+    # ==================================================================
+    # Timeline execution
+    # ==================================================================
+    def _schedule_timeline(self, timeline) -> None:
+        """Schedule every timeline event in (time, declaration) order.
+
+        Scheduling happens entirely at build time, so a scripted scenario's
+        event stream is as deterministic as an unscripted one.
+        """
+        for event in timeline:
+            # Register the per-action counter up front (deterministic
+            # registry contents regardless of which events end up firing
+            # before the run stops).
+            self.metrics.counter(
+                f"scenario.timeline.{event.action}", unit="events",
+                description="Timeline events applied by the scenario runner.")
+            self.sim.schedule_at(event.time, self._apply_event, event)
+
+    def _apply_event(self, event: ScenarioEvent) -> None:
+        """Apply one scheduled :class:`ScenarioEvent` (called by the engine)."""
+        if self.tracer.enabled:
+            self.tracer.record(self.sim.now, "scenario", event.action,
+                               target=event.target, peer=event.peer)
+        self.metrics.counter(f"scenario.timeline.{event.action}").inc()
+        action = event.action
+        if action == "flow-start":
+            self.applications[event.target - 1].start_now()
+        elif action == "flow-stop":
+            self.applications[event.target - 1].stop()
+        elif action == "node-down":
+            self.channel.set_node_down(event.target, True)
+        elif action == "node-up":
+            self.channel.set_node_down(event.target, False)
+        elif action == "link-down":
+            self.channel.set_link_blocked(event.target, event.peer, True)
+        elif action == "link-up":
+            self.channel.set_link_blocked(event.target, event.peer, False)
+        else:  # pragma: no cover - ScenarioEvent validates its action
+            raise ConfigurationError(f"unknown timeline action {action!r}")
 
     # ==================================================================
     # Execution
@@ -258,17 +372,18 @@ class Scenario:
         energy = self._energy_report(now)
 
         flow_results = []
-        for stats, flow_spec in zip(self.flow_stats, self.topology.flows):
-            flow_results.append(self._flow_result(stats, flow_spec.source,
-                                                  flow_spec.destination, now))
+        for stats, flow_spec, profile in zip(self.flow_stats, self.workload,
+                                             self.profiles):
+            flow_results.append(
+                self._flow_result(stats, flow_spec, profile.label, now))
 
         dropped = metrics.total("mac.node*.data_dropped_retry")
         succeeded = metrics.total("mac.node*.data_tx_success")
         finished = dropped + succeeded
         return ScenarioResult(
-            name=f"{self.topology.name}/{self.profile.label}"
+            name=f"{self.spec.display_name}/{self._variant_label()}"
                  f"/{self.config.bandwidth_mbps:g}Mbps",
-            variant=self.profile.label,
+            variant=self._variant_label(),
             bandwidth_mbps=self.config.bandwidth_mbps,
             simulated_time=now,
             delivered_packets=self.total_delivered,
@@ -297,8 +412,23 @@ class Scenario:
         delivered_bytes = self.metrics.total("tcp.flow*.bytes_delivered")
         return scenario_energy(model, now, airtimes, delivered_bytes)
 
-    def _flow_result(self, stats: FlowStats, source: int, destination: int,
-                     now: float) -> FlowResult:
+    def _variant_label(self) -> str:
+        """Result label: the single variant's label, or the joined mix.
+
+        Uniform workloads (every flow on the scenario default) keep the
+        legacy single-variant label, so existing result names — including
+        the golden traces — are unchanged.
+        """
+        if self.workload.is_uniform(self.config.variant):
+            return self.profile.label
+        labels = []
+        for profile in self.profiles:
+            if profile.label not in labels:
+                labels.append(profile.label)
+        return "+".join(labels)
+
+    def _flow_result(self, stats: FlowStats, flow_spec: FlowSpec,
+                     variant_label: str, now: float) -> FlowResult:
         goodput_ci = None
         if stats.completed_batches >= 3:
             interval = stats.batch_goodput()
@@ -310,8 +440,8 @@ class Scenario:
             goodput_bps = stats.bytes_delivered * 8.0 / duration if stats.bytes_delivered else 0.0
         return FlowResult(
             flow_id=stats.flow_id,
-            source=source,
-            destination=destination,
+            source=flow_spec.source,
+            destination=flow_spec.destination,
             delivered_packets=stats.packets_delivered,
             goodput_bps=goodput_bps,
             goodput_ci=goodput_ci,
@@ -319,16 +449,22 @@ class Scenario:
             retransmissions_per_packet=stats.retransmissions_per_delivered_packet(),
             timeouts=stats.timeouts,
             average_window=stats.average_window(now),
+            variant=variant_label,
+            label=flow_spec.label,
         )
 
 
 def run_scenario(
-    topology: Topology,
-    config: ScenarioConfig,
+    spec_or_topology: Union[ScenarioSpec, Topology],
+    config: Optional[ScenarioConfig] = None,
     tracer: Tracer = NULL_TRACER,
 ) -> ScenarioResult:
-    """Convenience wrapper: build a :class:`Scenario` and run it."""
-    return Scenario(topology, config, tracer=tracer).run()
+    """Convenience wrapper: build a :class:`Scenario` and run it.
+
+    Accepts a :class:`~repro.experiments.workload.ScenarioSpec`
+    (``run_scenario(spec)``) or the legacy ``(topology, config)`` pair.
+    """
+    return Scenario(spec_or_topology, config, tracer=tracer).run()
 
 
 # ======================================================================
@@ -377,7 +513,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for name in available_scenarios():
+        # available_scenarios() is sorted; keep the output stable for piping.
+        for name in sorted(available_scenarios()):
             print(name)
         return 0
 
@@ -393,7 +530,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.max_sim_time is not None:
         overrides["max_sim_time"] = args.max_sim_time
 
-    scenario = build_named_scenario(args.scenario, **overrides)
+    try:
+        scenario = build_named_scenario(args.scenario, **overrides)
+    except ConfigurationError as exc:
+        # build_named_scenario's message already carries the difflib
+        # "did you mean" suggestions and the --list pointer.
+        print(exc, file=sys.stderr)
+        return 2
     result = scenario.run()
 
     print(f"{result.name}: {result.delivered_packets} packets in "

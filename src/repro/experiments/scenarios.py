@@ -29,13 +29,20 @@ This module is also the scenario-catalog generator::
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.errors import ConfigurationError
 from repro.core.tracing import NULL_TRACER, Tracer
 from repro.experiments.config import PAPER_BANDWIDTHS, ScenarioConfig
 from repro.experiments.runner import Scenario
+from repro.experiments.workload import (
+    FlowSpec,
+    ScenarioEvent,
+    ScenarioSpec,
+    Workload,
+)
 from repro.mobility.registry import mobility_profiles
 from repro.mobility.registry import registry_generation as _mobility_generation
 from repro.topology.base import Topology
@@ -44,8 +51,10 @@ from repro.topology.registry import registry_generation as _topology_generation
 from repro.transport.registry import transport_profiles
 from repro.transport.registry import registry_generation as _transport_generation
 
-#: Scenario factory type: returns (topology, config).
-ScenarioFactory = Callable[[], Tuple[Topology, ScenarioConfig]]
+#: Scenario factory type: returns either a complete
+#: :class:`~repro.experiments.workload.ScenarioSpec` or the legacy
+#: ``(topology, config)`` pair (compiled into a spec when built).
+ScenarioFactory = Callable[[], Union[ScenarioSpec, Tuple[Topology, ScenarioConfig]]]
 
 #: Hand-registered presets layered on top of the generated table.
 _EXTRA_SCENARIOS: Dict[str, ScenarioFactory] = {}
@@ -129,6 +138,54 @@ def register_scenario(name: str, factory: ScenarioFactory,
     _EXTRA_GENERATION += 1
 
 
+# ======================================================================
+# Hand-written mixed-transport presets (Workload API v2): demonstrate
+# heterogeneous per-flow variants and a scripted timeline.  These register
+# through the same extras layer user code uses.
+# ======================================================================
+def _chain7_mixed_newreno_vegas() -> ScenarioSpec:
+    """7-hop chain: a NewReno flow competing with a Vegas flow that enters
+    the run mid-flight through a timeline ``flow-start`` event."""
+    topology = get_topology("chain").build(hops=7)
+    return ScenarioSpec(
+        name="chain7-mixed",
+        topology=topology,
+        workload=Workload(flows=(
+            FlowSpec(source=0, destination=7, variant="newreno"),
+            FlowSpec(source=0, destination=7, variant="vegas", label="latecomer"),
+        )),
+        config=ScenarioConfig(variant="newreno", bandwidth_mbps=2.0),
+        timeline=(ScenarioEvent.flow_start(5.0, flow=2),),
+    )
+
+
+def _random50_tcp_with_udp_background() -> ScenarioSpec:
+    """50-node random topology: four NewReno foreground flows over a paced-UDP
+    background flow that starts first (classic coexistence stress)."""
+    from repro.topology.random_topology import random_topology
+
+    topology = random_topology(node_count=50, area=(1300.0, 800.0),
+                               flow_count=5, seed=11)
+    endpoints = topology.flow_endpoints()
+    flows = [FlowSpec(source=s, destination=d, variant="newreno")
+             for s, d in endpoints[:-1]]
+    flows.append(FlowSpec(source=endpoints[-1][0], destination=endpoints[-1][1],
+                          variant="paced-udp", start_time=0.0,
+                          label="udp-background"))
+    return ScenarioSpec(
+        name="random50-tcp-with-udp-background",
+        topology=topology,
+        workload=Workload(flows=tuple(flows)),
+        config=ScenarioConfig(variant="newreno", bandwidth_mbps=2.0,
+                              max_sim_time=300.0),
+    )
+
+
+register_scenario("chain7-mixed-newreno-vegas", _chain7_mixed_newreno_vegas)
+register_scenario("random50-tcp-with-udp-background",
+                  _random50_tcp_with_udp_background)
+
+
 #: Snapshot (a copy) of the preset table at import time, kept for backwards
 #: compatibility.  Prefer :func:`available_scenarios` /
 #: :func:`register_scenario`: this snapshot neither reflects transports
@@ -155,14 +212,25 @@ def build_named_scenario(
             (e.g. ``packet_target=500``, ``seed=7``).
 
     Raises:
-        ConfigurationError: If the name is unknown.
+        ConfigurationError: If the name is unknown (the message suggests
+            close matches).
     """
     factory = _generated_presets().get(name)
     if factory is None:
+        suggestions = difflib.get_close_matches(
+            name, available_scenarios(), n=3, cutoff=0.5)
+        hint = (f"; did you mean {', '.join(repr(s) for s in suggestions)}?"
+                if suggestions else "")
         raise ConfigurationError(
-            f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
+            f"unknown scenario {name!r}{hint} "
+            f"(run `python -m repro.experiments.runner --list` for all "
+            f"{len(available_scenarios())} presets)"
         )
-    topology, config = factory()
+    built = factory()
+    if isinstance(built, ScenarioSpec):
+        spec = built.with_config(**config_overrides) if config_overrides else built
+        return Scenario(spec, tracer=tracer)
+    topology, config = built
     if config_overrides:
         config = replace(config, **config_overrides)
     return Scenario(topology, config, tracer=tracer)

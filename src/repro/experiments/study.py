@@ -30,9 +30,14 @@ Quickstart::
         print(point.values, point.goodput_interval)
 
 Axis keys that are :class:`~repro.experiments.config.ScenarioConfig` fields
-override the base config; every other key is passed to the topology builder
-(so ``hops`` reaches :func:`repro.topology.chain.chain_topology`).  Seeds are
-never an axis: replication ``r`` runs with ``base_seed + r``, which makes a
+override the base config; keys prefixed ``workload.`` are stripped and passed
+to the sweep's ``workload_factory`` (so traffic mixes are sweepable, e.g.
+``axes={"workload.secondary_flows": [0, 1, 2]}`` with
+:func:`~repro.experiments.workload.mixed_transport_workload` sweeps the
+number of Vegas flows competing with NewReno); every other key is passed to
+the topology builder (so ``hops`` reaches
+:func:`repro.topology.chain.chain_topology`).  Seeds are never an axis:
+replication ``r`` runs with ``base_seed + r``, which makes a
 single-replication study bit-identical to a direct ``run_scenario`` call with
 the base config's seed.
 
@@ -53,7 +58,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import ConfigurationError
 from repro.core.statistics import ConfidenceInterval, confidence_interval
@@ -61,13 +66,23 @@ from repro.core.tracing import NULL_TRACER, Tracer
 from repro.experiments.config import ScenarioConfig, resolve_variant
 from repro.experiments.results import ScenarioResult
 from repro.experiments.runner import run_scenario
+from repro.experiments.workload import ScenarioEvent, ScenarioSpec, Workload
 from repro.topology.base import Topology
 from repro.topology.registry import build_topology, get_topology
 from repro.transport.registry import transport_key
 
-#: ScenarioConfig field names; axis keys in this set override the config,
-#: every other axis key is passed to the topology builder.
+#: ScenarioConfig field names; axis keys in this set override the config.
+#: Axis keys prefixed ``workload.`` are passed to the sweep's workload
+#: factory; every other axis key is passed to the topology builder.
 _CONFIG_FIELDS = frozenset(ScenarioConfig.__dataclass_fields__)
+
+#: Axis-key prefix marking workload-factory parameters.
+_WORKLOAD_AXIS_PREFIX = "workload."
+
+#: Factory building a :class:`Workload` for one sweep point; must be a
+#: module-level callable (pickled by reference for the process pool).  It
+#: receives the point's topology plus the stripped ``workload.*`` axis values.
+WorkloadFactory = Callable[..., Workload]
 
 #: Bumped on cache *format* changes; cached-result *content* staleness is
 #: handled by :func:`_code_fingerprint`, which keys every cache entry to the
@@ -128,14 +143,26 @@ class SweepSpec:
             4.4.2).
         topology_params: Builder parameters common to every point.
         axes: Ordered mapping from axis name to the values it sweeps.
-            Config-field axes override ``base``; all other axes are topology
-            builder parameters.  ``seed`` may not be an axis — use
-            ``replications``.
+            Config-field axes override ``base``; axes prefixed ``workload.``
+            are stripped and passed to ``workload_factory``; all other axes
+            are topology builder parameters.  ``seed`` may not be an axis —
+            use ``replications``.
         base: Baseline :class:`ScenarioConfig` every point starts from.
         variant_overrides: Per-variant config overrides (keyed by any variant
             spelling) applied when that variant is the point's variant —
             e.g. ``{"newreno-optwin": {"newreno_max_cwnd": 3.0}}``.  Axis
             values take precedence over these.
+        workload: Fixed per-flow :class:`~repro.experiments.workload.Workload`
+            shared by every point (its flows must match whatever topology the
+            points build).  Mutually exclusive with ``workload_factory``.
+        workload_factory: Module-level callable
+            ``factory(topology, **workload_params)`` building each point's
+            workload, e.g.
+            :func:`~repro.experiments.workload.mixed_transport_workload`;
+            required when ``workload.*`` axes are swept.
+        workload_params: Factory parameters common to every point.
+        timeline: :class:`~repro.experiments.workload.ScenarioEvent` timeline
+            applied to every point's scenario.
         replications: Independent seeds per sweep point.
         base_seed: Seed of replication 0 (defaults to ``base.seed``);
             replication ``r`` uses ``base_seed + r``.
@@ -147,6 +174,10 @@ class SweepSpec:
     axes: Mapping[str, Sequence[object]] = field(default_factory=dict)
     base: ScenarioConfig = field(default_factory=ScenarioConfig)
     variant_overrides: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    workload: Optional[Workload] = None
+    workload_factory: Optional[WorkloadFactory] = None
+    workload_params: Mapping[str, object] = field(default_factory=dict)
+    timeline: Tuple[ScenarioEvent, ...] = ()
     replications: int = 1
     base_seed: Optional[int] = None
 
@@ -168,6 +199,18 @@ class SweepSpec:
                 f"{sorted(self.topology_axes)} require a topology family name, "
                 "not a prebuilt Topology"
             )
+        if self.workload is not None and self.workload_factory is not None:
+            raise ConfigurationError(
+                "pass either a fixed workload or a workload_factory, not both"
+            )
+        if self.workload_axes and self.workload_factory is None:
+            raise ConfigurationError(
+                f"workload axes {sorted(self.workload_axes)} require a "
+                "workload_factory"
+            )
+        if (self.workload_params and self.workload_factory is None):
+            raise ConfigurationError("workload_params require a workload_factory")
+        object.__setattr__(self, "timeline", tuple(self.timeline))
         for variant in self.variant_overrides:
             transport_key(variant)  # fail fast on unknown variants
 
@@ -185,9 +228,16 @@ class SweepSpec:
         return tuple(a for a in self.axes if a in _CONFIG_FIELDS)
 
     @property
+    def workload_axes(self) -> Tuple[str, ...]:
+        """Axes passed (prefix-stripped) to the workload factory."""
+        return tuple(a for a in self.axes if a.startswith(_WORKLOAD_AXIS_PREFIX))
+
+    @property
     def topology_axes(self) -> Tuple[str, ...]:
         """Axes passed to the topology builder."""
-        return tuple(a for a in self.axes if a not in _CONFIG_FIELDS)
+        return tuple(a for a in self.axes
+                     if a not in _CONFIG_FIELDS
+                     and not a.startswith(_WORKLOAD_AXIS_PREFIX))
 
     def points(self) -> List[SweepPoint]:
         """All sweep points, in cartesian order (last axis fastest).
@@ -227,13 +277,45 @@ class SweepSpec:
         overrides["seed"] = seed
         return replace(self.base, **overrides)
 
+    def _topology_builder_params(self, values: Mapping[str, object]) -> Dict[str, object]:
+        params = dict(self.topology_params)
+        params.update({k: v for k, v in values.items()
+                       if k not in _CONFIG_FIELDS
+                       and not k.startswith(_WORKLOAD_AXIS_PREFIX)})
+        return params
+
     def topology_for(self, values: Mapping[str, object]) -> Topology:
         """The :class:`Topology` of one sweep point."""
         if not isinstance(self.topology, str):
             return self.topology
-        params = dict(self.topology_params)
-        params.update({k: v for k, v in values.items() if k not in _CONFIG_FIELDS})
-        return build_topology(self.topology, **params)
+        return build_topology(self.topology, **self._topology_builder_params(values))
+
+    def workload_params_for(self, values: Mapping[str, object]) -> Dict[str, object]:
+        """The (prefix-stripped) workload-factory parameters of one point."""
+        params = dict(self.workload_params)
+        params.update({
+            key[len(_WORKLOAD_AXIS_PREFIX):]: value
+            for key, value in values.items()
+            if key.startswith(_WORKLOAD_AXIS_PREFIX)
+        })
+        return params
+
+    def workload_for(self, values: Mapping[str, object],
+                     topology: Topology) -> Optional[Workload]:
+        """The :class:`Workload` of one sweep point (None = legacy flows)."""
+        if self.workload_factory is not None:
+            return self.workload_factory(topology, **self.workload_params_for(values))
+        return self.workload
+
+    def scenario_for(self, values: Mapping[str, object], seed: int) -> ScenarioSpec:
+        """The complete :class:`ScenarioSpec` of one (point, seed) run."""
+        topology = self.topology_for(values)
+        return ScenarioSpec(
+            topology=topology,
+            workload=self.workload_for(values, topology),
+            config=self.config_for(values, seed),
+            timeline=self.timeline,
+        )
 
     def fingerprint(self, values: Mapping[str, object], seed: int) -> str:
         """Stable cache key of one (point, seed) scenario run.
@@ -244,11 +326,8 @@ class SweepSpec:
         results.
         """
         if isinstance(self.topology, str):
-            params = dict(self.topology_params)
-            params.update(
-                {k: v for k, v in values.items() if k not in _CONFIG_FIELDS}
-            )
-            topo = {"family": self.topology, "params": _jsonable(params)}
+            topo = {"family": self.topology,
+                    "params": _jsonable(self._topology_builder_params(values))}
         else:
             topo = {"instance": _jsonable(self.topology)}
         payload = {
@@ -258,6 +337,18 @@ class SweepSpec:
             "config": _jsonable(self.config_for(values, seed)),
             "seed": seed,
         }
+        # Workload/timeline sections are only added when used, so legacy
+        # sweeps keep hitting their previously cached entries.
+        if self.workload_factory is not None:
+            payload["workload"] = {
+                "factory": f"{self.workload_factory.__module__}."
+                           f"{getattr(self.workload_factory, '__qualname__', repr(self.workload_factory))}",
+                "params": _jsonable(self.workload_params_for(values)),
+            }
+        elif self.workload is not None:
+            payload["workload"] = {"flows": _jsonable(self.workload)}
+        if self.timeline:
+            payload["timeline"] = _jsonable(self.timeline)
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -425,9 +516,22 @@ class StudyResult:
         return cls.from_dict(json.loads(Path(path).read_text()))
 
 
+def _uses_workload_plane(spec: SweepSpec) -> bool:
+    """True when the sweep needs the ScenarioSpec path (workload/timeline).
+
+    Legacy sweeps keep running through ``run_scenario(topology, config)``,
+    whose compiled spec is behaviourally identical — this is purely about not
+    constructing intermediate objects on the hot path.
+    """
+    return (spec.workload is not None or spec.workload_factory is not None
+            or bool(spec.timeline))
+
+
 def _run_sweep_task(payload: Tuple[SweepSpec, Mapping[str, object], int]) -> ScenarioResult:
     """Process-pool entry point: run one (point, seed) scenario."""
     spec, values, seed = payload
+    if _uses_workload_plane(spec):
+        return run_scenario(spec.scenario_for(values, seed))
     return run_scenario(spec.topology_for(values), spec.config_for(values, seed))
 
 
@@ -530,11 +634,17 @@ class StudyRunner:
                     self._cache_store(key, result)
         else:
             for p, rep, seed, key in tasks:
-                result = run_scenario(
-                    spec.topology_for(points[p].values),
-                    spec.config_for(points[p].values, seed),
-                    tracer=self.tracer,
-                )
+                if _uses_workload_plane(spec):
+                    result = run_scenario(
+                        spec.scenario_for(points[p].values, seed),
+                        tracer=self.tracer,
+                    )
+                else:
+                    result = run_scenario(
+                        spec.topology_for(points[p].values),
+                        spec.config_for(points[p].values, seed),
+                        tracer=self.tracer,
+                    )
                 results[(p, rep)] = result
                 self._cache_store(key, result)
 

@@ -1,0 +1,581 @@
+"""Workload API v2: per-flow specs, heterogeneous transports, timelines.
+
+The paper's experiments all run *one* transport variant per scenario, which is
+what the legacy ``ScenarioConfig.variant`` + ``Topology.flows`` entry point
+expresses: a scalar knob applied to every flow.  This module makes the
+workload a first-class composable object instead:
+
+* :class:`FlowSpec` — one traffic flow with its *own* transport variant,
+  application timing (start/stop), an optional packet budget, and per-flow
+  TCP/Vegas parameter overrides.  A flow that sets nothing inherits every
+  default from the scenario's :class:`~repro.experiments.config.ScenarioConfig`.
+* :class:`Workload` — an ordered collection of flow specs (the traffic mix of
+  one scenario).
+* :class:`ScenarioEvent` — one scheduled intervention: start or stop a flow
+  mid-run, take a node down (radio silence) or bring it back, block or
+  unblock an individual link.
+* :class:`ScenarioSpec` — the complete declarative description the runner
+  executes: topology + workload + scenario-wide config + a deterministic
+  **timeline** of events.
+* :class:`ScenarioBuilder` — a fluent front end for composing a spec.
+
+Quickstart — NewReno competing with a late-starting Vegas flow while node 3
+drops off the air for ten seconds::
+
+    from repro.experiments.workload import ScenarioBuilder
+
+    spec = (
+        ScenarioBuilder("coexistence-demo")
+        .topology("chain", hops=7)
+        .configure(packet_target=400, seed=3)
+        .flow(0, 7, variant="newreno")
+        .flow(0, 7, variant="vegas", label="latecomer")
+        .start_flow(2, at=5.0)
+        .node_down(3, at=20.0)
+        .node_up(3, at=30.0)
+        .build()
+    )
+    result = spec.run()
+
+The legacy entry points still work: ``Scenario(topology, config)`` compiles
+the (topology, config) pair into a :class:`ScenarioSpec` whose flows all use
+the scenario-wide defaults, which reproduces the original behaviour
+bit-for-bit (pinned by the golden-trace suite).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.config import ScenarioConfig, VariantLike, resolve_variant
+from repro.topology.base import Topology
+from repro.transport.ack_thinning import AckThinningPolicy
+from repro.transport.registry import get_transport
+from repro.transport.tcp_base import TcpConfig
+
+__all__ = [
+    "FlowSpec",
+    "Workload",
+    "ScenarioEvent",
+    "ScenarioSpec",
+    "ScenarioBuilder",
+    "mixed_transport_workload",
+]
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One traffic flow of a scenario workload.
+
+    Every optional field defaults to "inherit from the scenario config", so a
+    bare ``FlowSpec(source, destination)`` behaves exactly like a legacy
+    topology flow.
+
+    Attributes:
+        source: Source node id (must exist in the scenario's topology).
+        destination: Destination node id.
+        variant: Transport variant for *this* flow (any registered spelling);
+            ``None`` uses the scenario-wide ``config.variant``.
+        start_time: Simulated time the driving application starts; ``None``
+            uses the scenario's staggered default
+            (``(index - 1) * flow_start_stagger``).  A ``flow-start`` timeline
+            event on this flow takes precedence over both.
+        stop_time: Simulated time the application stops generating traffic;
+            ``None`` means the flow runs until the scenario ends.
+        packet_limit: Data-packet budget for the flow (TCP senders stop after
+            this many segments, CBR sources after this many datagrams);
+            ``None`` means unbounded.
+        label: Optional human-readable name carried into the per-flow result.
+        vegas_alpha: Per-flow Vegas α (= β = γ) override.
+        newreno_max_cwnd: Per-flow window clamp for the optimal-window variants.
+        udp_interval: Per-flow inter-packet time for paced UDP.
+        tcp: Per-flow :class:`~repro.transport.tcp_base.TcpConfig` override.
+        ack_thinning: Per-flow ACK-thinning policy override.
+    """
+
+    source: int
+    destination: int
+    variant: Optional[VariantLike] = None
+    start_time: Optional[float] = None
+    stop_time: Optional[float] = None
+    packet_limit: Optional[int] = None
+    label: Optional[str] = None
+    vegas_alpha: Optional[float] = None
+    newreno_max_cwnd: Optional[float] = None
+    udp_interval: Optional[float] = None
+    tcp: Optional[TcpConfig] = None
+    ack_thinning: Optional[AckThinningPolicy] = None
+
+    #: Fields that map one-to-one onto :class:`ScenarioConfig` overrides.
+    _CONFIG_OVERRIDES = (
+        "vegas_alpha",
+        "newreno_max_cwnd",
+        "udp_interval",
+        "tcp",
+        "ack_thinning",
+    )
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ConfigurationError("flow source and destination must differ")
+        if self.variant is not None:
+            # Normalise eagerly so misspelled variants fail at spec time, and
+            # spec equality / serialization is spelling-independent.
+            object.__setattr__(self, "variant", resolve_variant(self.variant))
+        for name in ("start_time", "stop_time"):
+            value = getattr(self, name)
+            if value is not None and (value < 0 or not math.isfinite(value)):
+                raise ConfigurationError(f"{name} must be a non-negative finite time")
+        if (self.start_time is not None and self.stop_time is not None
+                and self.stop_time <= self.start_time):
+            raise ConfigurationError("stop_time must be after start_time")
+        if self.packet_limit is not None and self.packet_limit < 1:
+            raise ConfigurationError("packet_limit must be at least 1")
+        if self.vegas_alpha is not None and self.vegas_alpha <= 0:
+            raise ConfigurationError("vegas_alpha must be positive")
+        if self.udp_interval is not None and self.udp_interval <= 0:
+            raise ConfigurationError("udp_interval must be positive")
+
+    # ------------------------------------------------------------------
+    # Resolution against the scenario-wide defaults
+    # ------------------------------------------------------------------
+    @property
+    def endpoints(self) -> Tuple[int, int]:
+        """The ``(source, destination)`` node pair."""
+        return (self.source, self.destination)
+
+    def effective_variant(self, default: VariantLike) -> VariantLike:
+        """This flow's transport variant, falling back to ``default``."""
+        return self.variant if self.variant is not None else default
+
+    def config_overrides(self) -> Dict[str, object]:
+        """The non-``None`` per-flow config overrides, including ``variant``."""
+        overrides: Dict[str, object] = {}
+        if self.variant is not None:
+            overrides["variant"] = self.variant
+        for name in self._CONFIG_OVERRIDES:
+            value = getattr(self, name)
+            if value is not None:
+                overrides[name] = value
+        return overrides
+
+    def effective_config(self, base: ScenarioConfig) -> ScenarioConfig:
+        """The flow-level :class:`ScenarioConfig` this flow is built with.
+
+        Returns ``base`` itself when the flow overrides nothing, so the legacy
+        single-variant path constructs flows from the identical config object.
+        """
+        overrides = self.config_overrides()
+        if not overrides:
+            return base
+        return replace(base, **overrides)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """The traffic mix of one scenario: an ordered tuple of flow specs.
+
+    Flow *i* of the paper's figures is ``workload[i - 1]``; timeline events
+    and per-flow results use the same 1-based numbering.
+    """
+
+    flows: Tuple[FlowSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        flows = tuple(self.flows)
+        if not flows:
+            raise ConfigurationError("a workload needs at least one flow")
+        for flow in flows:
+            if not isinstance(flow, FlowSpec):
+                raise ConfigurationError(
+                    f"workload flows must be FlowSpec instances, got {flow!r}"
+                )
+        object.__setattr__(self, "flows", flows)
+
+    @classmethod
+    def from_topology(cls, topology: Topology, **common: object) -> "Workload":
+        """Lift a topology's endpoint flows into a workload.
+
+        Args:
+            topology: Provides the flow endpoints (``topology.flows``).
+            **common: :class:`FlowSpec` fields applied to every flow (e.g.
+                ``variant="vegas"``).
+        """
+        return cls(flows=tuple(
+            FlowSpec(source=source, destination=destination, **common)
+            for source, destination in topology.flow_endpoints()
+        ))
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def __iter__(self) -> Iterator[FlowSpec]:
+        return iter(self.flows)
+
+    def __getitem__(self, index: int) -> FlowSpec:
+        return self.flows[index]
+
+    def variant_keys(self, default: VariantLike) -> List[str]:
+        """Ordered unique canonical variant names used by this workload."""
+        from repro.transport.registry import transport_key
+
+        keys: List[str] = []
+        for flow in self.flows:
+            key = transport_key(flow.effective_variant(default))
+            if key not in keys:
+                keys.append(key)
+        return keys
+
+    def is_uniform(self, default: VariantLike) -> bool:
+        """True when every flow runs the scenario-wide default variant.
+
+        A flow counts as uniform whether it inherits the default implicitly
+        (``variant=None``) or names the same variant explicitly.
+        """
+        from repro.transport.registry import transport_key
+
+        default_key = transport_key(default)
+        return all(
+            flow.variant is None or transport_key(flow.variant) == default_key
+            for flow in self.flows
+        )
+
+
+#: Timeline actions understood by the scenario runner.  Flow actions target a
+#: 1-based flow index; node actions target a node id; link actions target an
+#: unordered node pair.
+EVENT_ACTIONS = (
+    "flow-start",
+    "flow-stop",
+    "node-down",
+    "node-up",
+    "link-down",
+    "link-up",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One scheduled intervention in a scenario's timeline.
+
+    Use the classmethod constructors (:meth:`flow_start`, :meth:`node_down`,
+    …) rather than spelling the action strings by hand.
+
+    Attributes:
+        time: Simulated time the event fires.
+        action: One of :data:`EVENT_ACTIONS`.
+        target: Flow index (1-based) for flow actions, node id otherwise.
+        peer: Second node id for link actions; ``None`` otherwise.
+    """
+
+    time: float
+    action: str
+    target: int
+    peer: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or not math.isfinite(self.time):
+            raise ConfigurationError("event time must be a non-negative finite time")
+        if self.action not in EVENT_ACTIONS:
+            raise ConfigurationError(
+                f"unknown timeline action {self.action!r}; "
+                f"known: {', '.join(EVENT_ACTIONS)}"
+            )
+        is_link = self.action.startswith("link-")
+        if is_link:
+            if self.peer is None or self.peer == self.target:
+                raise ConfigurationError(
+                    f"{self.action} events need two distinct node ids"
+                )
+        elif self.peer is not None:
+            raise ConfigurationError(f"{self.action} events take no peer node")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def flow_start(cls, time: float, flow: int) -> "ScenarioEvent":
+        """Start flow ``flow`` (1-based) at ``time`` (overrides its default)."""
+        return cls(time=time, action="flow-start", target=flow)
+
+    @classmethod
+    def flow_stop(cls, time: float, flow: int) -> "ScenarioEvent":
+        """Stop flow ``flow``'s application at ``time``."""
+        return cls(time=time, action="flow-stop", target=flow)
+
+    @classmethod
+    def node_down(cls, time: float, node: int) -> "ScenarioEvent":
+        """Silence ``node``'s radio at ``time`` (transmits vanish, nothing
+        is received); upper layers keep running and see a dead link."""
+        return cls(time=time, action="node-down", target=node)
+
+    @classmethod
+    def node_up(cls, time: float, node: int) -> "ScenarioEvent":
+        """Bring a downed node's radio back on the air at ``time``."""
+        return cls(time=time, action="node-up", target=node)
+
+    @classmethod
+    def link_down(cls, time: float, a: int, b: int) -> "ScenarioEvent":
+        """Block the (bidirectional) link between nodes ``a`` and ``b``."""
+        return cls(time=time, action="link-down", target=a, peer=b)
+
+    @classmethod
+    def link_up(cls, time: float, a: int, b: int) -> "ScenarioEvent":
+        """Unblock a previously blocked link."""
+        return cls(time=time, action="link-up", target=a, peer=b)
+
+    @property
+    def is_flow_event(self) -> bool:
+        """True for flow-start / flow-stop events."""
+        return self.action.startswith("flow-")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """The complete declarative description of one runnable scenario.
+
+    Attributes:
+        topology: Node placement (flow endpoints come from the workload).
+        workload: The traffic mix; ``None`` lifts the topology's own flows
+            into an all-defaults workload (the legacy behaviour).
+        config: Scenario-wide defaults (bandwidth, seed, routing, mobility,
+            metrics, run length); flows inherit anything they don't override.
+        timeline: Scheduled :class:`ScenarioEvent` interventions, executed
+            deterministically in (time, declaration order).
+        name: Optional scenario name (defaults to the topology name).
+    """
+
+    topology: Topology
+    workload: Optional[Workload] = None
+    config: ScenarioConfig = field(default_factory=ScenarioConfig)
+    timeline: Tuple[ScenarioEvent, ...] = ()
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workload is None:
+            object.__setattr__(
+                self, "workload", Workload.from_topology(self.topology))
+        elif not isinstance(self.workload, Workload):
+            object.__setattr__(self, "workload", Workload(tuple(self.workload)))
+        object.__setattr__(self, "timeline", tuple(self.timeline))
+        self._validate()
+
+    def _validate(self) -> None:
+        nodes = self.topology.positions
+        for index, flow in enumerate(self.workload, start=1):
+            for endpoint in flow.endpoints:
+                if endpoint not in nodes:
+                    raise ConfigurationError(
+                        f"flow {index} endpoint {endpoint} is not a node of "
+                        f"topology {self.topology.name!r}"
+                    )
+            # Fail fast on invalid per-flow variant/parameter combinations
+            # (e.g. an optimal-window flow without a window clamp).
+            flow_config = flow.effective_config(self.config)
+            get_transport(flow_config.variant).validate_config(flow_config)
+        for event in self.timeline:
+            if event.is_flow_event:
+                if not 1 <= event.target <= len(self.workload):
+                    raise ConfigurationError(
+                        f"timeline event {event.action!r} targets flow "
+                        f"{event.target}, but the workload has "
+                        f"{len(self.workload)} flow(s)"
+                    )
+            else:
+                for node in (event.target, event.peer):
+                    if node is not None and node not in nodes:
+                        raise ConfigurationError(
+                            f"timeline event {event.action!r} targets unknown "
+                            f"node {node}"
+                        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_legacy(cls, topology: Topology, config: ScenarioConfig,
+                    name: Optional[str] = None) -> "ScenarioSpec":
+        """Compile the legacy ``(topology, config)`` pair into a spec.
+
+        Every flow inherits all defaults, so running the compiled spec is
+        bit-identical to the pre-workload runner (golden traces pin this).
+        """
+        return cls(topology=topology, workload=Workload.from_topology(topology),
+                   config=config, name=name)
+
+    def with_config(self, **overrides: object) -> "ScenarioSpec":
+        """Copy of this spec with scenario-config fields overridden."""
+        return replace(self, config=replace(self.config, **overrides))
+
+    def sorted_timeline(self) -> Tuple[ScenarioEvent, ...]:
+        """Timeline events in execution order (time, then declaration order)."""
+        return tuple(sorted(self.timeline, key=lambda event: event.time))
+
+    @property
+    def display_name(self) -> str:
+        """The spec's name, falling back to the topology name."""
+        return self.name if self.name is not None else self.topology.name
+
+    def run(self, tracer=None):
+        """Build and run this spec; returns a
+        :class:`~repro.experiments.results.ScenarioResult`."""
+        # Imported lazily: the runner imports this module.
+        from repro.core.tracing import NULL_TRACER
+        from repro.experiments.runner import Scenario
+
+        return Scenario(self, tracer=tracer if tracer is not None else NULL_TRACER).run()
+
+
+class ScenarioBuilder:
+    """Fluent composer for :class:`ScenarioSpec`.
+
+    Every method returns the builder, so a whole scenario reads as one
+    expression (see the module docstring for a complete example).  ``build()``
+    validates and freezes the spec; the builder can keep being mutated to
+    derive variations afterwards.
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name
+        self._topology: Optional[Topology] = None
+        self._base_config: Optional[ScenarioConfig] = None
+        self._config_fields: Dict[str, object] = {}
+        self._flows: List[FlowSpec] = []
+        self._timeline: List[ScenarioEvent] = []
+
+    # -- topology -------------------------------------------------------
+    def topology(self, topology: Union[str, Topology],
+                 **params: object) -> "ScenarioBuilder":
+        """Set the topology: an instance, or a registered family name plus
+        builder parameters (``.topology("chain", hops=7)``)."""
+        if isinstance(topology, str):
+            from repro.topology.registry import build_topology
+
+            topology = build_topology(topology, **params)
+        elif params:
+            raise ConfigurationError(
+                "topology builder parameters require a family name, "
+                "not a prebuilt Topology"
+            )
+        self._topology = topology
+        return self
+
+    # -- configuration --------------------------------------------------
+    def base_config(self, config: ScenarioConfig) -> "ScenarioBuilder":
+        """Start from an existing :class:`ScenarioConfig` instead of defaults."""
+        self._base_config = config
+        return self
+
+    def configure(self, **fields: object) -> "ScenarioBuilder":
+        """Override scenario-config fields (accumulates across calls)."""
+        self._config_fields.update(fields)
+        return self
+
+    # -- workload -------------------------------------------------------
+    def flow(self, source: int, destination: int, **spec: object) -> "ScenarioBuilder":
+        """Append a :class:`FlowSpec`; keyword arguments are its fields."""
+        self._flows.append(FlowSpec(source=source, destination=destination, **spec))
+        return self
+
+    def flows_from_topology(self, **common: object) -> "ScenarioBuilder":
+        """Append one flow per topology flow (requires the topology first)."""
+        if self._topology is None:
+            raise ConfigurationError("set the topology before flows_from_topology()")
+        for source, destination in self._topology.flow_endpoints():
+            self.flow(source, destination, **common)
+        return self
+
+    # -- timeline -------------------------------------------------------
+    def event(self, event: ScenarioEvent) -> "ScenarioBuilder":
+        """Append a timeline event."""
+        self._timeline.append(event)
+        return self
+
+    def start_flow(self, flow: int, at: float) -> "ScenarioBuilder":
+        """Start flow ``flow`` (1-based) at time ``at``."""
+        return self.event(ScenarioEvent.flow_start(at, flow))
+
+    def stop_flow(self, flow: int, at: float) -> "ScenarioBuilder":
+        """Stop flow ``flow`` (1-based) at time ``at``."""
+        return self.event(ScenarioEvent.flow_stop(at, flow))
+
+    def node_down(self, node: int, at: float) -> "ScenarioBuilder":
+        """Silence ``node``'s radio at time ``at``."""
+        return self.event(ScenarioEvent.node_down(at, node))
+
+    def node_up(self, node: int, at: float) -> "ScenarioBuilder":
+        """Restore ``node``'s radio at time ``at``."""
+        return self.event(ScenarioEvent.node_up(at, node))
+
+    def link_down(self, a: int, b: int, at: float) -> "ScenarioBuilder":
+        """Block the link between ``a`` and ``b`` at time ``at``."""
+        return self.event(ScenarioEvent.link_down(at, a, b))
+
+    def link_up(self, a: int, b: int, at: float) -> "ScenarioBuilder":
+        """Unblock the link between ``a`` and ``b`` at time ``at``."""
+        return self.event(ScenarioEvent.link_up(at, a, b))
+
+    # -- finalization ---------------------------------------------------
+    def build(self) -> ScenarioSpec:
+        """Validate and freeze the composed :class:`ScenarioSpec`."""
+        if self._topology is None:
+            raise ConfigurationError("a scenario needs a topology")
+        base = self._base_config if self._base_config is not None else ScenarioConfig()
+        config = replace(base, **self._config_fields) if self._config_fields else base
+        workload = (Workload(tuple(self._flows)) if self._flows
+                    else Workload.from_topology(self._topology))
+        return ScenarioSpec(
+            topology=self._topology,
+            workload=workload,
+            config=config,
+            timeline=tuple(self._timeline),
+            name=self.name,
+        )
+
+    def run(self, tracer=None):
+        """``build()`` and run; returns a ``ScenarioResult``."""
+        return self.build().run(tracer=tracer)
+
+
+def mixed_transport_workload(
+    topology: Topology,
+    primary: VariantLike = "newreno",
+    secondary: VariantLike = "vegas",
+    secondary_flows: int = 0,
+    **common: object,
+) -> Workload:
+    """Workload where the last ``secondary_flows`` flows run ``secondary``.
+
+    A module-level (hence picklable) workload factory for traffic-mix sweeps:
+    sweep the ``workload.secondary_flows`` axis of a
+    :class:`~repro.experiments.study.SweepSpec` to vary e.g. the fraction of
+    Vegas flows competing with NewReno flows.
+
+    Args:
+        topology: Provides the flow endpoints.
+        primary: Variant of the leading flows.
+        secondary: Variant of the trailing ``secondary_flows`` flows.
+        secondary_flows: How many trailing flows run ``secondary``; clamped
+            to the number of topology flows.
+        **common: Extra :class:`FlowSpec` fields applied to every flow.
+    """
+    if secondary_flows < 0:
+        raise ConfigurationError("secondary_flows must be non-negative")
+    endpoints = topology.flow_endpoints()
+    cut = len(endpoints) - min(secondary_flows, len(endpoints))
+    return Workload(flows=tuple(
+        FlowSpec(source=source, destination=destination,
+                 variant=(primary if index < cut else secondary), **common)
+        for index, (source, destination) in enumerate(endpoints)
+    ))

@@ -237,7 +237,7 @@ class Ieee80211Mac(PhyListener):
             return  # virtual carrier says the medium is reserved
         nav = max(0.0, mac.duration - self.timing.cts_duration - self.timing.sifs)
         cts = make_cts(self.node_id, mac.src, nav)
-        self.stats.cts_tx += 1
+        self.stats._cts_tx.value += 1
         self.sim.schedule(
             self.timing.sifs, self.radio.transmit, cts, self.timing.cts_duration
         )
@@ -255,12 +255,12 @@ class Ieee80211Mac(PhyListener):
             return
         # Unicast: acknowledge after SIFS regardless of our own state.
         ack = make_ack(self.node_id, mac.src)
-        self.stats.ack_tx += 1
+        self.stats._ack_tx.value += 1
         self.sim.schedule(
             self.timing.sifs, self.radio.transmit, ack, self.timing.ack_duration
         )
         if self._is_duplicate(mac.src, packet.uid):
-            self.stats.duplicates_suppressed += 1
+            self.stats._duplicates_suppressed.value += 1
             return
         self._deliver_up(packet)
 
@@ -268,7 +268,7 @@ class Ieee80211Mac(PhyListener):
         if self.state is not MacState.WAIT_ACK or self._current is None:
             return
         self._response_timer.cancel()
-        self.stats.data_tx_success += 1
+        self.stats._data_tx_success.value += 1
         self._finish_current(success=True)
 
     def _is_duplicate(self, src: int, uid: int) -> bool:
@@ -284,7 +284,7 @@ class Ieee80211Mac(PhyListener):
         # The MAC header is left attached so the routing layer can learn the
         # previous hop (needed by AODV for reverse routes); routing replaces it
         # when the packet is forwarded.
-        self.stats.frames_delivered_up += 1
+        self.stats._frames_delivered_up.value += 1
         if self.listener is not None:
             self.listener.on_mac_delivery(packet.copy())
 
@@ -305,7 +305,7 @@ class Ieee80211Mac(PhyListener):
         frame_size = self._current.network_size + MacHeader.SIZE_DATA
         duration = self.timing.data_duration(frame_size)
         self._current.require_mac().duration = 0.0
-        self.stats.broadcasts_sent += 1
+        self.stats._broadcasts_sent.value += 1
         if self.tracer.enabled:
             self.tracer.record(self.sim.now, "mac", "broadcast", node=self.node_id,
                                uid=self._current.uid)
@@ -321,7 +321,7 @@ class Ieee80211Mac(PhyListener):
         nav = self.timing.nav_for_rts(frame_size)
         rts = make_rts(self.node_id, self._current_next_hop, nav)
         self.state = MacState.WAIT_CTS
-        self.stats.rts_tx += 1
+        self.stats._rts_tx.value += 1
         if self.tracer.enabled:
             self.tracer.record(self.sim.now, "mac", "rts", node=self.node_id,
                                dst=self._current_next_hop, uid=self._current.uid,
@@ -342,7 +342,7 @@ class Ieee80211Mac(PhyListener):
             retry=self._long_retries > 0,
         )
         self.state = MacState.WAIT_ACK
-        self.stats.data_tx_attempts += 1
+        self.stats._data_tx_attempts.value += 1
         if self.tracer.enabled:
             self.tracer.record(self.sim.now, "mac", "data", node=self.node_id,
                                dst=self._current_next_hop, uid=self._current.uid)
@@ -356,7 +356,7 @@ class Ieee80211Mac(PhyListener):
         if self._current is None:
             return
         if self.state is MacState.WAIT_CTS:
-            self.stats.rts_timeouts += 1
+            self.stats._rts_timeouts.value += 1
             self._short_retries += 1
             if self.tracer.enabled:
                 self.tracer.record(self.sim.now, "mac", "cts_timeout", node=self.node_id,
@@ -365,7 +365,7 @@ class Ieee80211Mac(PhyListener):
                 self._drop_current()
                 return
         elif self.state is MacState.WAIT_ACK:
-            self.stats.ack_timeouts += 1
+            self.stats._ack_timeouts.value += 1
             self._long_retries += 1
             if self.tracer.enabled:
                 self.tracer.record(self.sim.now, "mac", "ack_timeout", node=self.node_id,
@@ -381,7 +381,7 @@ class Ieee80211Mac(PhyListener):
         self._begin_access()
 
     def _drop_current(self) -> None:
-        self.stats.data_dropped_retry += 1
+        self.stats._data_dropped_retry.value += 1
         if self.tracer.enabled:
             self.tracer.record(self.sim.now, "mac", "retry_drop", node=self.node_id,
                                uid=self._current.uid if self._current else None)

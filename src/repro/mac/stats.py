@@ -8,10 +8,11 @@ Since the metrics refactor, :class:`MacStats` is a *view* over
 :class:`repro.metrics.instruments.Counter` instruments registered in the
 scenario's :class:`~repro.metrics.registry.MetricsRegistry` under
 ``mac.node<N>.<field>``.  The historical public fields keep working through
-thin compatibility properties: reads return the counter value and writes
-overwrite it.  Direct mutation (``stats.rts_tx += 1``) is **deprecated** for
-external callers — increment the underlying registry counters instead; only
-the owning MAC should update these numbers.
+thin compatibility properties: reads return the counter value; writes
+(``stats.rts_tx += 1``) emit a :class:`DeprecationWarning` and should be
+replaced by incrementing the underlying registry counters — only the owning
+MAC updates these numbers.  Test fixtures can pass initial values as keyword
+arguments instead.
 """
 
 from __future__ import annotations

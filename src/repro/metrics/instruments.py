@@ -23,6 +23,7 @@ hot-path increment costs no more than the dataclass field it replaced.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Union
 
 Number = Union[int, float]
@@ -148,14 +149,24 @@ def instrument_property(slot: str, doc: str = "") -> property:
 
     The stats-view classes (``MacStats``, ``FlowStats``, …) use this to keep
     their historical public fields working on top of registry instruments:
-    reads return the instrument value, writes (deprecated, kept for
-    backward compatibility) overwrite it.
+    reads return the instrument value.  Writes emit a
+    :class:`DeprecationWarning` — the owning layers mutate the underlying
+    instruments directly, and external callers should do the same (or use
+    keyword construction for test fixtures).  The write still lands so
+    legacy code keeps functioning while it migrates.
     """
 
     def fget(self) -> Number:
         return getattr(self, slot).value
 
     def fset(self, value: Number) -> None:
+        warnings.warn(
+            f"setting {type(self).__name__}.{slot.lstrip('_')} directly is "
+            "deprecated; mutate the underlying metrics instrument instead "
+            "(or pass initial values at construction)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         getattr(self, slot).value = value
 
     return property(fget, fset, doc=doc)

@@ -148,9 +148,15 @@ class MobilityStats:
     _COUNTERS = ("updates", "position_changes", "links_broken", "links_formed")
 
     def __init__(self, registry: MetricsRegistry = NULL_METRICS,
-                 prefix: str = "mobility") -> None:
+                 prefix: str = "mobility", **initial: int) -> None:
+        unknown = set(initial) - set(self._COUNTERS)
+        if unknown:
+            raise TypeError(f"unknown MobilityStats fields: {sorted(unknown)}")
         for field in self._COUNTERS:
-            setattr(self, f"_{field}", registry.counter(f"{prefix}.{field}"))
+            counter = registry.counter(f"{prefix}.{field}")
+            if field in initial:
+                counter.value = initial[field]
+            setattr(self, f"_{field}", counter)
 
     updates = instrument_property("_updates", "Periodic position updates run.")
     position_changes = instrument_property(
@@ -245,8 +251,8 @@ class MobilityManager:
         if moved:
             channel.set_positions(moved)
         stats = self.stats
-        stats.updates += 1
-        stats.position_changes += len(moved)
+        stats._updates.value += 1
+        stats._position_changes.value += len(moved)
         self._diff_links(moved)
         self.sim.schedule(self.update_interval, self._update)
 
@@ -256,8 +262,8 @@ class MobilityManager:
         broken = sorted(self._links - links)
         formed = sorted(links - self._links)
         self._links = links
-        self.stats.links_broken += len(broken)
-        self.stats.links_formed += len(formed)
+        self.stats._links_broken.value += len(broken)
+        self.stats._links_formed.value += len(formed)
         if not self.tracer.enabled:
             return
         self.tracer.record(self.sim.now, "mobility", "update",

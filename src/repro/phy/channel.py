@@ -16,7 +16,7 @@ and keep the fully cached fast path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.core.engine import Simulator
 from repro.core.errors import ConfigurationError
@@ -65,6 +65,10 @@ class WirelessChannel:
         # radio inside interference range, in registration order.  Lets
         # broadcast() skip out-of-range radios without touching them.
         self._delivery_cache: Dict[int, List[Tuple[Radio, float, bool, float]]] = {}
+        # Scripted impairments (scenario-timeline events): downed nodes emit
+        # and receive nothing; blocked (unordered) node pairs exchange nothing.
+        self._down_nodes: Set[int] = set()
+        self._blocked_links: Set[Tuple[int, int]] = set()
 
     # ------------------------------------------------------------------
     # Registration / topology
@@ -130,6 +134,58 @@ class WirelessChannel:
         return list(self._radios)
 
     # ------------------------------------------------------------------
+    # Scripted impairments (scenario-timeline node/link events)
+    # ------------------------------------------------------------------
+    def set_node_down(self, node_id: int, down: bool = True) -> None:
+        """Take a node's radio off the air (or bring it back).
+
+        A downed node's transmissions reach nobody and nothing arriving is
+        delivered to it — radio silence at the medium.  The node's own stack
+        keeps running, so its neighbours see MAC retry failures and (with
+        AODV) route errors, exactly as if the node had moved out of range.
+        """
+        if node_id not in self._radios:
+            raise ConfigurationError(f"unknown node {node_id}")
+        changed = (node_id in self._down_nodes) != down
+        if not changed:
+            return
+        if down:
+            self._down_nodes.add(node_id)
+        else:
+            self._down_nodes.discard(node_id)
+        self._delivery_cache.clear()
+
+    def is_node_down(self, node_id: int) -> bool:
+        """True while ``node_id`` is scripted off the air."""
+        return node_id in self._down_nodes
+
+    def set_link_blocked(self, a: int, b: int, blocked: bool = True) -> None:
+        """Block (or unblock) the bidirectional link between two nodes.
+
+        A blocked pair neither decodes nor interferes with each other —
+        a scripted obstruction between exactly these two nodes.
+        """
+        for node_id in (a, b):
+            if node_id not in self._radios:
+                raise ConfigurationError(f"unknown node {node_id}")
+        if a == b:
+            raise ConfigurationError("a link needs two distinct nodes")
+        key = (a, b) if a < b else (b, a)
+        changed = (key in self._blocked_links) != blocked
+        if not changed:
+            return
+        if blocked:
+            self._blocked_links.add(key)
+        else:
+            self._blocked_links.discard(key)
+        self._delivery_cache.clear()
+
+    def is_link_blocked(self, a: int, b: int) -> bool:
+        """True while the ``a``–``b`` link is scripted blocked."""
+        key = (a, b) if a < b else (b, a)
+        return key in self._blocked_links
+
+    # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------
     def broadcast(self, sender: Radio, packet: Packet, duration: float) -> None:
@@ -159,12 +215,17 @@ class WirelessChannel:
         the radio table directly — golden traces depend on that order.
         """
         deliveries: List[Tuple[Radio, float, bool, float]] = []
-        for receiver_id, radio in self._radios.items():
-            if receiver_id == sender_id:
-                continue
-            receivable, interferes, delay, power = self._link(sender_id, receiver_id)
-            if interferes:
-                deliveries.append((radio, delay, receivable, power))
+        if sender_id not in self._down_nodes:
+            for receiver_id, radio in self._radios.items():
+                if receiver_id == sender_id:
+                    continue
+                if receiver_id in self._down_nodes:
+                    continue
+                if self._blocked_links and self.is_link_blocked(sender_id, receiver_id):
+                    continue
+                receivable, interferes, delay, power = self._link(sender_id, receiver_id)
+                if interferes:
+                    deliveries.append((radio, delay, receivable, power))
         self._delivery_cache[sender_id] = deliveries
         return deliveries
 

@@ -76,12 +76,21 @@ class RadioStats:
     _GAUGES = ("time_transmitting", "time_receiving")
 
     def __init__(self, registry: MetricsRegistry = NULL_METRICS,
-                 prefix: str = "phy") -> None:
+                 prefix: str = "phy", **initial: float) -> None:
+        unknown = set(initial) - set(self._COUNTERS) - set(self._GAUGES)
+        if unknown:
+            raise TypeError(f"unknown RadioStats fields: {sorted(unknown)}")
         for field in self._COUNTERS:
             unit = "bytes" if field == "bytes_sent" else "frames"
-            setattr(self, f"_{field}", registry.counter(f"{prefix}.{field}", unit=unit))
+            counter = registry.counter(f"{prefix}.{field}", unit=unit)
+            if field in initial:
+                counter.value = initial[field]
+            setattr(self, f"_{field}", counter)
         for field in self._GAUGES:
-            setattr(self, f"_{field}", registry.gauge(f"{prefix}.{field}", unit="s"))
+            gauge = registry.gauge(f"{prefix}.{field}", unit="s")
+            if field in initial:
+                gauge.value = initial[field]
+            setattr(self, f"_{field}", gauge)
 
     frames_sent = instrument_property("_frames_sent", "Frames transmitted.")
     bytes_sent = instrument_property("_bytes_sent", "Bytes transmitted.")
@@ -142,13 +151,13 @@ class Radio:
         now = self.sim.now
         self._transmitting_until = max(self._transmitting_until, now + duration)
         stats = self.stats
-        stats.frames_sent += 1
-        stats.bytes_sent += packet.size
-        stats.time_transmitting += duration
+        stats._frames_sent.value += 1
+        stats._bytes_sent.value += packet.size
+        stats._time_transmitting.value += duration
         # Transmitting corrupts anything we were in the middle of receiving.
         if self._locked is not None:
             self._locked.corrupted = True
-            stats.frames_corrupted += 1
+            stats._frames_corrupted.value += 1
             self._locked = None
         if self.tracer.enabled:
             self.tracer.record(now, "phy", "tx_start", node=self.node_id, uid=packet.uid,
@@ -195,10 +204,10 @@ class Radio:
         else:
             # Overlap with the locked signal: capture or collision.
             if locked.power / max(power, 1e-30) >= self.capture_threshold:
-                self.stats.frames_captured += 1
+                self.stats._frames_captured.value += 1
                 signal.corrupted = True
             else:
-                self.stats.frames_corrupted += 1
+                self.stats._frames_corrupted.value += 1
                 if self.tracer.enabled:
                     self.tracer.record(now, "phy", "collision", node=self.node_id,
                                        ongoing=locked.packet.uid, new=packet.uid)
@@ -216,13 +225,13 @@ class Radio:
             self._locked = None
             # The radio was listening to this signal for its whole duration
             # (energy accounting counts overheard and corrupted frames too).
-            self.stats.time_receiving += signal.duration
+            self.stats._time_receiving.value += signal.duration
             if signal.corrupted or self.is_transmitting:
                 pass
             elif not signal.receivable:
-                self.stats.frames_below_threshold += 1
+                self.stats._frames_below_threshold.value += 1
             else:
-                self.stats.frames_received += 1
+                self.stats._frames_received.value += 1
                 if self.tracer.enabled:
                     self.tracer.record(self.sim.now, "phy", "rx_ok", node=self.node_id,
                                        uid=signal.packet.uid)

@@ -48,10 +48,15 @@ class RoutingStats:
     )
 
     def __init__(self, registry: MetricsRegistry = NULL_METRICS,
-                 prefix: str = "route") -> None:
+                 prefix: str = "route", **initial: int) -> None:
+        unknown = set(initial) - set(self._COUNTERS)
+        if unknown:
+            raise TypeError(f"unknown RoutingStats fields: {sorted(unknown)}")
         for field in self._COUNTERS:
-            setattr(self, f"_{field}",
-                    registry.counter(f"{prefix}.{field}", unit="packets"))
+            counter = registry.counter(f"{prefix}.{field}", unit="packets")
+            if field in initial:
+                counter.value = initial[field]
+            setattr(self, f"_{field}", counter)
 
     packets_originated = instrument_property(
         "_packets_originated", "Locally originated data packets routed.")
@@ -119,7 +124,7 @@ class RoutingProtocol(MacListener, abc.ABC):
         attach_data_header(packet, src=self.node_id, dst=next_hop, nav=0.0, retry=False)
         accepted = self.queue.enqueue(packet)
         if not accepted:
-            self.stats.packets_dropped_queue_full += 1
+            self.stats._packets_dropped_queue_full.value += 1
             self.tracer.record(self.sim.now, "route", "queue_drop", node=self.node_id,
                                uid=packet.uid)
         return accepted
@@ -149,7 +154,7 @@ class RoutingProtocol(MacListener, abc.ABC):
         """Deliver packets addressed to this node, otherwise forward them."""
         ip = packet.require_ip()
         if ip.dst == self.node_id or ip.dst == BROADCAST:
-            self.stats.packets_delivered += 1
+            self.stats._packets_delivered.value += 1
             self.deliver_local(packet)
         else:
             self.forward_packet(packet)

@@ -20,7 +20,14 @@ from repro.phy.propagation import Position, RangePropagationModel
 
 @dataclass(frozen=True)
 class FlowSpec:
-    """A traffic flow between two nodes."""
+    """A traffic flow between two nodes (endpoint level).
+
+    Topology flows only name *where* traffic goes.  The experiment-level
+    :class:`repro.experiments.workload.FlowSpec` adds *how* (transport
+    variant, application timing, per-flow parameter overrides); topology
+    flows are lifted into workload flows by
+    :meth:`repro.experiments.workload.Workload.from_topology`.
+    """
 
     source: int
     destination: int
@@ -28,6 +35,11 @@ class FlowSpec:
     def __post_init__(self) -> None:
         if self.source == self.destination:
             raise TopologyError("flow source and destination must differ")
+
+    @property
+    def endpoints(self) -> Tuple[int, int]:
+        """The ``(source, destination)`` node pair."""
+        return (self.source, self.destination)
 
 
 @dataclass
@@ -54,6 +66,15 @@ class Topology:
     def node_ids(self) -> List[int]:
         """Sorted node identifiers."""
         return sorted(self.positions)
+
+    def flow_endpoints(self) -> List[Tuple[int, int]]:
+        """The ``(source, destination)`` pairs of every flow, in order.
+
+        This is the seam the workload layer builds on: anything exposing
+        ``source``/``destination`` attributes (topology flow specs, workload
+        flow specs) can populate ``flows``.
+        """
+        return [(flow.source, flow.destination) for flow in self.flows]
 
     def connectivity_graph(
         self, propagation: RangePropagationModel | None = None

@@ -56,9 +56,17 @@ class TransportBuildContext:
         sim: The scenario's simulator.
         flow: Source/destination addresses of the flow.
         stats: Per-flow statistics collector shared by sender and sink.
-        config: The full scenario configuration.
+        config: The *flow-effective* scenario configuration: the scenario-wide
+            config with this flow's
+            :class:`~repro.experiments.workload.FlowSpec` overrides (variant,
+            Vegas α, window clamp, UDP interval, TCP parameters, ACK
+            thinning) already applied, so factories read one config and need
+            not know about per-flow overrides.
         timing: MAC timing derived from the configured bandwidth.
         tracer: Scenario-wide tracer.
+        data_limit: Optional data-packet budget of the flow
+            (``FlowSpec.packet_limit``); TCP senders stop offering new data
+            and CBR sources stop pacing once it is reached.
     """
 
     sim: "Simulator"
@@ -67,6 +75,7 @@ class TransportBuildContext:
     config: "ScenarioConfig"
     timing: "MacTiming"
     tracer: "Tracer"
+    data_limit: Optional[int] = None
 
 
 #: Factory building a transport agent (sender or sink) for one flow.
@@ -94,7 +103,8 @@ def paced_udp_application(ctx: TransportBuildContext, sender: object,
     interval = ctx.config.udp_interval or default_udp_interval(
         ctx.timing, ctx.config.tcp.mss
     )
-    return CbrApplication(ctx.sim, sender, interval=interval, start_time=start_time)
+    return CbrApplication(ctx.sim, sender, interval=interval, start_time=start_time,
+                          packet_limit=ctx.data_limit)
 
 
 @dataclass(frozen=True)
@@ -252,17 +262,19 @@ def _thinning_sink(ctx: TransportBuildContext) -> AckThinningSink:
 
 def _newreno_sender(ctx: TransportBuildContext) -> NewRenoSender:
     return NewRenoSender(ctx.sim, ctx.flow, ctx.stats, config=ctx.config.tcp,
-                         tracer=ctx.tracer)
+                         data_limit_packets=ctx.data_limit, tracer=ctx.tracer)
 
 
 def _newreno_clamped_sender(ctx: TransportBuildContext) -> NewRenoSender:
     return NewRenoSender(ctx.sim, ctx.flow, ctx.stats, config=ctx.config.tcp,
-                         max_cwnd=ctx.config.newreno_max_cwnd, tracer=ctx.tracer)
+                         max_cwnd=ctx.config.newreno_max_cwnd,
+                         data_limit_packets=ctx.data_limit, tracer=ctx.tracer)
 
 
 def _vegas_sender(ctx: TransportBuildContext) -> VegasSender:
     return VegasSender(ctx.sim, ctx.flow, ctx.stats, config=ctx.config.tcp,
-                       parameters=ctx.config.vegas_parameters(), tracer=ctx.tracer)
+                       parameters=ctx.config.vegas_parameters(),
+                       data_limit_packets=ctx.data_limit, tracer=ctx.tracer)
 
 
 def _udp_sender(ctx: TransportBuildContext) -> UdpSender:

@@ -81,9 +81,55 @@ class TestScenarioWiring:
                                 packet_target=660, batch_count=11)
         assert scenario.flow_stats[0].batch_size == 660 // (6 * 11)
 
+    def test_flow_packet_shares_distribute_remainder_exactly(self):
+        # 1000 packets over 6 flows × 11 batches is not divisible: the
+        # remainder must be spread over the leading flows, never dropped.
+        scenario = scenario_for(TransportVariant.VEGAS, topology=grid_topology(),
+                                packet_target=1000, batch_count=11)
+        shares = scenario._flow_packet_shares()
+        assert sum(shares) == 1000
+        assert shares == [167, 167, 167, 167, 166, 166]
+        # Every flow's batch size is derived from its own share.
+        assert [stats.batch_size for stats in scenario.flow_stats] == [
+            share // 11 for share in shares]
+
+    def test_flow_packet_shares_sum_for_prime_targets(self):
+        scenario = scenario_for(TransportVariant.VEGAS, topology=grid_topology(),
+                                packet_target=997, batch_count=11)
+        shares = scenario._flow_packet_shares()
+        assert sum(shares) == 997
+        assert max(shares) - min(shares) <= 1
+
     def test_udp_interval_override_used(self):
         scenario = scenario_for(TransportVariant.PACED_UDP, udp_interval=0.042)
         assert scenario.applications[0].interval == pytest.approx(0.042)
+
+
+class TestRunnerCli:
+    def test_list_prints_every_preset_sorted(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--list"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == sorted(lines)
+        assert set(available_scenarios()) == set(lines)
+
+    def test_unknown_scenario_suggests_close_matches(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["chain7-vegs-2mbps"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "did you mean" in err
+        assert "chain7-vegas-2mbps" in err
+
+    def test_unknown_scenario_without_match_still_points_at_list(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["zzzzzzzzzz"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" not in err
+        assert "--list" in err
 
 
 class TestScenarioExecution:
@@ -127,6 +173,13 @@ class TestNamedScenarios:
         with pytest.raises(ConfigurationError):
             build_named_scenario("chain99-cubic")
 
+    def test_unknown_name_suggests_close_matches(self):
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            build_named_scenario("chain7-vegs-2mbps")
+        with pytest.raises(ConfigurationError) as excinfo:
+            build_named_scenario("chain7-vegas-2mbs")
+        assert "chain7-vegas-2mbps" in str(excinfo.value)
+
     def test_every_registered_transport_has_presets_for_every_topology(self):
         from repro.transport.registry import transport_profiles
 
@@ -156,6 +209,18 @@ class TestNamedScenarios:
                                         packet_target=30)
         assert scenario.tracer is tracer
         assert all(node.tracer is tracer for node in scenario.nodes.values())
+
+    def test_mixed_presets_registered(self):
+        names = available_scenarios()
+        assert "chain7-mixed-newreno-vegas" in names
+        assert "random50-tcp-with-udp-background" in names
+
+    def test_mixed_preset_overrides_apply_to_spec_config(self):
+        scenario = build_named_scenario("chain7-mixed-newreno-vegas",
+                                        packet_target=33, seed=8)
+        assert scenario.config.packet_target == 33
+        assert scenario.config.seed == 8
+        assert len(scenario.workload) == 2
 
     def test_presets_follow_dynamic_transport_registrations(self):
         from repro.transport.registry import (

@@ -59,6 +59,6 @@ class TestCounterDefaults:
         assert stats.duplicates_suppressed == 0
 
     def test_counters_are_independent_per_instance(self):
-        a, b = MacStats(), MacStats()
-        a.rts_tx += 3
+        a, b = MacStats(rts_tx=3), MacStats()
+        assert a.rts_tx == 3
         assert b.rts_tx == 0

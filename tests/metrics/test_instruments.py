@@ -87,8 +87,10 @@ class TestInstrumentProperty:
             c = instrument_property("_c", "doc")
 
         view = View()
-        view.c += 2
+        with pytest.warns(DeprecationWarning):
+            view.c += 2
         assert view.c == 2
         assert view._c.value == 2
-        view.c = 10
+        with pytest.warns(DeprecationWarning):
+            view.c = 10
         assert view._c.value == 10

@@ -1,9 +1,11 @@
 """The per-layer stats classes as registry-backed views.
 
-Pins the two contracts of the metrics refactor: (1) the historical public
-fields of ``MacStats``/``FlowStats``/``RoutingStats``/``RadioStats``/
-``MobilityStats`` keep working (read and legacy write), and (2) the same
-numbers are visible through the registry under hierarchical names.
+Pins the contracts of the metrics refactor: (1) the historical public fields
+of ``MacStats``/``FlowStats``/``RoutingStats``/``RadioStats``/
+``MobilityStats`` keep working for reads, (2) the same numbers are visible
+through the registry under hierarchical names, and (3) legacy *writes*
+through the compatibility properties emit a :class:`DeprecationWarning`
+(keyword construction is the supported way to seed a view with values).
 """
 
 from __future__ import annotations
@@ -22,9 +24,9 @@ class TestMacStatsView:
     def test_counters_visible_through_registry(self):
         registry = MetricsRegistry()
         stats = MacStats(registry, prefix="mac.node3")
-        stats.rts_tx += 2
-        stats.data_dropped_retry += 1
-        assert registry.get("mac.node3.rts_tx").value == 2
+        registry.get("mac.node3.rts_tx").inc(2)
+        registry.get("mac.node3.data_dropped_retry").inc()
+        assert stats.rts_tx == 2
         assert registry.total("mac.node*.data_dropped_retry") == 1
 
     def test_keyword_initialisation(self):
@@ -37,9 +39,9 @@ class TestMacStatsView:
 
     def test_two_nodes_do_not_collide(self):
         registry = MetricsRegistry()
-        a = MacStats(registry, prefix="mac.node0")
+        a = MacStats(registry, prefix="mac.node0", rts_tx=5)
         b = MacStats(registry, prefix="mac.node1")
-        a.rts_tx += 5
+        assert a.rts_tx == 5
         assert b.rts_tx == 0
         assert registry.total("mac.node*.rts_tx") == 5
 
@@ -47,12 +49,16 @@ class TestMacStatsView:
 class TestFlowStatsView:
     def test_counters_visible_through_registry(self):
         registry = MetricsRegistry()
-        stats = FlowStats(flow_id=1, batch_size=10, registry=registry)
+        stats = FlowStats(flow_id=1, batch_size=10, registry=registry,
+                          retransmissions=2)
         stats.record_delivery(now=1.0, payload_bytes=1460)
-        stats.retransmissions += 2
         assert registry.get("tcp.flow1.packets_delivered").value == 1
         assert registry.get("tcp.flow1.bytes_delivered").value == 1460
         assert registry.get("tcp.flow1.retransmissions").value == 2
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(TypeError):
+            FlowStats(flow_id=1, not_a_field=1)
 
     def test_series_disabled_by_default(self):
         registry = MetricsRegistry(enabled=False)
@@ -76,36 +82,35 @@ class TestFlowStatsView:
         assert stats.average_window(now=1.0) == pytest.approx(1.5)
 
     def test_stand_alone_instances_stay_independent(self):
-        a = FlowStats(flow_id=1)
+        a = FlowStats(flow_id=1, packets_sent=3)
         b = FlowStats(flow_id=1)
-        a.packets_sent += 3
+        assert a.packets_sent == 3
         assert b.packets_sent == 0
 
 
 class TestRoutingStatsView:
     def test_new_discovery_and_rerr_counters(self):
         registry = MetricsRegistry()
-        stats = RoutingStats(registry, prefix="route.node2")
-        stats.route_discoveries += 1
-        stats.rerrs_sent += 2
+        stats = RoutingStats(registry, prefix="route.node2",
+                             route_discoveries=1, rerrs_sent=2)
+        assert stats.route_discoveries == 1
         assert registry.get("route.node2.route_discoveries").value == 1
         assert registry.get("route.node2.rerrs_sent").value == 2
 
     def test_false_route_failures_total(self):
         registry = MetricsRegistry()
         for node in range(3):
-            stats = RoutingStats(registry, prefix=f"route.node{node}")
-            stats.false_route_failures += node
+            RoutingStats(registry, prefix=f"route.node{node}",
+                         false_route_failures=node)
         assert registry.total("route.node*.false_route_failures") == 3
 
 
 class TestRadioStatsView:
     def test_counters_and_airtime_gauges(self):
         registry = MetricsRegistry()
-        stats = RadioStats(registry, prefix="phy.node0")
-        stats.frames_sent += 1
-        stats.time_transmitting += 0.002
-        stats.time_receiving += 0.004
+        stats = RadioStats(registry, prefix="phy.node0", frames_sent=1,
+                           time_transmitting=0.002, time_receiving=0.004)
+        assert stats.frames_sent == 1
         assert registry.get("phy.node0.frames_sent").value == 1
         assert registry.get("phy.node0.time_transmitting").value == pytest.approx(0.002)
         assert registry.get("phy.node0.time_receiving").kind == "gauge"
@@ -114,8 +119,39 @@ class TestRadioStatsView:
 class TestMobilityStatsView:
     def test_churn_counters(self):
         registry = MetricsRegistry()
-        stats = MobilityStats(registry)
-        stats.links_broken += 2
-        stats.links_formed += 1
+        stats = MobilityStats(registry, links_broken=2, links_formed=1)
+        assert stats.links_broken == 2
         assert registry.get("mobility.links_broken").value == 2
         assert registry.get("mobility.links_formed").value == 1
+
+
+class TestDeprecatedDirectMutation:
+    """Writing a stats field through the compatibility property warns."""
+
+    @pytest.mark.parametrize("make,field", [
+        (lambda: MacStats(), "rts_tx"),
+        (lambda: FlowStats(flow_id=1), "retransmissions"),
+        (lambda: RoutingStats(), "rerrs_sent"),
+        (lambda: RadioStats(), "frames_sent"),
+        (lambda: MobilityStats(), "links_broken"),
+    ])
+    def test_setter_emits_deprecation_warning(self, make, field):
+        stats = make()
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            setattr(stats, field, 7)
+        # The legacy write still lands while callers migrate.
+        assert getattr(stats, field) == 7
+
+    def test_augmented_assignment_warns_once_per_write(self):
+        stats = MacStats()
+        with pytest.warns(DeprecationWarning) as captured:
+            stats.rts_tx += 1
+        assert len(captured) == 1
+        assert stats.rts_tx == 1
+
+    def test_reads_never_warn(self, recwarn):
+        stats = MacStats(data_tx_success=3)
+        assert stats.data_tx_success == 3
+        assert stats.drop_probability == 0.0
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]

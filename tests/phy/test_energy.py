@@ -155,10 +155,8 @@ class TestRadioTransitionAccounting:
 
 class TestEnergyGauges:
     def _stats(self, registry, node_id, tx, rx):
-        stats = RadioStats(registry, prefix=f"phy.node{node_id}")
-        stats.time_transmitting = tx
-        stats.time_receiving = rx
-        return stats
+        return RadioStats(registry, prefix=f"phy.node{node_id}",
+                          time_transmitting=tx, time_receiving=rx)
 
     def test_set_energy_gauges(self):
         registry = MetricsRegistry()
