@@ -27,12 +27,19 @@ from benchmarks.perf.scenario_bench import (
     STRESS_PACKET_TARGET,
     run_scenario_benchmarks,
 )
+from benchmarks.perf.study_bench import (
+    STUDY_PACKET_TARGET,
+    STUDY_REPLICATIONS,
+    run_study_benchmarks,
+)
 
 #: Smoke-mode budgets: enough events to exercise every code path, small enough
 #: for a CI job measured in seconds.
 SMOKE_EVENTS = 20_000
 SMOKE_PACKET_TARGET = 40
 SMOKE_CHURN_ROUNDS = 20
+SMOKE_STUDY_PACKET_TARGET = 20
+SMOKE_STUDY_REPLICATIONS = 1
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent.parent / "BENCH_kernel.json"
 
@@ -60,6 +67,11 @@ def main(argv=None) -> int:
     print(f"scenario benchmarks (chain target {chain_target}, "
           f"stress target {stress_target}) ...", flush=True)
     benchmarks.update(run_scenario_benchmarks(chain_target, stress_target))
+    study_target = SMOKE_STUDY_PACKET_TARGET if args.smoke else STUDY_PACKET_TARGET
+    study_reps = SMOKE_STUDY_REPLICATIONS if args.smoke else STUDY_REPLICATIONS
+    print(f"study execution-plane benchmark (target {study_target}, "
+          f"{study_reps} replication(s)) ...", flush=True)
+    benchmarks.update(run_study_benchmarks(study_target, study_reps))
 
     report = {
         "suite": "kernel",
@@ -76,7 +88,10 @@ def main(argv=None) -> int:
     for name, result in benchmarks.items():
         speedup = result.get("speedup_vs_legacy")
         speedup_text = f"{speedup:6.2f}x" if speedup is not None else "      -"
-        print(f"{name:<{width}}  {result['events_per_sec']:>12,.0f}  "
+        rate = result.get("events_per_sec")
+        rate_text = (f"{rate:>12,.0f}" if rate is not None
+                     else f"{result.get('points_per_sec', 0.0):>10.2f}/p")
+        print(f"{name:<{width}}  {rate_text}  "
               f"{result['wall_time']:>9.3f}  {speedup_text}")
     print(f"\nwrote {args.output}")
 

@@ -1,0 +1,78 @@
+"""Macro benchmark for the study execution plane: throughput and resume cost.
+
+``study_throughput`` times a small chain sweep driven end to end through
+:func:`repro.experiments.exec.execute_study` with the ``serial`` backend and a
+checkpointed result store — queue explosion, lease bookkeeping, atomic
+per-item writes, journalling and streaming aggregation all included — and
+reports:
+
+* ``points_per_sec`` — completed work items per wall-clock second on the cold
+  run (the execution plane's sustained throughput, simulation time included);
+* ``resume_overhead`` — wall time of an immediate warm re-run against the
+  same store, as a fraction of the cold run.  The warm run executes zero
+  scenarios; everything it pays is pure resume machinery (store scan, entry
+  validation, queue reconstruction, aggregation), so this ratio bounds what a
+  crash-resume costs on top of the work actually lost.
+  ``tools/check_perf_overhead.py`` fails CI when it exceeds its limit.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from typing import Dict
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.exec import execute_study
+from repro.experiments.study import SweepSpec
+from repro.net.packet import reset_packet_ids
+
+#: Default sweep scale (tuned to a few seconds within the full suite).
+STUDY_PACKET_TARGET = 60
+STUDY_REPLICATIONS = 2
+
+
+def _study_spec(packet_target: int, replications: int) -> SweepSpec:
+    return SweepSpec(
+        name="perf-study",
+        topology="chain",
+        axes={"variant": ["vegas", "newreno"], "hops": [2, 3]},
+        base=ScenarioConfig(packet_target=packet_target, max_sim_time=120.0),
+        replications=replications,
+    )
+
+
+def bench_study_throughput(
+    packet_target: int = STUDY_PACKET_TARGET,
+    replications: int = STUDY_REPLICATIONS,
+) -> Dict[str, float]:
+    """Cold checkpointed study run + warm resume of the identical sweep."""
+    spec = _study_spec(packet_target, replications)
+    items = len(spec.points()) * spec.replications
+    with tempfile.TemporaryDirectory(prefix="repro-study-bench-") as store:
+        reset_packet_ids()
+        start = time.perf_counter()
+        execute_study(spec, backend="serial", store=store)
+        cold_wall = time.perf_counter() - start
+
+        reset_packet_ids()
+        start = time.perf_counter()
+        execute_study(spec, backend="serial", store=store)
+        warm_wall = time.perf_counter() - start
+
+    return {
+        "wall_time": cold_wall,
+        "work_items": items,
+        "points_per_sec": items / cold_wall if cold_wall > 0 else 0.0,
+        "resume_wall_time": warm_wall,
+        "resume_overhead": warm_wall / cold_wall if cold_wall > 0 else float("nan"),
+    }
+
+
+def run_study_benchmarks(
+    packet_target: int = STUDY_PACKET_TARGET,
+    replications: int = STUDY_REPLICATIONS,
+) -> Dict[str, Dict[str, float]]:
+    """The execution-plane benchmark set, keyed like every other perf suite."""
+    return {"study_throughput": bench_study_throughput(packet_target,
+                                                       replications)}

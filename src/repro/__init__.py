@@ -19,7 +19,9 @@ Typical use (single scenario)::
     )
     print(result.aggregate_goodput_kbps, "kbit/s")
 
-Declarative sweep with seed replication, parallel execution and caching::
+Declarative sweep with seed replication, parallel execution and crash-safe
+checkpointing (an interrupted study resumes from ``cache_dir``, re-executing
+only the missing items)::
 
     from repro import ScenarioConfig, SweepSpec, run_study
 
@@ -48,6 +50,12 @@ from repro.experiments.workload import (
     ScenarioSpec,
     Workload,
     mixed_transport_workload,
+)
+from repro.experiments.exec import (
+    ResultStore,
+    backend_names,
+    execute_study,
+    register_backend,
 )
 from repro.experiments.study import (
     PointResult,
@@ -107,6 +115,10 @@ __all__ = [
     "StudyRunner",
     "SweepSpec",
     "run_study",
+    "ResultStore",
+    "backend_names",
+    "execute_study",
+    "register_backend",
     "chain_topology",
     "grid_topology",
     "random_topology",

@@ -1,0 +1,44 @@
+"""Crash-safe filesystem helpers shared by the result stores and caches.
+
+A process killed mid-``write_text`` leaves a truncated file behind; if that
+file is a JSON result cache entry, the *next* run chokes on it (or silently
+treats real work as corrupt).  Every writer of resumable on-disk state in
+this codebase therefore publishes atomically: write the full payload to a
+process-unique temporary file in the same directory, then ``os.replace`` it
+over the final name.  ``os.replace`` is atomic on POSIX and Windows for
+same-filesystem moves, so readers observe either the old complete file or the
+new complete file — never a torn write.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str,
+                      encoding: str = "utf-8") -> Path:
+    """Atomically write ``text`` to ``path`` (write-temp-then-rename).
+
+    Parent directories are created as needed.  The temporary name embeds the
+    writer's PID so concurrent processes publishing the same path cannot
+    clobber (or ``os.replace`` away) each other's in-flight temp file; the
+    last completed writer wins, which is safe for content-addressed caches
+    where both writers hold identical payloads.
+
+    Returns:
+        The final path, for call chaining.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(text, encoding=encoding)
+        os.replace(tmp, path)
+    finally:
+        # A failure between write and replace must not leave the temp file
+        # behind to be mistaken for a result by directory scans.
+        if tmp.exists():  # pragma: no cover - only on mid-write failure
+            tmp.unlink()
+    return path

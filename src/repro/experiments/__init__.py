@@ -17,9 +17,12 @@ Four layers, from low-level to high-level:
   ready-made presets generated from those registries.
 * **Declarative studies** — :class:`SweepSpec` describes a cartesian sweep
   (axes × replications) as data; :class:`StudyRunner` / :func:`run_study`
-  execute it serially or over a process pool, cache each scenario run as JSON
-  keyed by a config hash, and aggregate replications into a
-  :class:`StudyResult` with cross-seed confidence intervals.
+  execute it through the :mod:`repro.experiments.exec` execution plane: a
+  work queue of fingerprint-keyed items drained by a registered executor
+  backend (``serial`` or ``process-pool``), checkpointed into a crash-safe
+  :class:`~repro.experiments.exec.store.ResultStore` (resume re-executes
+  only missing items) and aggregated into a :class:`StudyResult` with
+  cross-seed confidence intervals.
 * **Per-figure wrappers** — ``chain_experiments``, ``grid_experiments``,
   ``random_experiments`` and ``bandwidth_experiments`` are thin compatibility
   wrappers that express each paper figure as a ``SweepSpec`` and reshape the
@@ -34,6 +37,15 @@ from repro.experiments.config import (
     TransportVariant,
     resolve_variant,
     variant_label,
+)
+from repro.experiments.exec import (
+    ExecutorBackend,
+    ResultStore,
+    StudyExecutionError,
+    backend_names,
+    execute_study,
+    get_backend,
+    register_backend,
 )
 from repro.experiments.results import FlowResult, ScenarioResult, format_table
 from repro.experiments.runner import Scenario, run_scenario
@@ -87,4 +99,11 @@ __all__ = [
     "StudyRunner",
     "SweepSpec",
     "run_study",
+    "ExecutorBackend",
+    "ResultStore",
+    "StudyExecutionError",
+    "backend_names",
+    "execute_study",
+    "get_backend",
+    "register_backend",
 ]

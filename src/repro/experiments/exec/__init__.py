@@ -1,0 +1,77 @@
+"""Distributed, resumable study execution — the Study API's execution plane.
+
+This package turns a declarative :class:`~repro.experiments.study.SweepSpec`
+into a fault-tolerant execution pipeline:
+
+* :mod:`~repro.experiments.exec.workqueue` — the sweep exploded into
+  idempotent, fingerprint-keyed :class:`WorkItem` s with lease timeouts and
+  bounded retry-with-backoff;
+* :mod:`~repro.experiments.exec.store` — a crash-safe on-disk
+  :class:`ResultStore` (atomic per-item files + NDJSON journal) from which an
+  interrupted study resumes;
+* :mod:`~repro.experiments.exec.backends` — the :class:`ExecutorBackend`
+  registry (``serial`` reference loop, ``process-pool`` pull workers) and
+  :func:`execute_study`, the single driver;
+* :mod:`~repro.experiments.exec.aggregate` — streaming assembly of the
+  :class:`~repro.experiments.study.StudyResult` with online cross-seed
+  confidence intervals and progress/ETA reporting.
+
+:class:`~repro.experiments.study.StudyRunner` is a thin façade over this
+package; use :func:`execute_study` directly for progress callbacks, explicit
+backend selection or crash-resume semantics::
+
+    from repro.experiments.exec import execute_study
+
+    study = execute_study(spec, backend="process-pool",
+                          store=".study-store",
+                          progress=lambda s: print(s.describe()))
+
+See ``docs/studies.md`` for the execution model and resume semantics.
+"""
+
+from repro.experiments.exec.aggregate import ProgressSnapshot, StreamingAggregator
+from repro.experiments.exec.backends import (
+    ExecutionContext,
+    ExecutorBackend,
+    SimulatedCrash,
+    StudyExecutionError,
+    backend_names,
+    execute_study,
+    executor_backends,
+    get_backend,
+    register_backend,
+    run_work_item,
+    unregister_backend,
+)
+from repro.experiments.exec.store import ITEM_SCHEMA, ResultStore, StoreWarning
+from repro.experiments.exec.workqueue import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_MAX_RETRIES,
+    WorkItem,
+    WorkItemState,
+    WorkQueue,
+)
+
+__all__ = [
+    "ProgressSnapshot",
+    "StreamingAggregator",
+    "ExecutionContext",
+    "ExecutorBackend",
+    "SimulatedCrash",
+    "StudyExecutionError",
+    "backend_names",
+    "execute_study",
+    "executor_backends",
+    "get_backend",
+    "register_backend",
+    "run_work_item",
+    "unregister_backend",
+    "ITEM_SCHEMA",
+    "ResultStore",
+    "StoreWarning",
+    "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_MAX_RETRIES",
+    "WorkItem",
+    "WorkItemState",
+    "WorkQueue",
+]

@@ -1,0 +1,206 @@
+"""Streaming study aggregation: partial results and online cross-seed CIs.
+
+The legacy executor assembled its :class:`~repro.experiments.study.StudyResult`
+only after the last scenario finished — a 10k-point study that died at point
+9,999 had nothing to show.  The :class:`StreamingAggregator` instead absorbs
+each work item's :class:`~repro.experiments.results.ScenarioResult` the
+moment it completes (in *any* order — pool workers and resumed studies
+deliver out of order) and can serve, at every instant:
+
+* :meth:`partial` — a well-formed ``StudyResult`` over everything finished
+  so far (per point, the replications completed so far, in seed order);
+* :meth:`goodput_interval` — the cross-seed confidence interval of any
+  point, updated online as its replications land;
+* :meth:`result` — the complete study, once every item is in.
+
+Determinism: runs are held in a ``(point, replication)``-keyed map and
+always *read out* in replication order, so the assembled result — including
+every confidence interval — is bit-identical whatever order items completed
+in.  A resumed study therefore produces exactly the same ``StudyResult`` as
+an uninterrupted one (pinned by the crash-resume integration test).
+
+:class:`ProgressSnapshot` is the companion progress report (items done /
+failed / retried, throughput, ETA) handed to the progress callback after
+every queue transition; the study CLI renders it as a live progress line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.statistics import ConfidenceInterval, confidence_interval
+from repro.experiments.results import ScenarioResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.study import PointResult, StudyResult, SweepSpec
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """One observation of study execution progress.
+
+    Attributes:
+        total: Total work items in the study.
+        done: Items finished successfully, including ``resumed`` ones.
+        failed: Items that exhausted their retry budget (terminal).
+        retried: Cumulative re-queues (failures and expired leases).
+        resumed: Items satisfied from the result store without executing.
+        elapsed: Wall-clock seconds since execution started.
+        eta: Estimated seconds to completion (None until at least one item
+            actually executed in this run).
+    """
+
+    total: int
+    done: int
+    failed: int
+    retried: int
+    resumed: int
+    elapsed: float
+    eta: Optional[float]
+
+    @property
+    def remaining(self) -> int:
+        """Items still pending or in flight."""
+        return self.total - self.done - self.failed
+
+    @property
+    def executed(self) -> int:
+        """Items actually simulated in this run (done minus resumed)."""
+        return self.done - self.resumed
+
+    def describe(self) -> str:
+        """One-line human rendering (used by the study CLI progress line)."""
+        parts = [f"{self.done}/{self.total} done"]
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        if self.eta is not None and self.remaining:
+            parts.append(f"eta {self.eta:.1f}s")
+        return " · ".join(parts)
+
+
+class StreamingAggregator:
+    """Incrementally assembles a study result as work items complete.
+
+    Args:
+        spec: The sweep being executed; fixes the point grid, the seed list
+            and the axis order of every (partial or final) result.
+    """
+
+    def __init__(self, spec: "SweepSpec") -> None:
+        self.spec = spec
+        self._points = spec.points()
+        self._seeds = spec.seeds()
+        self._runs: Dict[Tuple[int, int], ScenarioResult] = {}
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def add(self, point_index: int, replication: int,
+            result: ScenarioResult) -> None:
+        """Absorb one completed (point, replication) scenario result."""
+        self._runs[(point_index, replication)] = result
+
+    def has(self, point_index: int, replication: int) -> bool:
+        """True when that (point, replication) result already arrived."""
+        return (point_index, replication) in self._runs
+
+    # ------------------------------------------------------------------
+    # Online aggregates
+    # ------------------------------------------------------------------
+    @property
+    def completed_items(self) -> int:
+        """Number of results absorbed so far."""
+        return len(self._runs)
+
+    @property
+    def expected_items(self) -> int:
+        """Total results the complete study needs."""
+        return len(self._points) * len(self._seeds)
+
+    @property
+    def complete(self) -> bool:
+        """True once every (point, replication) result arrived."""
+        return self.completed_items == self.expected_items
+
+    def completed_replications(self, point_index: int) -> List[int]:
+        """Replication indices of ``point_index`` that completed (sorted)."""
+        return sorted(rep for (point, rep) in self._runs
+                      if point == point_index)
+
+    def goodput_interval(self, point_index: int) -> ConfidenceInterval:
+        """Cross-seed CI of the point's aggregate goodput, *so far*.
+
+        Computed over the completed replications in seed order, so the value
+        converges monotonically toward the final interval as replications
+        land and never depends on their arrival order.
+        """
+        goodputs = [
+            self._runs[(point_index, rep)].aggregate_goodput_bps
+            for rep in self.completed_replications(point_index)
+        ]
+        return confidence_interval(goodputs)
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def _point_result(self, point, replications: List[int]) -> "PointResult":
+        from repro.experiments.study import PointResult
+
+        return PointResult(
+            values=dict(point.values),
+            seeds=[self._seeds[rep] for rep in replications],
+            runs=[self._runs[(point.index, rep)] for rep in replications],
+        )
+
+    def partial(self) -> "StudyResult":
+        """A study over everything completed so far.
+
+        Points with no completed replication yet are omitted; points with
+        some are included with the replications that finished (seed order).
+        The result is safe to save/serve while execution continues —
+        streaming consumers (dashboards, checkpoint exports) read this.
+        """
+        from repro.experiments.study import StudyResult
+
+        points = []
+        for point in self._points:
+            replications = self.completed_replications(point.index)
+            if replications:
+                points.append(self._point_result(point, replications))
+        return StudyResult(
+            name=self.spec.name,
+            axis_names=self.spec.axis_names,
+            replications=self.spec.replications,
+            points=points,
+        )
+
+    def result(self) -> "StudyResult":
+        """The complete study result.
+
+        Raises:
+            ValueError: If any (point, replication) result is still missing —
+                callers should surface the queue's failed items instead of
+                fabricating an incomplete study.
+        """
+        if not self.complete:
+            missing = self.expected_items - self.completed_items
+            raise ValueError(
+                f"study {self.spec.name!r} is incomplete: "
+                f"{missing} of {self.expected_items} items missing"
+            )
+        from repro.experiments.study import StudyResult
+
+        return StudyResult(
+            name=self.spec.name,
+            axis_names=self.spec.axis_names,
+            replications=self.spec.replications,
+            points=[
+                self._point_result(point, list(range(len(self._seeds))))
+                for point in self._points
+            ],
+        )

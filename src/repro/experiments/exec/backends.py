@@ -1,0 +1,484 @@
+"""Executor backends: pluggable drivers that drain the study work queue.
+
+Mirrors the transport/topology/mobility registries for the execution plane:
+an :class:`ExecutorBackend` is a named strategy for pulling
+:class:`~repro.experiments.exec.workqueue.WorkItem` s off the shared
+:class:`~repro.experiments.exec.workqueue.WorkQueue` and turning them into
+stored, aggregated results.  Two backends ship built in:
+
+``serial``
+    The reference backend: one in-process loop, lease → run → complete.
+    Deterministic, traceable (it is the only backend that can share the
+    caller's tracer object) and the behavioural baseline every other
+    backend must match bit-for-bit.
+
+``process-pool``
+    N worker processes *pulling* work through a sliding window of at most N
+    outstanding items — not a pre-chunked map, so stragglers never starve
+    idle workers, newly re-queued retries are picked up immediately, and a
+    dead worker process (``BrokenProcessPool``) costs only the items it held:
+    they are re-queued with backoff and the pool is rebuilt.
+
+Both drive the same queue/store/aggregator machinery via
+:func:`execute_study`, the single entry point the Study API façade calls.
+The registry seam is what a future multi-host backend plugs into: anything
+that can lease items and publish fingerprint-keyed results is a backend.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+import time as _time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, TYPE_CHECKING, Union
+
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.core.tracing import NULL_TRACER, Tracer
+from repro.experiments.exec.aggregate import ProgressSnapshot, StreamingAggregator
+from repro.experiments.exec.store import ResultStore
+from repro.experiments.exec.workqueue import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_MAX_RETRIES,
+    WorkItem,
+    WorkItemState,
+    WorkQueue,
+)
+from repro.experiments.results import ScenarioResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.study import StudyResult, SweepSpec
+
+#: Seconds the serial loop / pool driver sleeps while every pending item is
+#: in retry backoff.
+_BACKOFF_POLL = 0.02
+
+
+class StudyExecutionError(SimulationError):
+    """Raised when work items exhausted their retries and stayed FAILED.
+
+    Attributes:
+        failed: The terminally failed :class:`WorkItem` s.
+        partial: A :class:`~repro.experiments.study.StudyResult` over
+            everything that *did* complete — the checkpointed items remain in
+            the store, so fixing the cause and resuming re-executes only the
+            failures.
+    """
+
+    def __init__(self, failed: List[WorkItem], partial: "StudyResult") -> None:
+        self.failed = list(failed)
+        self.partial = partial
+        described = "; ".join(
+            f"item {item.item_id} (seed {item.seed}): {item.error}"
+            for item in self.failed[:3]
+        )
+        more = f" (+{len(self.failed) - 3} more)" if len(self.failed) > 3 else ""
+        super().__init__(
+            f"{len(self.failed)} work item(s) failed after retries: "
+            f"{described}{more}"
+        )
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by the ``fail_after`` test hook to emulate a mid-study kill.
+
+    Carries the number of items completed (and therefore checkpointed) before
+    the simulated crash, so tests and the ``study-smoke`` CI job can assert
+    the resume executes exactly the remainder.
+    """
+
+    def __init__(self, completed: int) -> None:
+        self.completed = completed
+        super().__init__(
+            f"simulated crash after {completed} completed item(s); "
+            "resume with the same --store to continue"
+        )
+
+
+# ======================================================================
+# The work-item task
+# ======================================================================
+def run_work_item(spec: "SweepSpec", values: Mapping[str, object], seed: int,
+                  tracer: Tracer = NULL_TRACER) -> ScenarioResult:
+    """Execute one (point, seed) scenario run — the unit every backend runs.
+
+    Module level and driven purely by ``(spec, axis values, seed)``, so it
+    pickles by reference into worker processes and is idempotent: the same
+    inputs always produce the same result bits (determinism is the
+    scenario's own guarantee).
+    """
+    from repro.experiments.runner import run_scenario
+
+    uses_workload_plane = (spec.workload is not None
+                           or spec.workload_factory is not None
+                           or bool(spec.timeline))
+    if uses_workload_plane:
+        return run_scenario(spec.scenario_for(values, seed), tracer=tracer)
+    return run_scenario(spec.topology_for(values), spec.config_for(values, seed),
+                        tracer=tracer)
+
+
+#: Signature of the per-item task a backend executes (test seam: the
+#: crash-resume suite substitutes counting/failing tasks).
+WorkTask = Callable[..., ScenarioResult]
+
+
+# ======================================================================
+# Execution context shared by every backend
+# ======================================================================
+@dataclass
+class ExecutionContext:
+    """Everything a backend needs to drain one study.
+
+    The context owns the cross-cutting bookkeeping — checkpointing completed
+    items into the store, feeding the streaming aggregator, journalling and
+    progress callbacks, the ``fail_after`` crash hook — so a backend only
+    decides *where* items run.
+    """
+
+    spec: "SweepSpec"
+    queue: WorkQueue
+    aggregator: StreamingAggregator
+    store: Optional[ResultStore] = None
+    tracer: Tracer = NULL_TRACER
+    max_workers: Optional[int] = None
+    progress: Optional[Callable[[ProgressSnapshot], None]] = None
+    task: WorkTask = run_work_item
+    fail_after: Optional[int] = None
+    resumed: int = 0
+    clock: Callable[[], float] = _time.monotonic
+    _executed: int = field(default=0, init=False)
+    _started: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        self._started = self.clock()
+
+    # -- progress ------------------------------------------------------
+    def snapshot(self) -> ProgressSnapshot:
+        """The current progress observation."""
+        elapsed = self.clock() - self._started
+        counts = self.queue.counts()
+        executed = counts["done"] - self.resumed
+        eta = None
+        if executed > 0:
+            remaining = counts["total"] - counts["done"] - counts["failed"]
+            eta = elapsed / executed * remaining
+        return ProgressSnapshot(
+            total=counts["total"], done=counts["done"], failed=counts["failed"],
+            retried=counts["retried"], resumed=self.resumed,
+            elapsed=elapsed, eta=eta,
+        )
+
+    def notify(self) -> None:
+        """Invoke the progress callback, if any."""
+        if self.progress is not None:
+            self.progress(self.snapshot())
+
+    # -- transitions ---------------------------------------------------
+    def complete(self, item: WorkItem, result: ScenarioResult) -> None:
+        """Checkpoint + aggregate one finished item; honours ``fail_after``."""
+        self.queue.complete(item)
+        if self.store is not None:
+            self.store.put(item.key, result)
+        self.aggregator.add(item.point_index, item.replication, result)
+        self._executed += 1
+        self.notify()
+        if self.fail_after is not None and self._executed >= self.fail_after:
+            raise SimulatedCrash(self._executed)
+
+    def record_failure(self, item: WorkItem, error: str) -> None:
+        """Journal + report one failed attempt (item already transitioned)."""
+        if self.store is not None:
+            self.store.append_journal({
+                "event": "failed" if item.state is WorkItemState.FAILED else "retry",
+                "item": item.item_id, "key": item.key,
+                "attempts": item.attempts, "error": error,
+            })
+        self.notify()
+
+    def worker_count(self) -> int:
+        """Effective pool size: bounded by cores and by the work available."""
+        workers = self.max_workers or os.cpu_count() or 1
+        return max(1, min(workers, self.queue.pending_count or 1))
+
+
+# ======================================================================
+# Built-in backends
+# ======================================================================
+def _run_serial(ctx: ExecutionContext) -> None:
+    """Reference backend: lease → run → complete in one process.
+
+    The only backend that can hand the caller's tracer to each scenario
+    (worker processes cannot share a tracer object).
+    """
+    queue = ctx.queue
+    while not queue.finished:
+        now = ctx.clock()
+        for item in queue.expire_leases(now):
+            ctx.record_failure(item, item.error or "lease expired")
+        item = queue.lease("serial-0", now)
+        if item is None:
+            if queue.pending_count:
+                _time.sleep(min(queue.seconds_until_ready(ctx.clock()),
+                                _BACKOFF_POLL))
+                continue
+            break
+        try:
+            result = ctx.task(ctx.spec, item.values, item.seed, ctx.tracer)
+        except Exception as exc:  # noqa: BLE001 - any task failure retries
+            queue.fail(item, repr(exc), ctx.clock())
+            ctx.record_failure(item, repr(exc))
+        else:
+            ctx.complete(item, result)
+
+
+def _run_process_pool(ctx: ExecutionContext) -> None:
+    """N worker processes pulling items through a sliding submission window.
+
+    At most ``workers`` items are outstanding; each completion immediately
+    frees a slot for the next lease, so workers are never idle while work is
+    pending and re-queued retries are dispatched without waiting for a chunk
+    boundary.  A worker-process death (``BrokenProcessPool``) re-queues every
+    in-flight item with backoff and rebuilds the pool; the study continues.
+    """
+    queue = ctx.queue
+    if queue.finished:
+        return
+    workers = ctx.worker_count()
+    pool = ProcessPoolExecutor(max_workers=workers)
+    in_flight: Dict[object, WorkItem] = {}
+
+    def crash_recovery(reason: str) -> None:
+        """Re-queue every outstanding item and replace the broken pool."""
+        nonlocal pool, in_flight
+        for doomed in in_flight.values():
+            queue.fail(doomed, reason, ctx.clock())
+            ctx.record_failure(doomed, reason)
+        in_flight = {}
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+    try:
+        while not queue.finished:
+            now = ctx.clock()
+            for item in queue.expire_leases(now):
+                ctx.record_failure(item, item.error or "lease expired")
+            while len(in_flight) < workers:
+                item = queue.lease(f"pool-{id(pool):x}", now)
+                if item is None:
+                    break
+                try:
+                    future = pool.submit(ctx.task, ctx.spec, item.values,
+                                         item.seed)
+                except BrokenProcessPool as exc:
+                    queue.fail(item, f"worker pool broke ({exc})", ctx.clock())
+                    ctx.record_failure(item, repr(exc))
+                    crash_recovery(f"worker pool broke ({exc})")
+                    break
+                in_flight[future] = item
+            if not in_flight:
+                if queue.pending_count:
+                    _time.sleep(min(queue.seconds_until_ready(ctx.clock()),
+                                    _BACKOFF_POLL))
+                    continue
+                break
+            done, _ = wait(in_flight, timeout=queue.lease_timeout,
+                           return_when=FIRST_COMPLETED)
+            pool_broke = False
+            for future in done:
+                item = in_flight.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool as exc:
+                    queue.fail(item, f"worker process died ({exc})",
+                               ctx.clock())
+                    ctx.record_failure(item, f"worker process died ({exc})")
+                    pool_broke = True
+                except Exception as exc:  # noqa: BLE001 - task failure retries
+                    queue.fail(item, repr(exc), ctx.clock())
+                    ctx.record_failure(item, repr(exc))
+                else:
+                    ctx.complete(item, result)
+            if pool_broke:
+                crash_recovery("worker pool broke; item re-queued")
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+# ======================================================================
+# Backend registry (mirrors the transport/topology/mobility registries)
+# ======================================================================
+@dataclass(frozen=True)
+class ExecutorBackend:
+    """One registered execution strategy.
+
+    Attributes:
+        name: Canonical registry key (``"serial"``, ``"process-pool"``).
+        runner: Callable draining an :class:`ExecutionContext`'s queue.
+        description: One-line human description (``--list-backends``).
+    """
+
+    name: str
+    runner: Callable[[ExecutionContext], None]
+    description: str = ""
+
+
+_BACKENDS: Dict[str, ExecutorBackend] = {}
+
+
+def register_backend(backend: ExecutorBackend,
+                     replace: bool = False) -> ExecutorBackend:
+    """Register an executor backend by name.
+
+    Raises:
+        ConfigurationError: On a duplicate name without ``replace``.
+    """
+    key = backend.name.strip().lower()
+    if key in _BACKENDS and not replace:
+        raise ConfigurationError(
+            f"executor backend {backend.name!r} is already registered")
+    _BACKENDS[key] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (mainly for tests); unknown names are ignored."""
+    _BACKENDS.pop(name.strip().lower(), None)
+
+
+def get_backend(name: str) -> ExecutorBackend:
+    """Resolve a backend by name.
+
+    Raises:
+        ConfigurationError: If the name is unknown; the message carries
+            difflib close-match suggestions and the ``--list-backends``
+            pointer (the study CLI turns it into an exit-2 error).
+    """
+    backend = _BACKENDS.get(name.strip().lower())
+    if backend is None:
+        suggestions = difflib.get_close_matches(name, backend_names(),
+                                                n=3, cutoff=0.5)
+        hint = (f"; did you mean {', '.join(repr(s) for s in suggestions)}?"
+                if suggestions else "")
+        raise ConfigurationError(
+            f"unknown executor backend {name!r}{hint} (run `python -m "
+            "repro.experiments.study --list-backends` for all backends)"
+        )
+    return backend
+
+
+def backend_names() -> List[str]:
+    """Sorted canonical names of all registered backends."""
+    return sorted(_BACKENDS)
+
+
+def executor_backends() -> List[ExecutorBackend]:
+    """All registered backends, sorted by name."""
+    return [_BACKENDS[name] for name in backend_names()]
+
+
+register_backend(ExecutorBackend(
+    name="serial",
+    runner=_run_serial,
+    description="reference in-process loop; deterministic and tracer-capable",
+))
+
+register_backend(ExecutorBackend(
+    name="process-pool",
+    runner=_run_process_pool,
+    description="N worker processes pulling items from the queue; survives "
+                "worker death via lease re-queue and pool rebuild",
+))
+
+
+# ======================================================================
+# The driver
+# ======================================================================
+def execute_study(
+    spec: "SweepSpec",
+    backend: Optional[Union[str, ExecutorBackend]] = None,
+    max_workers: Optional[int] = None,
+    store: Optional[Union[str, ResultStore]] = None,
+    tracer: Tracer = NULL_TRACER,
+    progress: Optional[Callable[[ProgressSnapshot], None]] = None,
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    task: WorkTask = run_work_item,
+    fail_after: Optional[int] = None,
+) -> "StudyResult":
+    """Run every work item of ``spec`` and assemble the study result.
+
+    This is the execution plane's single entry point: explode the sweep into
+    a :class:`WorkQueue`, resume completed items from the ``store``, drain
+    the remainder through the chosen ``backend``, and stream completions into
+    a :class:`StreamingAggregator` whose final read-out is bit-identical to
+    the legacy all-at-once assembly.
+
+    Args:
+        spec: The sweep to execute.
+        backend: Backend name or instance; ``None`` auto-selects
+            ``process-pool`` when more than one item remains and more than
+            one worker is available, ``serial`` otherwise.
+        max_workers: Pool-size bound for process-based backends.
+        store: Result store (or its directory); enables checkpointing and
+            crash-resume.  ``None`` keeps everything in memory.
+        tracer: Tracer for serially executed scenarios (process pools cannot
+            share one).
+        progress: Callback invoked with a :class:`ProgressSnapshot` after
+            every queue transition.
+        lease_timeout: Seconds before an unfinished lease counts as a crash.
+        max_retries: Retry budget per item beyond the first attempt.
+        task: The per-item callable (test seam; defaults to
+            :func:`run_work_item`).
+        fail_after: Test/CI hook — simulate a crash (raise
+            :class:`SimulatedCrash`) after this many items completed in this
+            run; completed items are already checkpointed.
+
+    Returns:
+        The complete :class:`~repro.experiments.study.StudyResult`.
+
+    Raises:
+        StudyExecutionError: When items exhausted their retries; carries the
+            failed items and the partial result.
+        SimulatedCrash: When the ``fail_after`` hook fires.
+    """
+    queue = WorkQueue.from_spec(spec, lease_timeout=lease_timeout,
+                                max_retries=max_retries)
+    aggregator = StreamingAggregator(spec)
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+
+    resumed = 0
+    if store is not None:
+        recovered = store.resume({item.key for item in queue.items})
+        for item in queue.items:
+            result = recovered.get(item.key)
+            if result is not None:
+                queue.mark_done(item)
+                aggregator.add(item.point_index, item.replication, result)
+                resumed += 1
+        if resumed:
+            store.append_journal({"event": "resume", "recovered": resumed,
+                                  "total": queue.total})
+
+    if backend is None:
+        workers = max_workers or os.cpu_count() or 1
+        backend = ("process-pool"
+                   if queue.pending_count > 1 and workers > 1 else "serial")
+    if not isinstance(backend, ExecutorBackend):
+        backend = get_backend(backend)
+
+    ctx = ExecutionContext(
+        spec=spec, queue=queue, aggregator=aggregator, store=store,
+        tracer=tracer, max_workers=max_workers, progress=progress,
+        task=task, fail_after=fail_after, resumed=resumed,
+    )
+    ctx.notify()
+    backend.runner(ctx)
+
+    failed = queue.failed_items()
+    if failed:
+        raise StudyExecutionError(failed, aggregator.partial())
+    return aggregator.result()

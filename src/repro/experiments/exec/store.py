@@ -1,0 +1,187 @@
+"""Checkpointed on-disk result store with crash-safe writes and resume.
+
+The store is the durable half of the execution plane: every finished work
+item is published as one JSON file named by its configuration fingerprint,
+written atomically (write-temp-then-``os.replace``), so a process killed at
+any instant leaves either no entry or a complete entry — never a truncated
+one.  An append-only NDJSON journal (``journal.jsonl``) additionally records
+every lifecycle event (done / failed / resumed) with a wall-clock timestamp,
+giving post-mortem visibility into *how* a study ran without being load
+bearing: the per-item files are the single source of truth.
+
+Resume is a read of the same directory: :meth:`ResultStore.resume` maps the
+expected fingerprints onto the valid entries found on disk, and the driver
+marks the matching work items DONE without re-executing them.  Entries that
+are unreadable, schema-mismatched or semantically broken are *skipped with a
+warning* and their items re-executed — a half-written or stale cache can
+slow a study down but can never poison it.
+
+The store supersedes the Study API's original ad-hoc cache directory while
+remaining layout compatible with it: item files live directly under the
+store root as ``<fingerprint>.json``, and pre-envelope entries (raw
+``ScenarioResult.to_dict()`` payloads) are still accepted, so existing warm
+caches keep their value.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from repro.core.io import atomic_write_text
+from repro.experiments.results import ScenarioResult
+
+#: Version of the per-item envelope; bump on incompatible layout changes.
+#: Entries carrying a different version are skipped (and re-executed), never
+#: parsed on faith.
+ITEM_SCHEMA = 1
+
+#: Journal file name.  Deliberately ``.jsonl`` (not ``.json``) so directory
+#: scans for item files — and the legacy cache's ``*.json`` glob — never
+#: mistake the journal for a result entry.
+JOURNAL_NAME = "journal.jsonl"
+
+
+class StoreWarning(UserWarning):
+    """Warned when a store entry is skipped (unreadable / wrong schema)."""
+
+
+class ResultStore:
+    """Append-safe, fingerprint-keyed store of per-item scenario results.
+
+    Args:
+        root: Directory holding the item files and the journal.  Created on
+            first write; a missing directory reads as an empty store.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def item_path(self, key: str) -> Path:
+        """The on-disk path of one item entry."""
+        return self.root / f"{key}.json"
+
+    @property
+    def journal_path(self) -> Path:
+        """The on-disk path of the NDJSON journal."""
+        return self.root / JOURNAL_NAME
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, key: str, result: ScenarioResult,
+            journal: bool = True) -> Path:
+        """Atomically publish one finished item result.
+
+        The entry becomes visible to concurrent readers only as a complete
+        file; a kill mid-write leaves at most a stray ``*.tmp`` file that no
+        reader ever considers.
+        """
+        envelope = {
+            "schema": ITEM_SCHEMA,
+            "key": key,
+            "result": result.to_dict(),
+        }
+        path = atomic_write_text(
+            self.item_path(key),
+            json.dumps(envelope, sort_keys=True, separators=(",", ":")),
+        )
+        if journal:
+            self.append_journal({"event": "done", "key": key})
+        return path
+
+    def append_journal(self, record: Dict[str, object]) -> None:
+        """Append one event line to the journal (single ``write`` call).
+
+        The journal is advisory: a torn final line (kill mid-append) is
+        ignored by readers, and losing it entirely loses nothing but
+        history — resume state comes from the item files.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(dict(record, ts=time.time()), sort_keys=True)
+        with self.journal_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[ScenarioResult]:
+        """The stored result for ``key``, or None when absent/invalid.
+
+        Invalid entries — unparsable JSON, an envelope with the wrong schema
+        version, or a payload that no longer matches
+        :meth:`ScenarioResult.from_dict` — are reported through a
+        :class:`StoreWarning` and treated as absent, so the caller simply
+        re-executes the item instead of dying mid-study.
+        """
+        path = self.item_path(key)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:  # pragma: no cover - exotic I/O failures
+            self._skip(key, f"unreadable entry ({exc})")
+            return None
+        try:
+            data = json.loads(text)
+        except ValueError:
+            self._skip(key, "corrupt JSON")
+            return None
+        if not isinstance(data, dict):
+            self._skip(key, "entry is not a JSON object")
+            return None
+        if "schema" in data:
+            if data["schema"] != ITEM_SCHEMA:
+                self._skip(
+                    key,
+                    f"schema version {data['schema']!r} "
+                    f"(this build reads {ITEM_SCHEMA})",
+                )
+                return None
+            payload = data.get("result")
+        else:
+            # Pre-envelope cache entry: the raw ScenarioResult dict.
+            payload = data
+        try:
+            return ScenarioResult.from_dict(payload)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            self._skip(key, "entry does not decode as a ScenarioResult")
+            return None
+
+    def resume(self, keys: Iterable[str]) -> Dict[str, ScenarioResult]:
+        """Load every valid stored result among ``keys``.
+
+        This is the crash-resume entry point: the driver asks for the sweep's
+        full fingerprint set and marks the returned subset DONE in the work
+        queue, so an interrupted study re-executes only what is missing.
+        """
+        recovered: Dict[str, ScenarioResult] = {}
+        if not self.root.is_dir():
+            return recovered
+        for key in keys:
+            if key in recovered:
+                continue
+            result = self.get(key)
+            if result is not None:
+                recovered[key] = result
+        return recovered
+
+    def stored_keys(self) -> Iterable[str]:
+        """Fingerprints that have an entry file on disk (validity unchecked)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def _skip(self, key: str, reason: str) -> None:
+        warnings.warn(
+            f"result store {self.root}: skipping entry {key[:12]}…: {reason}; "
+            "the item will be re-executed",
+            StoreWarning,
+            stacklevel=3,
+        )

@@ -1,0 +1,290 @@
+"""Sharded work queue: a :class:`SweepSpec` exploded into idempotent items.
+
+The execution plane treats a parameter study not as one monolithic map call
+but as a queue of independent :class:`WorkItem` s — one per (sweep point,
+replication seed) pair, keyed by the spec's existing configuration
+fingerprint.  Workers *pull* items from the queue under a lease; a worker
+that crashes or hangs simply lets its lease expire, after which the item is
+re-queued with exponential backoff until its retry budget is exhausted.
+Because every item carries only ``(axis values, seed)`` and its result is
+keyed by the fingerprint, execution is idempotent: running an item twice
+produces the same bits, so at-least-once delivery is safe.
+
+Item lifecycle::
+
+    PENDING ──lease()──▶ LEASED ──complete()──▶ DONE
+       ▲                    │
+       │   fail()/expired   │ attempts ≤ max_retries: re-queue with backoff
+       └────────────────────┤
+                            ▼ attempts >  max_retries
+                          FAILED        (terminal; surfaces in StudyResult
+                                         assembly as a StudyExecutionError)
+
+The queue itself is a plain in-process data structure — single-host backends
+share it directly, and :meth:`WorkQueue.mark_done` lets a
+:class:`~repro.experiments.exec.store.ResultStore` reconstruct queue state
+from disk when a study is resumed after a crash.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, TYPE_CHECKING
+
+from repro.core.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.study import SweepSpec
+
+#: Default wall-clock seconds a lease stays valid before the item is
+#: considered crashed/hung and re-queued.
+DEFAULT_LEASE_TIMEOUT = 300.0
+
+#: Default number of *re*-tries after the first attempt fails.
+DEFAULT_MAX_RETRIES = 2
+
+#: Base of the exponential retry backoff (seconds): attempt ``n`` waits
+#: ``backoff_base * 2**(n-1)`` before becoming leasable again.
+DEFAULT_BACKOFF_BASE = 0.25
+
+
+class WorkItemState(enum.Enum):
+    """Lifecycle state of one work item."""
+
+    PENDING = "pending"
+    LEASED = "leased"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class WorkItem:
+    """One idempotent unit of study work: a (sweep point, seed) scenario run.
+
+    Attributes:
+        key: The spec's configuration fingerprint of this (point, seed) run —
+            the content address under which the result is stored.  Two items
+            may share a key (e.g. a sweep axis listing the same value twice);
+            they stay distinct queue entries but share one stored result.
+        point_index: Index of the sweep point in cartesian order.
+        replication: Replication index (``seed = base_seed + replication``).
+        seed: The RNG seed this run uses.
+        values: The point's axis values.
+        state: Current :class:`WorkItemState` (managed by the queue).
+        attempts: Number of leases handed out so far.
+        not_before: Earliest wall-clock time the item may be leased again
+            (retry backoff).
+        lease_deadline: Wall-clock expiry of the current lease, while LEASED.
+        worker: Identifier of the current/last lease holder.
+        error: Last failure description, if any.
+    """
+
+    key: str
+    point_index: int
+    replication: int
+    seed: int
+    values: Mapping[str, object]
+    state: WorkItemState = WorkItemState.PENDING
+    attempts: int = 0
+    not_before: float = 0.0
+    lease_deadline: Optional[float] = None
+    worker: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def item_id(self) -> str:
+        """Stable human-readable identity (``point:replication``)."""
+        return f"{self.point_index}:{self.replication}"
+
+
+class WorkQueue:
+    """In-process queue of :class:`WorkItem` s with leases, retry and backoff.
+
+    Args:
+        items: The items to execute, in deterministic (point-major,
+            replication-minor) order — the order :meth:`lease` hands them out.
+        lease_timeout: Seconds before a leased item is presumed crashed.
+        max_retries: Re-tries granted after the first failed attempt; an item
+            whose failures exceed the budget turns terminally FAILED.
+        backoff_base: Base of the exponential retry backoff in seconds.
+    """
+
+    def __init__(
+        self,
+        items: List[WorkItem],
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ConfigurationError("lease_timeout must be positive")
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        self.items = list(items)
+        self.lease_timeout = lease_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.retried = 0  #: total re-queues (failures + expired leases)
+        ids = [item.item_id for item in self.items]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("duplicate work-item identities in queue")
+
+    # ------------------------------------------------------------------
+    # Construction from a sweep
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: "SweepSpec", **queue_options: object) -> "WorkQueue":
+        """Explode ``spec`` into one item per (point, replication seed).
+
+        Items are ordered point-major / replication-minor, matching the order
+        the legacy executor materialised its task list, so serial execution
+        visits scenarios in the historical order.
+        """
+        items = [
+            WorkItem(
+                key=spec.fingerprint(point.values, seed),
+                point_index=point.index,
+                replication=rep,
+                seed=seed,
+                values=dict(point.values),
+            )
+            for point in spec.points()
+            for rep, seed in enumerate(spec.seeds())
+        ]
+        return cls(items, **queue_options)
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+    def lease(self, worker: str, now: float = 0.0) -> Optional[WorkItem]:
+        """Hand the next leasable PENDING item to ``worker``; None if none.
+
+        Items in retry backoff (``not_before`` in the future) are skipped;
+        use :meth:`seconds_until_ready` to find out how long to wait when
+        ``lease`` returns None while :attr:`pending_count` is non-zero.
+        """
+        for item in self.items:
+            if item.state is WorkItemState.PENDING and item.not_before <= now:
+                item.state = WorkItemState.LEASED
+                item.worker = worker
+                item.attempts += 1
+                item.lease_deadline = now + self.lease_timeout
+                return item
+        return None
+
+    def complete(self, item: WorkItem) -> None:
+        """Mark a leased item DONE."""
+        self._expect(item, WorkItemState.LEASED, "complete")
+        item.state = WorkItemState.DONE
+        item.lease_deadline = None
+        item.error = None
+
+    def mark_done(self, item: WorkItem) -> None:
+        """Mark a PENDING item DONE without executing it (resume-from-store)."""
+        self._expect(item, WorkItemState.PENDING, "mark_done")
+        item.state = WorkItemState.DONE
+
+    def fail(self, item: WorkItem, error: str, now: float = 0.0) -> WorkItemState:
+        """Record a failed attempt; re-queue with backoff or turn FAILED.
+
+        Returns:
+            The item's new state — PENDING when a retry was granted,
+            FAILED when the retry budget is exhausted.
+        """
+        self._expect(item, WorkItemState.LEASED, "fail")
+        item.error = error
+        item.lease_deadline = None
+        if item.attempts > self.max_retries:
+            item.state = WorkItemState.FAILED
+        else:
+            item.state = WorkItemState.PENDING
+            item.not_before = now + self.backoff_base * (2 ** (item.attempts - 1))
+            self.retried += 1
+        return item.state
+
+    def expire_leases(self, now: float) -> List[WorkItem]:
+        """Re-queue (or fail) every leased item whose lease deadline passed.
+
+        This is the crash/hang recovery path: a worker that died holding a
+        lease never calls :meth:`complete`, so the driver periodically sweeps
+        expired leases back into the queue.
+
+        Returns:
+            The items whose leases expired (after their state transition).
+        """
+        expired = [
+            item for item in self.items
+            if item.state is WorkItemState.LEASED
+            and item.lease_deadline is not None and item.lease_deadline <= now
+        ]
+        for item in expired:
+            self.fail(item, f"lease expired (worker {item.worker})", now)
+        return expired
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _expect(self, item: WorkItem, state: WorkItemState, op: str) -> None:
+        if item.state is not state:
+            raise ConfigurationError(
+                f"cannot {op} item {item.item_id} in state {item.state.value}"
+            )
+
+    def _count(self, state: WorkItemState) -> int:
+        return sum(1 for item in self.items if item.state is state)
+
+    @property
+    def pending_count(self) -> int:
+        """Items waiting to be leased (including those in backoff)."""
+        return self._count(WorkItemState.PENDING)
+
+    @property
+    def leased_count(self) -> int:
+        """Items currently out under a lease."""
+        return self._count(WorkItemState.LEASED)
+
+    @property
+    def done_count(self) -> int:
+        """Items finished successfully (including resumed-from-store)."""
+        return self._count(WorkItemState.DONE)
+
+    @property
+    def failed_count(self) -> int:
+        """Items that exhausted their retry budget."""
+        return self._count(WorkItemState.FAILED)
+
+    @property
+    def total(self) -> int:
+        """Total number of work items."""
+        return len(self.items)
+
+    @property
+    def finished(self) -> bool:
+        """True when nothing is pending or leased (DONE/FAILED only)."""
+        return self.pending_count == 0 and self.leased_count == 0
+
+    def failed_items(self) -> List[WorkItem]:
+        """The terminally failed items, in queue order."""
+        return [i for i in self.items if i.state is WorkItemState.FAILED]
+
+    def seconds_until_ready(self, now: float) -> float:
+        """Seconds until the earliest backoff expires; 0 if leasable now,
+        ``inf`` when nothing is pending."""
+        waits = [item.not_before - now for item in self.items
+                 if item.state is WorkItemState.PENDING]
+        if not waits:
+            return math.inf
+        return max(0.0, min(waits))
+
+    def counts(self) -> Dict[str, int]:
+        """State histogram plus the cumulative retry count."""
+        return {
+            "pending": self.pending_count,
+            "leased": self.leased_count,
+            "done": self.done_count,
+            "failed": self.failed_count,
+            "retried": self.retried,
+            "total": self.total,
+        }

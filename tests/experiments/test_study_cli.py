@@ -1,0 +1,79 @@
+"""Tests for the ``python -m repro.experiments.study`` command line."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.study import main
+
+
+def run_args(*extra: str) -> list:
+    """A minimal fast study invocation."""
+    return ["--variants", "vegas", "--hops", "2", "--packets", "15",
+            "--replications", "1", "--quiet", *extra]
+
+
+class TestListBackends:
+    def test_lists_registered_backends(self, capsys):
+        assert main(["--list-backends"]) == 0
+        out = capsys.readouterr().out
+        assert "serial" in out and "process-pool" in out
+        assert "reference in-process loop" in out
+
+
+class TestErrors:
+    def test_unknown_backend_exits_2_with_suggestion(self, capsys):
+        assert main(run_args("--backend", "proces-pool")) == 2
+        err = capsys.readouterr().err
+        assert "unknown executor backend" in err
+        assert "did you mean 'process-pool'" in err
+        assert "--list-backends" in err
+
+    def test_unknown_topology_exits_2(self, capsys):
+        assert main(run_args("--topology", "torus")) == 2
+        assert capsys.readouterr().err
+
+    def test_resume_without_store_exits_2(self, capsys):
+        assert main(run_args("--resume")) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_resume_with_missing_store_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "never-created"
+        assert main(run_args("--resume", "--store", str(missing))) == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_bad_axis_syntax_exits_2(self, capsys):
+        assert main(run_args("--axis", "hops")) == 2
+        assert "--axis expects" in capsys.readouterr().err
+
+
+class TestRuns:
+    def test_run_prints_goodput_table(self, capsys):
+        assert main(run_args("--backend", "serial")) == 0
+        out = capsys.readouterr().out
+        assert "goodput [kbit/s]" in out
+        assert "variant=Vegas, hops=2" in out
+
+    def test_progress_line_rendered_without_quiet(self, capsys):
+        args = [a for a in run_args("--backend", "serial") if a != "--quiet"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "1/1 done" in out
+
+    def test_save_writes_study_json(self, tmp_path, capsys):
+        out_path = tmp_path / "study.json"
+        assert main(run_args("--backend", "serial",
+                             "--save", str(out_path))) == 0
+        data = json.loads(out_path.read_text())
+        assert data["schema"] == 1
+        assert len(data["points"]) == 1
+
+    def test_fail_after_exits_3_then_resume_succeeds(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        args = run_args("--backend", "serial", "--store", str(store))
+        assert main([*args, "--fail-after", "0"]) == 3
+        assert "simulated crash" in capsys.readouterr().err
+        assert main([*args, "--resume"]) == 0
+        assert "goodput" in capsys.readouterr().out

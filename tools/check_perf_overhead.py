@@ -14,7 +14,13 @@ benchmarks.perf [--smoke]``) against the committed baseline
 2. the metrics-*enabled* chain run costs more than ``--max-metrics-overhead``
    times the metrics-disabled wall time (``chain7_metrics.overhead_vs_disabled``,
    also a same-process ratio), which bounds the price of the time-series
-   plane itself.
+   plane itself; or
+3. the study execution plane regressed: ``study_throughput.points_per_sec``
+   is missing/non-finite, or a warm resume of a fully checkpointed study
+   costs more than ``--max-resume-overhead`` times the cold run
+   (``study_throughput.resume_overhead``, a same-process ratio — the warm
+   run executes zero scenarios, so it prices the queue/store/aggregation
+   machinery alone).
 
 The golden-trace suite (``tests/regression``) separately pins that
 metrics-disabled runs stay behaviourally bit-identical; this script pins
@@ -40,6 +46,7 @@ from pathlib import Path
 #: slowdowns), not single-digit-percent jitter.
 DEFAULT_TOLERANCE = 0.5
 DEFAULT_MAX_METRICS_OVERHEAD = 2.0
+DEFAULT_MAX_RESUME_OVERHEAD = 0.5
 
 
 def _load(path: Path) -> dict:
@@ -50,7 +57,8 @@ def _load(path: Path) -> dict:
 
 
 def check(current: dict, baseline: dict, tolerance: float,
-          max_metrics_overhead: float) -> list:
+          max_metrics_overhead: float,
+          max_resume_overhead: float = DEFAULT_MAX_RESUME_OVERHEAD) -> list:
     """Return a list of human-readable failure strings (empty = pass)."""
     failures = []
     compared = 0
@@ -83,6 +91,20 @@ def check(current: dict, baseline: dict, tolerance: float,
                 f"chain7_metrics: metrics-enabled run costs {overhead:.2f}x the "
                 f"disabled run (limit {max_metrics_overhead:.2f}x)"
             )
+
+    study_bench = current.get("study_throughput")
+    if study_bench is not None:
+        rate = study_bench.get("points_per_sec")
+        if rate is None or not math.isfinite(rate) or rate <= 0:
+            failures.append("study_throughput: missing/non-finite points_per_sec")
+        resume = study_bench.get("resume_overhead")
+        if resume is None or not math.isfinite(resume):
+            failures.append("study_throughput: missing resume_overhead")
+        elif resume > max_resume_overhead:
+            failures.append(
+                f"study_throughput: warm resume costs {resume:.2f}x the cold "
+                f"run (limit {max_resume_overhead:.2f}x)"
+            )
     return failures
 
 
@@ -99,10 +121,15 @@ def main(argv=None) -> int:
                         default=DEFAULT_MAX_METRICS_OVERHEAD,
                         help="allowed wall-time ratio of the metrics-enabled "
                              "chain run (default: %(default)s)")
+    parser.add_argument("--max-resume-overhead", type=float,
+                        default=DEFAULT_MAX_RESUME_OVERHEAD,
+                        help="allowed warm-resume/cold wall-time ratio of the "
+                             "study benchmark (default: %(default)s)")
     args = parser.parse_args(argv)
 
     failures = check(_load(args.report), _load(args.baseline),
-                     args.tolerance, args.max_metrics_overhead)
+                     args.tolerance, args.max_metrics_overhead,
+                     args.max_resume_overhead)
     if failures:
         print("perf overhead check FAILED:")
         for failure in failures:
