@@ -33,7 +33,9 @@ import time as _time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, TYPE_CHECKING, Union
+from typing import (
+    Callable, Dict, List, Mapping, Optional, Tuple, TYPE_CHECKING, Union,
+)
 
 from repro.core.errors import ConfigurationError, SimulationError
 from repro.core.tracing import NULL_TRACER, Tracer
@@ -180,6 +182,25 @@ class ExecutionContext:
     def complete(self, item: WorkItem, result: ScenarioResult) -> None:
         """Checkpoint + aggregate one finished item; honours ``fail_after``."""
         self.queue.complete(item)
+        self._record(item, result)
+
+    def salvage(self, item: WorkItem, result: ScenarioResult) -> None:
+        """Keep the late result of a lease-expired worker that finished.
+
+        The item's lease expired (it is back in PENDING awaiting retry) but
+        the original worker produced its result after all.  Items are
+        idempotent, so the late result is bit-identical to what a re-run
+        would produce — record it and skip the re-execution.
+        """
+        self.queue.mark_done(item)
+        if self.store is not None:
+            self.store.append_journal({
+                "event": "salvaged", "item": item.item_id, "key": item.key,
+                "attempts": item.attempts,
+            })
+        self._record(item, result)
+
+    def _record(self, item: WorkItem, result: ScenarioResult) -> None:
         if self.store is not None:
             self.store.put(item.key, result)
         self.aggregator.add(item.point_index, item.replication, result)
@@ -187,6 +208,17 @@ class ExecutionContext:
         self.notify()
         if self.fail_after is not None and self._executed >= self.fail_after:
             raise SimulatedCrash(self._executed)
+
+    def fail_item(self, item: WorkItem, exc: BaseException) -> None:
+        """Record one failed attempt, retrying unless clearly non-transient.
+
+        A :class:`ConfigurationError` (bad sweep point) fails the same way on
+        every attempt, so it turns the item terminally FAILED immediately
+        instead of burning the retry budget on re-simulating it.
+        """
+        terminal = isinstance(exc, ConfigurationError)
+        self.queue.fail(item, repr(exc), self.clock(), terminal=terminal)
+        self.record_failure(item, repr(exc))
 
     def record_failure(self, item: WorkItem, error: str) -> None:
         """Journal + report one failed attempt (item already transitioned)."""
@@ -227,9 +259,8 @@ def _run_serial(ctx: ExecutionContext) -> None:
             break
         try:
             result = ctx.task(ctx.spec, item.values, item.seed, ctx.tracer)
-        except Exception as exc:  # noqa: BLE001 - any task failure retries
-            queue.fail(item, repr(exc), ctx.clock())
-            ctx.record_failure(item, repr(exc))
+        except Exception as exc:  # noqa: BLE001 - task failures retry/fail
+            ctx.fail_item(item, exc)
         else:
             ctx.complete(item, result)
 
@@ -242,20 +273,40 @@ def _run_process_pool(ctx: ExecutionContext) -> None:
     pending and re-queued retries are dispatched without waiting for a chunk
     boundary.  A worker-process death (``BrokenProcessPool``) re-queues every
     in-flight item with backoff and rebuilds the pool; the study continues.
+
+    Every submission records the item's lease token (its ``attempts`` count
+    at submit time).  A future whose token no longer matches the item's
+    current lease is *stale* — its lease expired and the item was re-queued
+    while the worker was still running.  Stale completions never transition
+    the queue (the item may be PENDING, re-LEASED or already DONE by then);
+    a stale *success* whose item is still awaiting retry is salvaged instead
+    of re-executed, because items are idempotent.
     """
     queue = ctx.queue
     if queue.finished:
         return
     workers = ctx.worker_count()
     pool = ProcessPoolExecutor(max_workers=workers)
-    in_flight: Dict[object, WorkItem] = {}
+    #: future -> (item, lease token at submit time)
+    in_flight: Dict[object, Tuple[WorkItem, int]] = {}
+
+    def holds_lease(item: WorkItem, token: int) -> bool:
+        """True while ``token`` is still the item's current lease."""
+        return (item.state is WorkItemState.LEASED
+                and item.attempts == token)
 
     def crash_recovery(reason: str) -> None:
-        """Re-queue every outstanding item and replace the broken pool."""
+        """Re-queue every item still leased to us and replace the pool.
+
+        Items whose lease already expired (or that were re-leased and even
+        completed since submission) are left alone — failing them here would
+        be an invalid state transition.
+        """
         nonlocal pool, in_flight
-        for doomed in in_flight.values():
-            queue.fail(doomed, reason, ctx.clock())
-            ctx.record_failure(doomed, reason)
+        for doomed, token in in_flight.values():
+            if holds_lease(doomed, token):
+                queue.fail(doomed, reason, ctx.clock())
+                ctx.record_failure(doomed, reason)
         in_flight = {}
         pool.shutdown(wait=False, cancel_futures=True)
         pool = ProcessPoolExecutor(max_workers=workers)
@@ -277,34 +328,66 @@ def _run_process_pool(ctx: ExecutionContext) -> None:
                     ctx.record_failure(item, repr(exc))
                     crash_recovery(f"worker pool broke ({exc})")
                     break
-                in_flight[future] = item
+                in_flight[future] = (item, item.attempts)
             if not in_flight:
                 if queue.pending_count:
                     _time.sleep(min(queue.seconds_until_ready(ctx.clock()),
                                     _BACKOFF_POLL))
                     continue
                 break
-            done, _ = wait(in_flight, timeout=queue.lease_timeout,
+            done, _ = wait(in_flight,
+                           timeout=_wait_timeout(ctx, in_flight, workers),
                            return_when=FIRST_COMPLETED)
             pool_broke = False
             for future in done:
-                item = in_flight.pop(future)
+                item, token = in_flight.pop(future)
+                current = holds_lease(item, token)
                 try:
                     result = future.result()
                 except BrokenProcessPool as exc:
-                    queue.fail(item, f"worker process died ({exc})",
-                               ctx.clock())
-                    ctx.record_failure(item, f"worker process died ({exc})")
+                    if current:
+                        queue.fail(item, f"worker process died ({exc})",
+                                   ctx.clock())
+                        ctx.record_failure(item,
+                                           f"worker process died ({exc})")
                     pool_broke = True
-                except Exception as exc:  # noqa: BLE001 - task failure retries
-                    queue.fail(item, repr(exc), ctx.clock())
-                    ctx.record_failure(item, repr(exc))
+                except Exception as exc:  # noqa: BLE001 - failures retry/fail
+                    if current:
+                        ctx.fail_item(item, exc)
                 else:
-                    ctx.complete(item, result)
+                    if current:
+                        ctx.complete(item, result)
+                    elif (item.state is WorkItemState.PENDING
+                          and item.attempts == token):
+                        # Hung-but-finished worker: the lease expired but the
+                        # item was not re-leased yet — keep the late result.
+                        ctx.salvage(item, result)
+                    # else: a newer lease owns (or finished) the item; drop.
             if pool_broke:
                 crash_recovery("worker pool broke; item re-queued")
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _wait_timeout(ctx: ExecutionContext,
+                  in_flight: Mapping[object, Tuple[WorkItem, int]],
+                  workers: int) -> float:
+    """How long the pool driver may block in ``wait()``.
+
+    Bounded by the earliest in-flight lease deadline (so expiry sweeps run
+    on time, not up to a full ``lease_timeout`` late) and by the earliest
+    retry-backoff expiry when there is free capacity to lease into.
+    """
+    now = ctx.clock()
+    timeout = ctx.queue.lease_timeout
+    deadlines = [item.lease_deadline for item, token in in_flight.values()
+                 if item.state is WorkItemState.LEASED
+                 and item.lease_deadline is not None]
+    if deadlines:
+        timeout = min(timeout, min(deadlines) - now)
+    if len(in_flight) < workers and ctx.queue.pending_count:
+        timeout = min(timeout, ctx.queue.seconds_until_ready(now))
+    return max(timeout, _BACKOFF_POLL)
 
 
 # ======================================================================
@@ -429,7 +512,10 @@ def execute_study(
         progress: Callback invoked with a :class:`ProgressSnapshot` after
             every queue transition.
         lease_timeout: Seconds before an unfinished lease counts as a crash.
-        max_retries: Retry budget per item beyond the first attempt.
+        max_retries: Retry budget per item beyond the first attempt.  Only
+            transient failures consume it: a :class:`ConfigurationError`
+            (e.g. a bad sweep point) is deterministic and turns the item
+            terminally FAILED without retries.
         task: The per-item callable (test seam; defaults to
             :func:`run_work_item`).
         fail_after: Test/CI hook — simulate a crash (raise

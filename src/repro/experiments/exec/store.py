@@ -144,6 +144,15 @@ class ResultStore:
                     f"(this build reads {ITEM_SCHEMA})",
                 )
                 return None
+            if "key" in data and data["key"] != key:
+                # A copied/renamed entry file: its payload belongs to a
+                # different configuration and must not satisfy this one.
+                self._skip(
+                    key,
+                    f"entry claims key {str(data['key'])[:12]}… "
+                    "(copied or renamed entry file)",
+                )
+                return None
             payload = data.get("result")
         else:
             # Pre-envelope cache entry: the raw ScenarioResult dict.

@@ -29,6 +29,7 @@ from disk when a study is resumed after a crash.
 from __future__ import annotations
 
 import enum
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, TYPE_CHECKING
@@ -130,6 +131,25 @@ class WorkQueue:
         ids = [item.item_id for item in self.items]
         if len(set(ids)) != len(ids):
             raise ConfigurationError("duplicate work-item identities in queue")
+        # Incremental bookkeeping so every transition and every counts() read
+        # is O(1) amortised instead of a full O(n) rescan of self.items —
+        # with 10k+ items a rescan per transition makes the driver O(n^2).
+        self._order = {id(item): index for index, item in enumerate(self.items)}
+        self._state_counts = {state: 0 for state in WorkItemState}
+        for item in self.items:
+            self._state_counts[item.state] += 1
+        self._leased: Dict[int, WorkItem] = {
+            id(item): item for item in self.items
+            if item.state is WorkItemState.LEASED
+        }
+        # Min-heap of (queue position, item) over PENDING items: lease() pops
+        # the earliest ready item instead of scanning from the head.  Entries
+        # whose item left PENDING out-of-band (mark_done) are dropped lazily.
+        self._ready = [
+            (index, item) for index, item in enumerate(self.items)
+            if item.state is WorkItemState.PENDING
+        ]
+        heapq.heapify(self._ready)
 
     # ------------------------------------------------------------------
     # Construction from a sweep
@@ -158,49 +178,87 @@ class WorkQueue:
     # ------------------------------------------------------------------
     # State transitions
     # ------------------------------------------------------------------
+    def _set_state(self, item: WorkItem, state: WorkItemState) -> None:
+        self._state_counts[item.state] -= 1
+        self._state_counts[state] += 1
+        item.state = state
+
     def lease(self, worker: str, now: float = 0.0) -> Optional[WorkItem]:
         """Hand the next leasable PENDING item to ``worker``; None if none.
 
-        Items in retry backoff (``not_before`` in the future) are skipped;
-        use :meth:`seconds_until_ready` to find out how long to wait when
-        ``lease`` returns None while :attr:`pending_count` is non-zero.
+        Items are handed out in queue order (a retried item keeps its
+        original position).  Items in retry backoff (``not_before`` in the
+        future) are skipped; use :meth:`seconds_until_ready` to find out how
+        long to wait when ``lease`` returns None while :attr:`pending_count`
+        is non-zero.
         """
-        for item in self.items:
-            if item.state is WorkItemState.PENDING and item.not_before <= now:
-                item.state = WorkItemState.LEASED
-                item.worker = worker
-                item.attempts += 1
-                item.lease_deadline = now + self.lease_timeout
-                return item
-        return None
+        deferred = []
+        leased: Optional[WorkItem] = None
+        while self._ready:
+            index, item = heapq.heappop(self._ready)
+            if item.state is not WorkItemState.PENDING:
+                continue  # resolved out-of-band (mark_done): drop lazily
+            if item.not_before <= now:
+                leased = item
+                break
+            deferred.append((index, item))  # in backoff: keep, but skip
+        for entry in deferred:
+            heapq.heappush(self._ready, entry)
+        if leased is None:
+            return None
+        self._set_state(leased, WorkItemState.LEASED)
+        leased.worker = worker
+        leased.attempts += 1
+        leased.lease_deadline = now + self.lease_timeout
+        self._leased[id(leased)] = leased
+        return leased
 
     def complete(self, item: WorkItem) -> None:
         """Mark a leased item DONE."""
         self._expect(item, WorkItemState.LEASED, "complete")
-        item.state = WorkItemState.DONE
+        self._set_state(item, WorkItemState.DONE)
+        self._leased.pop(id(item), None)
         item.lease_deadline = None
         item.error = None
 
     def mark_done(self, item: WorkItem) -> None:
-        """Mark a PENDING item DONE without executing it (resume-from-store)."""
-        self._expect(item, WorkItemState.PENDING, "mark_done")
-        item.state = WorkItemState.DONE
+        """Mark a PENDING item DONE without executing it.
 
-    def fail(self, item: WorkItem, error: str, now: float = 0.0) -> WorkItemState:
+        Used when the item's result materialised without this driver running
+        it: resume-from-store, and a lease-expired worker that turned out to
+        finish after all.  The item's stale ready-heap entry is dropped
+        lazily by :meth:`lease`.
+        """
+        self._expect(item, WorkItemState.PENDING, "mark_done")
+        self._set_state(item, WorkItemState.DONE)
+
+    def fail(self, item: WorkItem, error: str, now: float = 0.0,
+             terminal: bool = False) -> WorkItemState:
         """Record a failed attempt; re-queue with backoff or turn FAILED.
+
+        Args:
+            item: The leased item whose attempt failed.
+            error: Failure description, kept on the item.
+            now: Current wall-clock time (drives the retry backoff).
+            terminal: Fail the item immediately regardless of its remaining
+                retry budget — for non-transient errors (e.g. a
+                ``ConfigurationError`` from a bad sweep point) that would
+                deterministically fail every retry.
 
         Returns:
             The item's new state — PENDING when a retry was granted,
-            FAILED when the retry budget is exhausted.
+            FAILED when the retry budget is exhausted (or ``terminal``).
         """
         self._expect(item, WorkItemState.LEASED, "fail")
         item.error = error
         item.lease_deadline = None
-        if item.attempts > self.max_retries:
-            item.state = WorkItemState.FAILED
+        self._leased.pop(id(item), None)
+        if terminal or item.attempts > self.max_retries:
+            self._set_state(item, WorkItemState.FAILED)
         else:
-            item.state = WorkItemState.PENDING
+            self._set_state(item, WorkItemState.PENDING)
             item.not_before = now + self.backoff_base * (2 ** (item.attempts - 1))
+            heapq.heappush(self._ready, (self._order[id(item)], item))
             self.retried += 1
         return item.state
 
@@ -215,9 +273,8 @@ class WorkQueue:
             The items whose leases expired (after their state transition).
         """
         expired = [
-            item for item in self.items
-            if item.state is WorkItemState.LEASED
-            and item.lease_deadline is not None and item.lease_deadline <= now
+            item for item in self._leased.values()
+            if item.lease_deadline is not None and item.lease_deadline <= now
         ]
         for item in expired:
             self.fail(item, f"lease expired (worker {item.worker})", now)
@@ -232,28 +289,25 @@ class WorkQueue:
                 f"cannot {op} item {item.item_id} in state {item.state.value}"
             )
 
-    def _count(self, state: WorkItemState) -> int:
-        return sum(1 for item in self.items if item.state is state)
-
     @property
     def pending_count(self) -> int:
         """Items waiting to be leased (including those in backoff)."""
-        return self._count(WorkItemState.PENDING)
+        return self._state_counts[WorkItemState.PENDING]
 
     @property
     def leased_count(self) -> int:
         """Items currently out under a lease."""
-        return self._count(WorkItemState.LEASED)
+        return self._state_counts[WorkItemState.LEASED]
 
     @property
     def done_count(self) -> int:
         """Items finished successfully (including resumed-from-store)."""
-        return self._count(WorkItemState.DONE)
+        return self._state_counts[WorkItemState.DONE]
 
     @property
     def failed_count(self) -> int:
         """Items that exhausted their retry budget."""
-        return self._count(WorkItemState.FAILED)
+        return self._state_counts[WorkItemState.FAILED]
 
     @property
     def total(self) -> int:
@@ -272,7 +326,7 @@ class WorkQueue:
     def seconds_until_ready(self, now: float) -> float:
         """Seconds until the earliest backoff expires; 0 if leasable now,
         ``inf`` when nothing is pending."""
-        waits = [item.not_before - now for item in self.items
+        waits = [item.not_before - now for _, item in self._ready
                  if item.state is WorkItemState.PENDING]
         if not waits:
             return math.inf

@@ -644,6 +644,20 @@ class StudyRunner:
             A :class:`StudyResult` with points in cartesian sweep order and
             replications in seed order — bit-identical whether it ran
             serial, pooled, fresh or resumed.
+
+        Raises:
+            StudyExecutionError: If any work item stayed FAILED after its
+                retry budget (transient errors are retried with backoff; a
+                :class:`~repro.core.errors.ConfigurationError` from a bad
+                sweep point fails immediately, without retries).  The
+                exception carries the failed items and a partial
+                :class:`StudyResult`; with a ``cache_dir`` the completed
+                items are checkpointed, so a later :meth:`run`/:meth:`resume`
+                re-executes only the failures.  Note this wraps whatever the
+                scenario originally raised — callers that previously caught
+                the task's own exception type should catch
+                :class:`~repro.experiments.exec.backends.StudyExecutionError`
+                and inspect ``.failed[*].error``.
         """
         from repro.experiments.exec.backends import execute_study
 

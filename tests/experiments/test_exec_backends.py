@@ -171,6 +171,25 @@ class TestDriver:
         assert len(error.partial.points) == 1
         assert error.partial.points[0].values["hops"] == 2
 
+    def test_configuration_error_is_terminal_without_retry(self, canned_result):
+        # deterministic bad-sweep-point errors must not be re-simulated
+        spec = tiny_spec(axes={"hops": [2, 3]})
+        calls = []
+
+        def bad_point(spec_, values, seed, tracer=None):
+            calls.append(dict(values))
+            if values["hops"] == 3:
+                raise ConfigurationError("hops=3 is not a valid point")
+            return canned_result
+
+        with pytest.raises(StudyExecutionError) as excinfo:
+            execute_study(spec, backend="serial", task=bad_point,
+                          max_retries=5)
+        # 1 success + exactly 1 attempt for the bad point — no retries
+        assert len(calls) == 2
+        assert len(excinfo.value.failed) == 1
+        assert "hops=3" in str(excinfo.value)
+
     def test_retry_recovers_transient_failure(self, canned_result):
         spec = tiny_spec(axes={"hops": [2]})
         attempts = []

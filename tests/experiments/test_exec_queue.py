@@ -119,6 +119,23 @@ class TestLifecycle:
         item = queue.lease("w")
         assert queue.fail(item, "boom") is WorkItemState.FAILED
 
+    def test_terminal_fail_skips_remaining_retry_budget(self):
+        # non-transient errors (bad sweep point) must not burn retries
+        queue = WorkQueue(two_items().items, max_retries=5)
+        item = queue.lease("w")
+        assert queue.fail(item, "bad config", terminal=True) \
+            is WorkItemState.FAILED
+        assert queue.retried == 0
+        assert queue.failed_items() == [item]
+
+    def test_retried_item_keeps_queue_position(self):
+        # a retried early item is re-leased before later never-run items
+        queue = WorkQueue(two_items().items, backoff_base=0.0, max_retries=2)
+        first = queue.lease("w")
+        assert first is queue.items[0]
+        queue.fail(first, "boom")
+        assert queue.lease("w") is queue.items[0]
+
     def test_expire_leases_requeues_crashed_workers(self):
         queue = WorkQueue(two_items().items, lease_timeout=50.0,
                           backoff_base=0.0)

@@ -103,6 +103,16 @@ class TestInvalidEntries:
         with pytest.warns(StoreWarning, match="schema version"):
             assert store.get("item") is None
 
+    def test_key_mismatch_skipped(self, tmp_path, result):
+        # a copied/renamed entry file must not satisfy a different fingerprint
+        store = ResultStore(tmp_path)
+        store.put("original", result)
+        text = store.item_path("original").read_text()
+        store.item_path("copied").write_text(text)
+        with pytest.warns(StoreWarning, match="copied or renamed"):
+            assert store.get("copied") is None
+        assert store.get("original") == result
+
     def test_undecodable_payload_skipped(self, tmp_path):
         store = ResultStore(tmp_path)
         store.item_path("bad").parent.mkdir(exist_ok=True)

@@ -13,6 +13,7 @@ import itertools
 import json
 import os
 import signal
+import time
 from pathlib import Path
 
 import pytest
@@ -123,6 +124,36 @@ def _die_once_task(spec, values, seed, tracer=None):
         marker.write_text("worker died here")
         os.kill(os.getpid(), signal.SIGKILL)
     return run_work_item(spec, values, seed)
+
+
+# Module-level so it pickles by reference into pool worker processes.
+def _slow_logged_task(spec, values, seed, tracer=None):
+    log = Path(os.environ["REPRO_TEST_SLOW_LOG"])
+    with log.open("a") as handle:
+        handle.write(f"{sorted(values.items())}:{seed}\n")
+    time.sleep(0.6)
+    return run_work_item(spec, values, seed)
+
+
+class TestHungWorkerRecovery:
+    def test_worker_outliving_its_lease_does_not_crash_the_study(
+            self, tmp_path, monkeypatch):
+        # Every task runs longer than the lease timeout, so each lease
+        # expires while its pool future is still running.  The driver must
+        # not treat the late completion as a live lease (that used to raise
+        # ConfigurationError and kill the study); since the item was not
+        # re-leased yet, the late result is salvaged without re-execution.
+        log = tmp_path / "executions.log"
+        monkeypatch.setenv("REPRO_TEST_SLOW_LOG", str(log))
+        spec = small_spec(axes={"hops": [2]}, replications=2)
+
+        study = execute_study(spec, backend="process-pool", max_workers=1,
+                              task=_slow_logged_task, lease_timeout=0.2)
+
+        assert study == execute_study(spec, backend="serial")
+        # each item executed exactly once: late results were salvaged,
+        # never double-executed
+        assert len(log.read_text().splitlines()) == 2
 
 
 class TestProcessPoolWorkerDeath:
