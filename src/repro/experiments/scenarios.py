@@ -181,9 +181,50 @@ def _random50_tcp_with_udp_background() -> ScenarioSpec:
     )
 
 
+def city_scenario_spec(
+    mobility: str = "random-waypoint",
+    node_count: int = 1000,
+    seed: int = 1,
+) -> ScenarioSpec:
+    """A city-scale mobile mesh spec: 1k-node random field, ten NewReno flows.
+
+    The placement comes from
+    :func:`repro.topology.random_topology.city_topology` (paper node density,
+    ~8x the paper's area) and the flows are lifted into an explicit Workload
+    API v2 flow list; only the channel's grid spatial index makes populations
+    of this size tractable.  ``mobility`` selects any registered mobile
+    profile — the shipped presets use ``random-waypoint`` and ``manhattan``.
+
+    Args:
+        mobility: Registered mobility-profile name.
+        node_count: Mesh size (1000 for the named presets).
+        seed: Placement/flow seed.
+    """
+    from repro.topology.random_topology import city_topology
+
+    topology = city_topology(node_count=node_count, seed=seed)
+    return ScenarioSpec(
+        name=f"city{node_count}-{mobility}",
+        topology=topology,
+        workload=Workload.from_topology(topology, variant="newreno"),
+        config=ScenarioConfig(
+            variant="newreno",
+            bandwidth_mbps=2.0,
+            mobility=mobility,
+            # One update per simulated second: at pedestrian/vehicular speeds
+            # nodes move a few metres between updates, far below the 250 m
+            # transmission range, and the grid re-buckets only cell crossers.
+            mobility_update_interval=1.0,
+            max_sim_time=300.0,
+        ),
+    )
+
+
 register_scenario("chain7-mixed-newreno-vegas", _chain7_mixed_newreno_vegas)
 register_scenario("random50-tcp-with-udp-background",
                   _random50_tcp_with_udp_background)
+register_scenario("city1k-rwp", lambda: city_scenario_spec("random-waypoint"))
+register_scenario("city1k-manhattan", lambda: city_scenario_spec("manhattan"))
 
 
 #: Snapshot (a copy) of the preset table at import time, kept for backwards

@@ -9,7 +9,7 @@ organised like the rest of the stack:
   :class:`MobilityManager` that advances every node through periodic engine
   events and pushes changed positions into the wireless channel;
 * :mod:`repro.mobility.models` — the built-in models (static,
-  random waypoint, random walk);
+  random waypoint, random walk, Manhattan grid);
 * :mod:`repro.mobility.registry` — the :class:`MobilityProfile` registry,
   mirroring :mod:`repro.transport.registry` and
   :mod:`repro.topology.registry`: scenario presets and
@@ -20,6 +20,7 @@ See ``docs/mobility.md`` for the design rationale and a worked example.
 
 from repro.mobility.base import MobilityArea, MobilityManager, MobilityModel
 from repro.mobility.models import (
+    ManhattanGridMobility,
     RandomWalkMobility,
     RandomWaypointMobility,
     StaticMobility,
@@ -40,6 +41,7 @@ __all__ = [
     "StaticMobility",
     "RandomWaypointMobility",
     "RandomWalkMobility",
+    "ManhattanGridMobility",
     "MobilityProfile",
     "register_mobility",
     "unregister_mobility",

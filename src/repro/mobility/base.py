@@ -162,9 +162,11 @@ class MobilityStats:
     position_changes = instrument_property(
         "_position_changes", "Individual node moves applied to the channel.")
     links_broken = instrument_property(
-        "_links_broken", "Transmission-range links lost to movement.")
+        "_links_broken",
+        "Transmission-range links lost to movement or scripted outage.")
     links_formed = instrument_property(
-        "_links_formed", "Transmission-range links created by movement.")
+        "_links_formed",
+        "Transmission-range links created by movement or outage recovery.")
 
 
 class MobilityManager:
@@ -214,6 +216,7 @@ class MobilityManager:
         self._node_ids: List[int] = sorted(channel.node_ids)
         self._started = False
         self._links: Set[Tuple[int, int]] = set()
+        self._seen_impairments = channel.impairment_generation
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -231,6 +234,7 @@ class MobilityManager:
         positions = {node: self.channel.position_of(node) for node in self._node_ids}
         self.model.bind(positions, area_around(positions.values()), self.rng)
         self._links = self._current_links()
+        self._seen_impairments = self.channel.impairment_generation
         self.metrics.add_probe(
             "mobility.active_links", lambda: len(self._links), unit="links",
             description="Bidirectional in-transmission-range pairs.")
@@ -253,11 +257,27 @@ class MobilityManager:
         stats = self.stats
         stats._updates.value += 1
         stats._position_changes.value += len(moved)
-        self._diff_links(moved)
+        if moved or channel.impairment_generation != self._seen_impairments:
+            self._diff_links(moved)
+        elif self.tracer.enabled:
+            # Nothing moved and no impairment changed, so the link set is
+            # provably unchanged and the O(N·k) recompute is skipped — but the
+            # per-update trace record is still emitted so traces stay
+            # bit-identical to an unconditional diff.
+            self.tracer.record(self.sim.now, "mobility", "update",
+                               moved=0, broken=0, formed=0)
         self.sim.schedule(self.update_interval, self._update)
 
     def _diff_links(self, moved: Dict[int, Position]) -> None:
-        """Update the link-churn stats (and trace the individual changes)."""
+        """Update the link-churn stats (and trace the individual changes).
+
+        Runs when at least one node moved or a scripted impairment (node
+        down, link blocked) changed since the last diff; both movement and
+        outages can break or form links, and both flow through this single
+        path so ``mobility.active_links`` and the ``link_up``/``link_down``
+        trace stream always reflect the channel's delivery reality.
+        """
+        self._seen_impairments = self.channel.impairment_generation
         links = self._current_links()
         broken = sorted(self._links - links)
         formed = sorted(links - self._links)
@@ -277,8 +297,10 @@ class MobilityManager:
     def _current_links(self) -> Set[Tuple[int, int]]:
         """All bidirectional in-transmission-range pairs, as ordered tuples.
 
-        Delegates the in-range test to the channel's own neighbour view so
-        the link diff can never diverge from what the radios experience.
+        Delegates the in-range test to the channel's own neighbour view —
+        grid-indexed and impairment-aware — so the link diff costs O(N·k) in
+        the local neighbourhood size and can never diverge from what the
+        radios experience.
         """
         neighbors_of = self.channel.neighbors_of
         return {(a, b)

@@ -19,10 +19,10 @@ Registering a custom model::
     from repro.mobility.registry import MobilityProfile, register_mobility
 
     register_mobility(MobilityProfile(
-        name="manhattan",
-        builder=lambda speed, pause: ManhattanMobility(speed, block=100.0),
-        description="grid-street movement",
-        preset_tag="mht",
+        name="gauss-markov",
+        builder=lambda speed, pause: GaussMarkovMobility(speed, alpha=0.8),
+        description="temporally correlated heading drift",
+        preset_tag="gm",
     ))
 """
 
@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.errors import ConfigurationError
 from repro.mobility.base import MobilityModel
 from repro.mobility.models import (
+    ManhattanGridMobility,
     RandomWalkMobility,
     RandomWaypointMobility,
     StaticMobility,
@@ -176,4 +177,17 @@ register_mobility(MobilityProfile(
     preset_tag="rwalk",
     default_speed=5.0,
     default_pause=5.0,
+))
+
+register_mobility(MobilityProfile(
+    name="manhattan",
+    # pause maps onto the per-intersection stop; block size stays at the
+    # model's 100 m city-block default.
+    builder=lambda speed, pause: ManhattanGridMobility(
+        speed=speed, pause_time=pause,
+    ),
+    description="street-grid movement with probabilistic turns at intersections",
+    preset_tag="mht",
+    default_speed=8.0,
+    default_pause=1.0,
 ))

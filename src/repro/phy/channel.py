@@ -6,17 +6,26 @@ the signal to every other radio within interference range.  Radios within the
 and interference range only sense energy — these are the nodes whose concurrent
 transmissions create hidden-terminal collisions.
 
+In-range queries are answered from a :class:`~repro.phy.spatial.GridIndex`
+with a cell side of one interference range: a sender's potential receivers all
+live in the 3×3 cell block around it, so building a delivery list costs O(k)
+in the local node count instead of O(N) over the whole population.  Delivery
+lists are still emitted in *registration order* — the grid only narrows the
+candidate set, it never reorders scheduled deliveries — which keeps golden
+traces bit-identical to the pre-index channel.
+
 Positions may change mid-run: a :class:`~repro.mobility.base.MobilityManager`
 pushes updated positions through :meth:`WirelessChannel.set_positions`, which
-invalidates the cached link classifications so reachability is recomputed from
-the new geometry on the next transmission.  Static scenarios never invalidate
-and keep the fully cached fast path.
+re-buckets the movers and invalidates only the cached link classifications
+that involve a moved node's old or new neighbourhood (falling back to a full
+wipe when most of the population moves at once, the mobile steady state).
+Static scenarios never invalidate and keep the fully cached fast path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.engine import Simulator
 from repro.core.errors import ConfigurationError
@@ -24,6 +33,12 @@ from repro.core.tracing import NULL_TRACER, Tracer
 from repro.net.packet import Packet
 from repro.phy.propagation import Position, RangePropagationModel
 from repro.phy.radio import Radio
+from repro.phy.spatial import GridIndex
+
+#: When at least this fraction of the population moves in one batch, the
+#: incremental per-neighbourhood invalidation would visit nearly every node
+#: anyway — wipe the caches outright instead.
+_FULL_INVALIDATION_FRACTION = 1 / 3
 
 
 @dataclass
@@ -57,10 +72,18 @@ class WirelessChannel:
         self.stats = ChannelStats()
         self._radios: Dict[int, Radio] = {}
         self._positions: Dict[int, Position] = {}
+        # Spatial index over positions; one interference range per cell, so
+        # every in-range query is a 3×3 neighbourhood walk.
+        self._grid = GridIndex(cell_size=self.propagation.max_range)
+        # Registration order per node: the grid returns candidates in set
+        # order, delivery lists and neighbour views sort back into the order
+        # radios registered (the pre-index iteration order golden traces pin).
+        self._registration_index: Dict[int, int] = {}
         # Cache of (receivable, interferes, delay, power) per ordered node
-        # pair, invalidated only when a position changes — never during a
-        # static run, once per mobility update interval during a mobile one.
-        self._link_cache: Dict[Tuple[int, int], Tuple[bool, bool, float, float]] = {}
+        # pair, keyed source-first so all of one source's entries can be
+        # dropped in one pop.  Invalidated only for neighbourhoods around
+        # moved nodes — never during a static run.
+        self._link_cache: Dict[int, Dict[int, Tuple[bool, bool, float, float]]] = {}
         # Per-sender delivery list: (radio, delay, receivable, power) for every
         # radio inside interference range, in registration order.  Lets
         # broadcast() skip out-of-range radios without touching them.
@@ -69,6 +92,7 @@ class WirelessChannel:
         # and receive nothing; blocked (unordered) node pairs exchange nothing.
         self._down_nodes: Set[int] = set()
         self._blocked_links: Set[Tuple[int, int]] = set()
+        self._impairment_generation = 0
 
     # ------------------------------------------------------------------
     # Registration / topology
@@ -79,25 +103,30 @@ class WirelessChannel:
             raise ConfigurationError(f"node {radio.node_id} already registered on channel")
         self._radios[radio.node_id] = radio
         self._positions[radio.node_id] = position
+        self._registration_index[radio.node_id] = len(self._registration_index)
+        self._grid.insert(radio.node_id, position)
         self._link_cache.clear()
         self._delivery_cache.clear()
 
     def set_position(self, node_id: int, position: Position) -> None:
-        """Move a node (invalidates the link and delivery caches)."""
-        if node_id not in self._radios:
-            raise ConfigurationError(f"unknown node {node_id}")
-        self._positions[node_id] = position
-        self._link_cache.clear()
-        self._delivery_cache.clear()
+        """Move a node (invalidates the link and delivery caches around it)."""
+        self.set_positions({node_id: position})
 
     def set_positions(self, positions: Mapping[int, Position]) -> None:
-        """Move several nodes with a single cache invalidation.
+        """Move several nodes with a single cache invalidation pass.
 
         This is the mobility hot path: a
         :class:`~repro.mobility.base.MobilityManager` moves most of the
         population every update interval, so per-node :meth:`set_position`
-        calls would clear the caches once per node instead of once per
-        update.  Unknown node ids are rejected before any position changes.
+        calls would invalidate once per node instead of once per update.
+        Unknown node ids are rejected before any position changes.
+
+        Invalidation is incremental: only link/delivery cache entries whose
+        source lies in a moved node's old or new 3×3 cell neighbourhood (or
+        is itself a mover) are dropped — a node far from every mover keeps
+        its cached delivery list.  When a large fraction of the population
+        moves in one batch the caches are wiped outright, which is cheaper
+        than walking nearly every neighbourhood.
 
         Raises:
             ConfigurationError: If any node id is not registered.
@@ -107,26 +136,100 @@ class WirelessChannel:
         unknown = [node_id for node_id in positions if node_id not in self._radios]
         if unknown:
             raise ConfigurationError(f"unknown nodes {sorted(unknown)}")
-        self._positions.update(positions)
-        self._link_cache.clear()
-        self._delivery_cache.clear()
+        grid = self._grid
+        own_positions = self._positions
+        if len(positions) >= _FULL_INVALIDATION_FRACTION * len(self._radios):
+            own_positions.update(positions)
+            for node_id, position in positions.items():
+                grid.move(node_id, position)
+            self._link_cache.clear()
+            self._delivery_cache.clear()
+            return
+        affected: Set[int] = set(positions)
+        for node_id, position in positions.items():
+            affected.update(grid.neighborhood(node_id))
+            own_positions[node_id] = position
+            if grid.move(node_id, position):
+                affected.update(grid.neighborhood(node_id))
+        self._invalidate(affected)
+
+    def _invalidate(self, node_ids: Iterable[int]) -> None:
+        """Drop the cached links and delivery lists sourced at ``node_ids``.
+
+        Sufficient after a batch move with ``node_ids`` covering the movers
+        plus their old and new neighbourhoods: any pair that was or becomes
+        interfering has its source in that set, so entries left behind are
+        non-interfering both before and after the move and classify the pair
+        identically.
+        """
+        link_cache = self._link_cache
+        delivery_cache = self._delivery_cache
+        for node_id in node_ids:
+            link_cache.pop(node_id, None)
+            delivery_cache.pop(node_id, None)
 
     def position_of(self, node_id: int) -> Position:
-        """Return the position of ``node_id``."""
-        return self._positions[node_id]
+        """Return the position of ``node_id``.
+
+        Raises:
+            ConfigurationError: If the node is not registered.
+        """
+        position = self._positions.get(node_id)
+        if position is None:
+            raise ConfigurationError(f"unknown node {node_id}")
+        return position
 
     def distance(self, a: int, b: int) -> float:
-        """Euclidean distance in metres between two registered nodes."""
-        return self._positions[a].distance_to(self._positions[b])
+        """Euclidean distance in metres between two registered nodes.
+
+        Raises:
+            ConfigurationError: If either node is not registered.
+        """
+        positions = self._positions
+        try:
+            return positions[a].distance_to(positions[b])
+        except KeyError:
+            unknown = sorted(n for n in (a, b) if n not in positions)
+            raise ConfigurationError(f"unknown nodes {unknown}") from None
 
     def neighbors_of(self, node_id: int) -> List[int]:
-        """Node ids within transmission range of ``node_id`` (excluding itself)."""
-        origin = self._positions[node_id]
+        """Node ids ``node_id`` can currently exchange frames with.
+
+        Respects scripted impairments, so this view can never diverge from
+        what :meth:`broadcast` actually delivers: a downed node has no
+        neighbours at all, downed peers are excluded, and blocked pairs do
+        not see each other.  Use :meth:`geometric_neighbors_of` for the raw
+        in-transmission-range view.
+        """
+        if node_id in self._down_nodes:
+            # position_of keeps the unknown-id contract identical on both paths.
+            self.position_of(node_id)
+            return []
+        in_range = self.geometric_neighbors_of(node_id)
+        down = self._down_nodes
+        blocked = self._blocked_links
+        if not down and not blocked:
+            return in_range
         return [
-            other
-            for other, pos in self._positions.items()
-            if other != node_id and self.propagation.can_receive(origin.distance_to(pos))
+            other for other in in_range
+            if other not in down and not self.is_link_blocked(node_id, other)
         ]
+
+    def geometric_neighbors_of(self, node_id: int) -> List[int]:
+        """Node ids within transmission range of ``node_id`` (excluding itself).
+
+        Pure geometry, ignoring scripted impairments — the view the spatial
+        index itself answers.  Returned in registration order.
+        """
+        origin = self.position_of(node_id)
+        positions = self._positions
+        can_receive = self.propagation.can_receive
+        in_range = [
+            other for other in self._grid.neighborhood(node_id)
+            if can_receive(origin.distance_to(positions[other]))
+        ]
+        in_range.sort(key=self._registration_index.__getitem__)
+        return in_range
 
     @property
     def node_ids(self) -> List[int]:
@@ -136,6 +239,16 @@ class WirelessChannel:
     # ------------------------------------------------------------------
     # Scripted impairments (scenario-timeline node/link events)
     # ------------------------------------------------------------------
+    @property
+    def impairment_generation(self) -> int:
+        """Monotone counter bumped whenever a scripted impairment changes.
+
+        Lets cached derived views (the mobility manager's link set) detect
+        that node-down/link-blocked state changed between their updates
+        without recomputing unconditionally.
+        """
+        return self._impairment_generation
+
     def set_node_down(self, node_id: int, down: bool = True) -> None:
         """Take a node's radio off the air (or bring it back).
 
@@ -153,6 +266,7 @@ class WirelessChannel:
             self._down_nodes.add(node_id)
         else:
             self._down_nodes.discard(node_id)
+        self._impairment_generation += 1
         self._delivery_cache.clear()
 
     def is_node_down(self, node_id: int) -> bool:
@@ -178,6 +292,7 @@ class WirelessChannel:
             self._blocked_links.add(key)
         else:
             self._blocked_links.discard(key)
+        self._impairment_generation += 1
         self._delivery_cache.clear()
 
     def is_link_blocked(self, a: int, b: int) -> bool:
@@ -210,33 +325,40 @@ class WirelessChannel:
     def _build_deliveries(self, sender_id: int) -> List[Tuple[Radio, float, bool, float]]:
         """Compute and cache the in-range receiver list for ``sender_id``.
 
-        Iterates radios in registration order so scheduled delivery order (and
-        with it the event sequence numbers) is identical to delivering from
-        the radio table directly — golden traces depend on that order.
+        Candidates come from the sender's 3×3 grid neighbourhood (every radio
+        inside interference range by construction) and are sorted back into
+        registration order, so scheduled delivery order (and with it the
+        event sequence numbers) is identical to scanning the full radio
+        table — golden traces depend on that order.
         """
         deliveries: List[Tuple[Radio, float, bool, float]] = []
         if sender_id not in self._down_nodes:
-            for receiver_id, radio in self._radios.items():
-                if receiver_id == sender_id:
+            radios = self._radios
+            down = self._down_nodes
+            blocked = self._blocked_links
+            candidates = sorted(self._grid.neighborhood(sender_id),
+                                key=self._registration_index.__getitem__)
+            for receiver_id in candidates:
+                if receiver_id in down:
                     continue
-                if receiver_id in self._down_nodes:
-                    continue
-                if self._blocked_links and self.is_link_blocked(sender_id, receiver_id):
+                if blocked and self.is_link_blocked(sender_id, receiver_id):
                     continue
                 receivable, interferes, delay, power = self._link(sender_id, receiver_id)
                 if interferes:
-                    deliveries.append((radio, delay, receivable, power))
+                    deliveries.append((radios[receiver_id], delay, receivable, power))
         self._delivery_cache[sender_id] = deliveries
         return deliveries
 
     def _link(self, src: int, dst: int) -> Tuple[bool, bool, float, float]:
-        key = (src, dst)
-        cached = self._link_cache.get(key)
+        per_source = self._link_cache.get(src)
+        if per_source is None:
+            per_source = self._link_cache[src] = {}
+        cached = per_source.get(dst)
         if cached is None:
             distance = self.distance(src, dst)
             receivable, interferes = self.propagation.classify(distance)
             delay = self.propagation.propagation_delay(distance)
             power = self.propagation.relative_power(distance)
             cached = (receivable, interferes, delay, power)
-            self._link_cache[key] = cached
+            per_source[dst] = cached
         return cached

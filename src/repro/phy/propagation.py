@@ -63,6 +63,17 @@ class RangePropagationModel:
         if self.capture_threshold < 1.0:
             raise ValueError("capture_threshold must be >= 1")
 
+    @property
+    def max_range(self) -> float:
+        """The largest distance at which a transmission has any effect.
+
+        This is the interference range — beyond it a node neither decodes nor
+        senses anything — and therefore the cell side the channel's spatial
+        index needs: every relevant receiver of a sender lives in the 3×3
+        cell neighbourhood around it.
+        """
+        return self.interference_range
+
     def can_receive(self, distance: float) -> bool:
         """True if a receiver at ``distance`` metres can decode the frame."""
         return distance <= self.transmission_range

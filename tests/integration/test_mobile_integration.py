@@ -74,6 +74,69 @@ class TestMobileChainDynamics:
         assert second_result.delivered_packets == first_result.delivered_packets
 
 
+class TestScriptedOutageUnderMobility:
+    """A timeline node-down must flow into the mobility link view.
+
+    Regression for the channel-view divergence bug: ``neighbors_of`` used to
+    ignore scripted impairments, so the mobility link diff kept reporting
+    links for a node whose radio was silenced.  The chain 0-1-2-3 with node 1
+    down must lose both of node 1's links, and no ``link_up`` involving
+    node 1 may appear while it is off the air.
+    """
+
+    @pytest.fixture(scope="class")
+    def outage_run(self):
+        from repro.experiments.workload import ScenarioBuilder
+
+        reset_packet_ids()
+        tracer = Tracer(enabled=True)
+        result = (
+            ScenarioBuilder("node-outage-under-mobility")
+            .topology("chain", hops=3)
+            # Near-zero speed: the nodes technically move (so the manager
+            # runs) but never far enough to change any link by geometry —
+            # every link event below is caused by the scripted outage.
+            # packet_target far beyond what 40 simulated seconds can deliver,
+            # so the run spans the whole outage and recovery window.
+            .configure(packet_target=100_000, seed=5, max_sim_time=40.0,
+                       mobility="random-walk", mobility_speed=0.001,
+                       mobility_pause=5.0, metrics=True)
+            .flow(0, 3, variant="newreno")
+            .node_down(1, at=5.0)
+            .node_up(1, at=25.0)
+            .run(tracer=tracer)
+        )
+        return result, tracer
+
+    def test_outage_drops_both_links_of_the_downed_node(self, outage_run):
+        _, tracer = outage_run
+        downs = [record for record in tracer.filter("mobility", "link_down")
+                 if 1 in (record.details["a"], record.details["b"])]
+        assert {(r.details["a"], r.details["b"]) for r in downs} == {
+            (0, 1), (1, 2)}
+        # Both drops surface at the first mobility update at/after the outage.
+        assert all(5.0 <= record.time <= 6.0 for record in downs)
+
+    def test_no_link_up_involving_downed_node_during_outage(self, outage_run):
+        _, tracer = outage_run
+        ups = [record for record in tracer.filter("mobility", "link_up")
+               if 1 in (record.details["a"], record.details["b"])]
+        assert all(record.time >= 25.0 for record in ups)
+        # Recovery restores exactly the two dropped links.
+        assert {(r.details["a"], r.details["b"]) for r in ups} == {
+            (0, 1), (1, 2)}
+
+    def test_active_links_metric_tracks_the_outage(self, outage_run):
+        result, _ = outage_run
+        # Chain 0-1-2-3 has 3 links; with node 1 down only 2-3 remains.
+        times, values = result.series("mobility.active_links")
+        during = [value for time, value in zip(times, values)
+                  if 6.0 < time < 25.0]
+        after = [value for time, value in zip(times, values) if time > 26.0]
+        assert during and min(during) == max(during) == 1
+        assert after and after[-1] == 3
+
+
 class TestMobileConfigValidation:
     def test_static_routing_with_mobility_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -134,6 +134,73 @@ class TestMobilityManager:
             assert -150.0 <= position.x <= 750.0
             assert -150.0 <= position.y <= 150.0
 
+    def test_no_motion_skips_link_recompute(self, sim, monkeypatch):
+        # A model that never moves anything: after start() binds the initial
+        # link set, periodic updates must not recompute links at all.
+        channel = build_channel(sim, [(0, 0), (200, 0)])
+
+        class Parked(MobilityModel):
+            def advance(self, node_id, position, dt):
+                return position
+
+        manager = MobilityManager(sim, channel, Parked(), update_interval=0.5)
+        manager.start()
+        calls = []
+        original = channel.neighbors_of
+        monkeypatch.setattr(channel, "neighbors_of",
+                            lambda node_id: calls.append(node_id) or original(node_id))
+        sim.run(until=5.0)
+        assert manager.stats.updates == 10
+        assert calls == []
+        assert manager.stats.links_broken == 0
+
+    def test_skipped_update_still_traced(self, sim):
+        # The skip path must emit the same zero-count update record the full
+        # diff would, so traces stay bit-identical.
+        channel = build_channel(sim, [(0, 0), (200, 0)])
+
+        class Parked(MobilityModel):
+            def advance(self, node_id, position, dt):
+                return position
+
+        tracer = Tracer(enabled=True)
+        manager = MobilityManager(sim, channel, Parked(), update_interval=0.5,
+                                  tracer=tracer)
+        manager.start()
+        sim.run(until=2.0)
+        updates = tracer.filter("mobility", "update")
+        assert len(updates) == 4
+        assert all(record.details == {"moved": 0, "broken": 0, "formed": 0}
+                   for record in updates)
+
+    def test_impairment_change_invalidates_link_set(self, sim):
+        # Nothing moves, but a scripted node-down fires between updates: the
+        # manager must notice via the channel's impairment generation and
+        # re-diff, dropping the downed node's links.
+        channel = build_channel(sim, [(0, 0), (200, 0), (400, 0)])
+
+        class Parked(MobilityModel):
+            def advance(self, node_id, position, dt):
+                return position
+
+        tracer = Tracer(enabled=True)
+        manager = MobilityManager(sim, channel, Parked(), update_interval=0.5,
+                                  tracer=tracer)
+        manager.start()
+        assert len(manager._links) == 2
+        sim.schedule(0.7, channel.set_node_down, 1)
+        sim.schedule(1.7, channel.set_node_down, 1, False)
+        sim.run(until=3.0)
+        downs = tracer.filter("mobility", "link_down")
+        ups = tracer.filter("mobility", "link_up")
+        assert [record.details for record in downs] == [
+            {"a": 0, "b": 1}, {"a": 1, "b": 2}]
+        assert [record.details for record in ups] == [
+            {"a": 0, "b": 1}, {"a": 1, "b": 2}]
+        assert manager.stats.links_broken == 2
+        assert manager.stats.links_formed == 2
+        assert len(manager._links) == 2
+
     def test_same_seed_same_trajectories(self):
         def final_positions(seed):
             sim = Simulator()

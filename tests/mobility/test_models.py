@@ -9,6 +9,7 @@ import pytest
 from repro.core.errors import ConfigurationError
 from repro.mobility.base import MobilityArea, area_around
 from repro.mobility.models import (
+    ManhattanGridMobility,
     RandomWalkMobility,
     RandomWaypointMobility,
     StaticMobility,
@@ -114,6 +115,92 @@ class TestRandomWaypoint:
             return points
 
         assert trajectory() == trajectory()
+
+
+def on_a_street(position, block=100.0, tolerance=1e-6):
+    """True if at least one coordinate lies on a street line of the AREA grid."""
+    on_x = abs(position.x - round(position.x / block) * block) <= tolerance
+    on_y = abs(position.y - round(position.y / block) * block) <= tolerance
+    return on_x or on_y
+
+
+class TestManhattanGrid:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ManhattanGridMobility(speed=0.0)
+        with pytest.raises(ConfigurationError):
+            ManhattanGridMobility(block_size=0.0)
+        with pytest.raises(ConfigurationError):
+            ManhattanGridMobility(pause_time=-1.0)
+        with pytest.raises(ConfigurationError):
+            ManhattanGridMobility(turn_prob=1.5)
+
+    def test_area_smaller_than_one_block_rejected(self):
+        model = ManhattanGridMobility(block_size=100.0)
+        tiny = MobilityArea(min_x=0.0, min_y=0.0, max_x=50.0, max_y=50.0)
+        with pytest.raises(ConfigurationError):
+            model.bind({0: Position(10.0, 10.0)}, tiny, random.Random(1))
+
+    def test_nodes_stay_on_streets_and_inside_area(self):
+        model = bound(ManhattanGridMobility(speed=15.0, block_size=100.0,
+                                            pause_time=0.0, turn_prob=0.5),
+                      {0: Position(333.0, 142.0)})
+        position = Position(333.0, 142.0)
+        for _ in range(500):
+            position = model.advance(0, position, 0.5)
+            assert AREA.contains(position)
+            assert on_a_street(position)
+
+    def test_constant_speed_between_intersections(self):
+        model = bound(ManhattanGridMobility(speed=4.0, block_size=100.0,
+                                            pause_time=0.0),
+                      {0: Position(200.0, 250.0)})
+        position = model.advance(0, Position(200.0, 250.0), 0.5)
+        previous = position
+        for _ in range(100):
+            position = model.advance(0, previous, 0.5)
+            # 4 m/s for 0.5 s: every step covers exactly 2 m (pause_time=0,
+            # and movement along streets is axis-aligned between crossings;
+            # a mid-step turn keeps the travelled path length, so the
+            # displacement can only shrink).
+            assert previous.distance_to(position) <= 4.0 * 0.5 + 1e-9
+            assert previous.distance_to(position) > 0.0
+            previous = position
+
+    def test_pauses_at_intersections(self):
+        model = bound(ManhattanGridMobility(speed=10.0, block_size=100.0,
+                                            pause_time=1e9),
+                      {0: Position(250.0, 200.0)})  # on a horizontal street
+        position = Position(250.0, 200.0)
+        for _ in range(100):
+            position = model.advance(0, position, 1.0)
+            if model._states[0].pause_remaining > 0:
+                break
+        else:
+            pytest.fail("intersection never reached")
+        assert model.advance(0, position, 100.0) == position
+
+    def test_deterministic_for_same_rng_seed(self):
+        def trajectory():
+            model = bound(ManhattanGridMobility(speed=12.0, turn_prob=0.4),
+                          {0: Position(123.0, 456.0)}, seed=13)
+            position = Position(123.0, 456.0)
+            points = []
+            for _ in range(80):
+                position = model.advance(0, position, 0.5)
+                points.append(position)
+            return points
+
+        assert trajectory() == trajectory()
+
+    def test_first_advance_snaps_onto_nearest_street(self):
+        model = bound(ManhattanGridMobility(speed=1.0, block_size=100.0),
+                      {0: Position(348.0, 262.0)})
+        moved = model.advance(0, Position(348.0, 262.0), 0.001)
+        # Nearest street to (348, 262): the horizontal y=300 line (38 m away)
+        # beats the vertical x=300 line (48 m), so y snaps and x stays free.
+        assert on_a_street(moved)
+        assert moved.y == pytest.approx(300.0)
 
 
 class TestRandomWalk:

@@ -101,3 +101,121 @@ class TestBroadcastDelivery:
         sim.run()
         assert channel.stats.transmissions == 1
         assert channel.stats.deliveries_attempted == 1
+
+
+class TestUnknownNodeErrors:
+    def test_position_of_unknown_node(self, sim, channel):
+        with pytest.raises(ConfigurationError):
+            channel.position_of(42)
+
+    def test_distance_unknown_node(self, sim, channel):
+        add_node(sim, channel, 0, 0, 0)
+        with pytest.raises(ConfigurationError):
+            channel.distance(0, 42)
+        with pytest.raises(ConfigurationError):
+            channel.distance(42, 0)
+        with pytest.raises(ConfigurationError):
+            channel.distance(41, 42)
+
+    def test_neighbors_of_unknown_node(self, sim, channel):
+        with pytest.raises(ConfigurationError):
+            channel.neighbors_of(42)
+        with pytest.raises(ConfigurationError):
+            channel.geometric_neighbors_of(42)
+
+
+class TestImpairmentAwareNeighbors:
+    """neighbors_of must agree with what broadcast actually delivers."""
+
+    def test_downed_node_has_no_neighbors(self, sim, channel):
+        add_node(sim, channel, 0, 0, 0)
+        add_node(sim, channel, 1, 200, 0)
+        channel.set_node_down(1)
+        assert channel.neighbors_of(1) == []
+        assert channel.neighbors_of(0) == []
+
+    def test_downed_unknown_node_still_rejected(self, sim, channel):
+        add_node(sim, channel, 0, 0, 0)
+        channel.set_node_down(0)
+        with pytest.raises(ConfigurationError):
+            channel.neighbors_of(42)
+
+    def test_geometric_view_ignores_impairments(self, sim, channel):
+        add_node(sim, channel, 0, 0, 0)
+        add_node(sim, channel, 1, 200, 0)
+        channel.set_node_down(1)
+        channel.set_link_blocked(0, 1)
+        assert channel.geometric_neighbors_of(0) == [1]
+        assert channel.geometric_neighbors_of(1) == [0]
+
+    def test_blocked_link_hidden_from_both_sides(self, sim, channel):
+        add_node(sim, channel, 0, 0, 0)
+        add_node(sim, channel, 1, 200, 0)
+        add_node(sim, channel, 2, -200, 0)
+        channel.set_link_blocked(0, 1)
+        assert channel.neighbors_of(0) == [2]
+        assert channel.neighbors_of(1) == []
+        channel.set_link_blocked(0, 1, blocked=False)
+        assert channel.neighbors_of(0) == [1, 2]
+
+    def test_node_recovery_restores_neighbors(self, sim, channel):
+        add_node(sim, channel, 0, 0, 0)
+        add_node(sim, channel, 1, 200, 0)
+        channel.set_node_down(1)
+        channel.set_node_down(1, down=False)
+        assert channel.neighbors_of(0) == [1]
+        assert channel.neighbors_of(1) == [0]
+
+    def test_impairment_generation_counts_changes_only(self, sim, channel):
+        add_node(sim, channel, 0, 0, 0)
+        add_node(sim, channel, 1, 200, 0)
+        before = channel.impairment_generation
+        channel.set_node_down(0)
+        channel.set_node_down(0)          # no-op: already down
+        assert channel.impairment_generation == before + 1
+        channel.set_link_blocked(0, 1)
+        channel.set_link_blocked(0, 1)    # no-op: already blocked
+        assert channel.impairment_generation == before + 2
+        channel.set_node_down(0, down=False)
+        channel.set_link_blocked(0, 1, blocked=False)
+        assert channel.impairment_generation == before + 4
+
+
+class TestSpatialIndexIntegration:
+    def test_neighbors_in_registration_order(self, sim, channel):
+        # Register out of id order: the neighbour view follows registration
+        # order (the pre-index dict iteration order), not sorted ids.
+        add_node(sim, channel, 5, 0, 0)
+        add_node(sim, channel, 2, 100, 0)
+        add_node(sim, channel, 9, 200, 0)
+        assert channel.neighbors_of(5) == [2, 9]
+        assert channel.geometric_neighbors_of(2) == [5, 9]
+
+    def test_incremental_move_keeps_unrelated_cache(self, sim, channel):
+        # Nodes 0-5 clustered at the origin; node 6 kilometres away.  Moving
+        # node 6 within its own far-away cell must not drop the cluster's
+        # cached delivery lists (the incremental invalidation path).
+        for node_id in range(6):
+            add_node(sim, channel, node_id, 30.0 * node_id, 0)
+        far = add_node(sim, channel, 6, 10_000, 0)
+        for node_id in range(7):
+            channel._build_deliveries(node_id)
+        channel.set_positions({6: Position(10_100.0, 0.0)})
+        assert set(channel._delivery_cache) >= set(range(6))
+        assert 6 not in channel._delivery_cache
+        # And the moved node's view is correct after the move.
+        assert channel.neighbors_of(6) == []
+        far.transmit(Packet(payload_size=10), duration=0.001)
+        sim.run()
+        assert all(channel._radios[n].listener.received == []
+                   for n in range(6))
+
+    def test_mass_move_falls_back_to_full_wipe(self, sim, channel):
+        for node_id in range(6):
+            add_node(sim, channel, node_id, 30.0 * node_id, 0)
+        for node_id in range(6):
+            channel._build_deliveries(node_id)
+        channel.set_positions({node_id: Position(1000.0 + 30.0 * node_id, 0.0)
+                               for node_id in range(6)})
+        assert channel._delivery_cache == {}
+        assert channel.neighbors_of(0) == [1, 2, 3, 4, 5]

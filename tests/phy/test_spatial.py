@@ -1,0 +1,111 @@
+"""Tests for the uniform-grid spatial index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.phy.propagation import Position
+from repro.phy.spatial import GridIndex
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_cell_size(self):
+        with pytest.raises(ConfigurationError):
+            GridIndex(cell_size=0.0)
+        with pytest.raises(ConfigurationError):
+            GridIndex(cell_size=-5.0)
+
+    def test_rejects_nonfinite_cell_size(self):
+        with pytest.raises(ConfigurationError):
+            GridIndex(cell_size=float("inf"))
+        with pytest.raises(ConfigurationError):
+            GridIndex(cell_size=float("nan"))
+
+
+class TestMembership:
+    def test_insert_and_contains(self):
+        grid = GridIndex(cell_size=100.0)
+        grid.insert(0, Position(10.0, 10.0))
+        assert 0 in grid
+        assert 1 not in grid
+        assert len(grid) == 1
+
+    def test_duplicate_insert_rejected(self):
+        grid = GridIndex(cell_size=100.0)
+        grid.insert(0, Position(10.0, 10.0))
+        with pytest.raises(ConfigurationError):
+            grid.insert(0, Position(50.0, 50.0))
+
+    def test_unknown_node_rejected(self):
+        grid = GridIndex(cell_size=100.0)
+        with pytest.raises(ConfigurationError):
+            grid.cell_of(7)
+        with pytest.raises(ConfigurationError):
+            grid.move(7, Position(0.0, 0.0))
+        with pytest.raises(ConfigurationError):
+            grid.remove(7)
+
+    def test_remove_drops_node_and_empty_bucket(self):
+        grid = GridIndex(cell_size=100.0)
+        grid.insert(0, Position(10.0, 10.0))
+        grid.remove(0)
+        assert 0 not in grid
+        assert len(grid) == 0
+        assert list(grid.near(Position(10.0, 10.0))) == []
+
+
+class TestCellKeys:
+    def test_negative_coordinates_floor_consistently(self):
+        grid = GridIndex(cell_size=100.0)
+        assert grid.cell_key(Position(-1.0, -1.0)) == (-1, -1)
+        assert grid.cell_key(Position(0.0, 0.0)) == (0, 0)
+        assert grid.cell_key(Position(99.9, 0.0)) == (0, 0)
+        # The bucket side is padded a hair beyond cell_size (rounding guard),
+        # so a position exactly on the nominal boundary stays in the lower
+        # cell; anything clearly beyond it lands in the next one.
+        assert grid.cell_key(Position(100.0, 0.0)) == (0, 0)
+        assert grid.cell_key(Position(100.1, 0.0)) == (1, 0)
+
+    def test_move_within_cell_reports_no_change(self):
+        grid = GridIndex(cell_size=100.0)
+        grid.insert(0, Position(10.0, 10.0))
+        assert grid.move(0, Position(90.0, 90.0)) is False
+        assert grid.cell_of(0) == (0, 0)
+
+    def test_move_across_cells_rebuckets(self):
+        grid = GridIndex(cell_size=100.0)
+        grid.insert(0, Position(10.0, 10.0))
+        assert grid.move(0, Position(250.0, 10.0)) is True
+        assert grid.cell_of(0) == (2, 0)
+
+
+class TestNeighborhood:
+    def test_excludes_the_query_node(self):
+        grid = GridIndex(cell_size=100.0)
+        grid.insert(0, Position(50.0, 50.0))
+        assert list(grid.neighborhood(0)) == []
+
+    def test_covers_adjacent_cells_only(self):
+        grid = GridIndex(cell_size=100.0)
+        grid.insert(0, Position(150.0, 150.0))   # cell (1, 1)
+        grid.insert(1, Position(50.0, 50.0))     # cell (0, 0) — adjacent
+        grid.insert(2, Position(250.0, 150.0))   # cell (2, 1) — adjacent
+        grid.insert(3, Position(350.0, 150.0))   # cell (3, 1) — two cells away
+        assert sorted(grid.neighborhood(0)) == [1, 2]
+
+    def test_in_range_pair_never_outside_block(self):
+        # Boundary case: exactly cell_size apart, on a cell edge — the pair
+        # must still land in adjacent cells.
+        grid = GridIndex(cell_size=100.0)
+        grid.insert(0, Position(100.0, 0.0))
+        grid.insert(1, Position(200.0, 0.0))
+        assert list(grid.neighborhood(0)) == [1]
+        assert list(grid.neighborhood(1)) == [0]
+
+    def test_near_queries_arbitrary_positions(self):
+        grid = GridIndex(cell_size=100.0)
+        grid.insert(0, Position(50.0, 50.0))
+        grid.insert(1, Position(450.0, 50.0))
+        assert sorted(grid.near(Position(60.0, 60.0))) == [0]
+        assert sorted(grid.near(Position(250.0, 50.0))) == []

@@ -1,0 +1,116 @@
+"""Property tests: the grid spatial index must match brute-force O(N²) geometry.
+
+The channel's correctness contract after the spatial-index change is exact
+equivalence: for any placement, any ranges and any sequence of batch moves,
+the grid-backed neighbour views and delivery lists must equal what the old
+all-pairs scans computed — same members, same (registration) order.  These
+tests pin that equivalence across random placements, including both
+``set_positions`` invalidation paths (incremental for small batches, full
+cache wipe for large ones).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import Simulator
+from repro.phy.channel import WirelessChannel
+from repro.phy.propagation import Position, RangePropagationModel
+from repro.phy.radio import Radio
+from repro.phy.spatial import GridIndex
+
+coordinate = st.floats(min_value=-2000.0, max_value=2000.0,
+                       allow_nan=False, allow_infinity=False)
+coordinates = st.tuples(coordinate, coordinate)
+placements = st.lists(coordinates, min_size=2, max_size=25)
+
+
+def build_channel(placement, tx_range, interference_factor):
+    propagation = RangePropagationModel(
+        transmission_range=tx_range,
+        interference_range=tx_range * interference_factor,
+    )
+    sim = Simulator()
+    channel = WirelessChannel(sim, propagation=propagation)
+    for node_id, (x, y) in enumerate(placement):
+        channel.register(Radio(sim, node_id, channel), Position(x, y))
+    return channel
+
+
+def brute_force_in_range(channel, node_id, radius):
+    """All peers within ``radius`` of ``node_id``, in registration order."""
+    origin = channel.position_of(node_id)
+    return [other for other in channel.node_ids
+            if other != node_id
+            and origin.distance_to(channel.position_of(other)) <= radius]
+
+
+def assert_views_match_brute_force(channel):
+    propagation = channel.propagation
+    for node_id in channel.node_ids:
+        assert channel.geometric_neighbors_of(node_id) == brute_force_in_range(
+            channel, node_id, propagation.transmission_range)
+        deliveries = channel._build_deliveries(node_id)
+        assert [entry[0].node_id for entry in deliveries] == brute_force_in_range(
+            channel, node_id, propagation.interference_range)
+
+
+class TestGridIndexEquivalence:
+    @given(placement=placements,
+           cell_size=st.floats(min_value=50.0, max_value=900.0))
+    @settings(max_examples=60, deadline=None)
+    def test_neighborhood_contains_every_in_range_pair(self, placement, cell_size):
+        grid = GridIndex(cell_size=cell_size)
+        positions = {node_id: Position(x, y)
+                     for node_id, (x, y) in enumerate(placement)}
+        for node_id, position in positions.items():
+            grid.insert(node_id, position)
+        for a, position_a in positions.items():
+            block = set(grid.neighborhood(a))
+            for b, position_b in positions.items():
+                if a != b and position_a.distance_to(position_b) <= cell_size:
+                    assert b in block
+
+    @given(placement=placements,
+           tx_range=st.floats(min_value=50.0, max_value=600.0),
+           interference_factor=st.floats(min_value=1.0, max_value=2.5))
+    @settings(max_examples=60, deadline=None)
+    def test_channel_views_equal_brute_force(self, placement, tx_range,
+                                             interference_factor):
+        channel = build_channel(placement, tx_range, interference_factor)
+        assert_views_match_brute_force(channel)
+
+    @given(placement=placements,
+           tx_range=st.floats(min_value=50.0, max_value=600.0),
+           data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_views_stay_exact_across_batch_moves(self, placement, tx_range,
+                                                 data):
+        channel = build_channel(placement, tx_range, interference_factor=2.2)
+        node_ids = channel.node_ids
+        # Populate every cache first so the moves must actually invalidate.
+        assert_views_match_brute_force(channel)
+        for _ in range(3):
+            batch = data.draw(st.dictionaries(
+                st.sampled_from(node_ids), coordinates,
+                min_size=1, max_size=len(node_ids)))
+            channel.set_positions(
+                {node_id: Position(x, y) for node_id, (x, y) in batch.items()})
+            assert_views_match_brute_force(channel)
+
+    @given(placement=placements,
+           tx_range=st.floats(min_value=50.0, max_value=600.0),
+           data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_single_node_moves_use_incremental_invalidation(self, placement,
+                                                            tx_range, data):
+        # One mover per batch forces the incremental path for any population
+        # above three nodes (the full-wipe fallback needs a third to move).
+        channel = build_channel(placement, tx_range, interference_factor=1.5)
+        node_ids = channel.node_ids
+        assert_views_match_brute_force(channel)
+        for _ in range(4):
+            mover = data.draw(st.sampled_from(node_ids))
+            x, y = data.draw(coordinates)
+            channel.set_position(mover, Position(x, y))
+            assert_views_match_brute_force(channel)

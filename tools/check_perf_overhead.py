@@ -20,7 +20,13 @@ benchmarks.perf [--smoke]``) against the committed baseline
    costs more than ``--max-resume-overhead`` times the cold run
    (``study_throughput.resume_overhead``, a same-process ratio — the warm
    run executes zero scenarios, so it prices the queue/store/aggregation
-   machinery alone).
+   machinery alone); or
+4. mobility updates stopped scaling sub-quadratically:
+   ``position_churn_1000.cost_ratio_vs_50`` (the per-round mobility-update
+   cost at 1000 nodes relative to 50, constant density, a same-process
+   ratio) exceeds ``--max-churn-scaling``.  With the grid spatial index the
+   ratio tracks the 20x population ratio; the quadratic pre-index channel
+   measured ~400x, so the guard has an order of magnitude of headroom.
 
 The golden-trace suite (``tests/regression``) separately pins that
 metrics-disabled runs stay behaviourally bit-identical; this script pins
@@ -47,6 +53,7 @@ from pathlib import Path
 DEFAULT_TOLERANCE = 0.5
 DEFAULT_MAX_METRICS_OVERHEAD = 2.0
 DEFAULT_MAX_RESUME_OVERHEAD = 0.5
+DEFAULT_MAX_CHURN_SCALING = 25.0
 
 
 def _load(path: Path) -> dict:
@@ -58,7 +65,8 @@ def _load(path: Path) -> dict:
 
 def check(current: dict, baseline: dict, tolerance: float,
           max_metrics_overhead: float,
-          max_resume_overhead: float = DEFAULT_MAX_RESUME_OVERHEAD) -> list:
+          max_resume_overhead: float = DEFAULT_MAX_RESUME_OVERHEAD,
+          max_churn_scaling: float = DEFAULT_MAX_CHURN_SCALING) -> list:
     """Return a list of human-readable failure strings (empty = pass)."""
     failures = []
     compared = 0
@@ -105,6 +113,19 @@ def check(current: dict, baseline: dict, tolerance: float,
                 f"study_throughput: warm resume costs {resume:.2f}x the cold "
                 f"run (limit {max_resume_overhead:.2f}x)"
             )
+
+    churn_bench = current.get("position_churn_1000")
+    if churn_bench is not None:
+        ratio = churn_bench.get("cost_ratio_vs_50")
+        if ratio is None or not math.isfinite(ratio):
+            failures.append("position_churn_1000: missing cost_ratio_vs_50")
+        elif ratio > max_churn_scaling:
+            failures.append(
+                f"position_churn_1000: mobility update at 1000 nodes costs "
+                f"{ratio:.1f}x the 50-node round (limit "
+                f"{max_churn_scaling:.1f}x) — update cost is growing "
+                f"super-linearly in node count"
+            )
     return failures
 
 
@@ -125,11 +146,15 @@ def main(argv=None) -> int:
                         default=DEFAULT_MAX_RESUME_OVERHEAD,
                         help="allowed warm-resume/cold wall-time ratio of the "
                              "study benchmark (default: %(default)s)")
+    parser.add_argument("--max-churn-scaling", type=float,
+                        default=DEFAULT_MAX_CHURN_SCALING,
+                        help="allowed 1000-vs-50-node mobility-update cost "
+                             "ratio (default: %(default)s)")
     args = parser.parse_args(argv)
 
     failures = check(_load(args.report), _load(args.baseline),
                      args.tolerance, args.max_metrics_overhead,
-                     args.max_resume_overhead)
+                     args.max_resume_overhead, args.max_churn_scaling)
     if failures:
         print("perf overhead check FAILED:")
         for failure in failures:
