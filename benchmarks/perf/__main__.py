@@ -32,6 +32,7 @@ from benchmarks.perf.study_bench import (
     STUDY_REPLICATIONS,
     run_study_benchmarks,
 )
+from benchmarks.perf.timing import SPREAD_WARN_THRESHOLD, noisy_measurements
 
 #: Smoke-mode budgets: enough events to exercise every code path, small enough
 #: for a CI job measured in seconds.
@@ -84,17 +85,28 @@ def main(argv=None) -> int:
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     width = max(len(name) for name in benchmarks)
-    print(f"\n{'benchmark':<{width}}  {'events/sec':>12}  {'wall (s)':>9}  speedup")
+    print(f"\n{'benchmark':<{width}}  {'events/sec':>12}  {'wall (s)':>9}  "
+          f"{'speedup':>8}  {'vs ref':>7}  spread")
     for name, result in benchmarks.items():
         speedup = result.get("speedup_vs_legacy")
-        speedup_text = f"{speedup:6.2f}x" if speedup is not None else "      -"
+        speedup_text = f"{speedup:7.2f}x" if speedup is not None else "       -"
+        vs_ref = result.get("speedup_vs_reference")
+        vs_ref_text = f"{vs_ref:6.2f}x" if vs_ref is not None else "      -"
+        spread = result.get("spread")
+        spread_text = f"{spread:6.1%}" if spread is not None else "     -"
         rate = result.get("events_per_sec")
         rate_text = (f"{rate:>12,.0f}" if rate is not None
                      else f"{result.get('points_per_sec', 0.0):>10.2f}/p")
         print(f"{name:<{width}}  {rate_text}  "
-              f"{result['wall_time']:>9.3f}  {speedup_text}")
+              f"{result['wall_time']:>9.3f}  {speedup_text}  {vs_ref_text}  "
+              f"{spread_text}")
     print(f"\nwrote {args.output}")
 
+    noisy = noisy_measurements(benchmarks)
+    if noisy:
+        print(f"WARNING: run-to-run spread above {SPREAD_WARN_THRESHOLD:.0%} "
+              f"on: {', '.join(noisy)} — same-report comparisons smaller "
+              "than the spread are machine noise, not signal")
     slowdowns = [
         name for name, result in benchmarks.items()
         if result.get("speedup_vs_legacy") is not None

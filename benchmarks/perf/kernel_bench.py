@@ -9,9 +9,10 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict
 
-from repro.core.engine import Simulator
+from repro.core.backends import create_kernel, kernel_backend_names
 
 from benchmarks.perf.legacy import LegacySimulator
+from benchmarks.perf.timing import best_of
 
 #: Default number of events per microbenchmark run.
 DEFAULT_EVENTS = 200_000
@@ -92,21 +93,38 @@ def bench_timer_churn(engine_factory: Callable[[], object],
 
 
 def run_kernel_benchmarks(n_events: int = DEFAULT_EVENTS) -> Dict[str, Dict[str, float]]:
-    """Run every microbenchmark on the current and the legacy engine.
+    """Run every microbenchmark on every kernel backend plus the legacy engine.
+
+    Each measurement is best-of-N with recorded run-to-run spread (see
+    :mod:`benchmarks.perf.timing`).
 
     Returns:
-        Mapping of benchmark name to its result dict; ``*_legacy`` entries hold
-        the reference-kernel numbers and each current entry gains a
-        ``speedup_vs_legacy`` field.
+        Mapping of benchmark name to its result dict.  The bare name holds
+        the ``reference`` backend's numbers with a ``speedup_vs_legacy``
+        field; ``{name}_legacy`` holds the embedded pre-optimisation kernel;
+        every other registered backend adds a ``{name}_{backend}`` entry
+        carrying ``speedup_vs_reference``.
     """
     results: Dict[str, Dict[str, float]] = {}
     for name, bench in (("event_throughput", bench_event_throughput),
                         ("timer_churn", bench_timer_churn)):
-        current = bench(Simulator, n_events)
-        legacy = bench(LegacySimulator, n_events)
-        current["speedup_vs_legacy"] = (
-            current["events_per_sec"] / legacy["events_per_sec"]
+        per_backend = {
+            backend: best_of(lambda b=backend: bench(
+                lambda: create_kernel(b), n_events))
+            for backend in kernel_backend_names()
+        }
+        legacy = best_of(lambda: bench(LegacySimulator, n_events))
+        reference = per_backend["reference"]
+        reference["speedup_vs_legacy"] = (
+            reference["events_per_sec"] / legacy["events_per_sec"]
         )
-        results[name] = current
+        results[name] = reference
         results[f"{name}_legacy"] = legacy
+        for backend, result in per_backend.items():
+            if backend == "reference":
+                continue
+            result["speedup_vs_reference"] = (
+                result["events_per_sec"] / reference["events_per_sec"]
+            )
+            results[f"{name}_{backend}"] = result
     return results

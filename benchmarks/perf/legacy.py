@@ -146,18 +146,25 @@ def _legacy_packet_copy(self: Packet) -> Packet:
 def legacy_kernel() -> Iterator[None]:
     """Swap the pre-optimisation engine and packet copy into the stack.
 
-    Patches the ``Simulator`` name that :mod:`repro.experiments.runner` binds
-    at import time (every scenario component receives the simulator instance
-    from there) and ``Packet.copy``.  Restores both on exit.
+    Re-registers the ``reference`` kernel backend (every scenario resolves
+    its engine through :mod:`repro.core.backends`) with the embedded
+    pre-optimisation simulator, and patches ``Packet.copy``.  Restores both
+    on exit.
     """
-    import repro.experiments.runner as runner_module
+    from repro.core.backends import (KernelBackendProfile,
+                                     get_kernel_backend,
+                                     register_kernel_backend)
 
-    original_simulator = runner_module.Simulator
+    original_profile = get_kernel_backend("reference")
     original_copy = Packet.copy
-    runner_module.Simulator = LegacySimulator  # type: ignore[misc]
+    register_kernel_backend(KernelBackendProfile(
+        name="reference",
+        factory=LegacySimulator,
+        description="embedded pre-optimisation kernel (benchmark baseline)",
+    ), replace=True)
     Packet.copy = _legacy_packet_copy  # type: ignore[method-assign]
     try:
         yield
     finally:
-        runner_module.Simulator = original_simulator  # type: ignore[misc]
+        register_kernel_backend(original_profile, replace=True)
         Packet.copy = original_copy  # type: ignore[method-assign]

@@ -37,7 +37,10 @@ from repro.experiments.scenarios import build_named_scenario
 from repro.net.packet import reset_packet_ids
 from repro.topology.random_topology import random_topology
 
+from repro.core.backends import kernel_backend_names
+
 from benchmarks.perf.legacy import legacy_kernel
+from benchmarks.perf.timing import best_of
 
 #: Default in-order packet targets (tuned so the full suite stays ≈30 s).
 CHAIN_PACKET_TARGET = 400
@@ -65,10 +68,10 @@ def _run_and_measure(scenario: Scenario) -> Dict[str, float]:
     }
 
 
-def _build_chain7(packet_target: int) -> Scenario:
+def _build_chain7(packet_target: int, backend: str = "reference") -> Scenario:
     reset_packet_ids()
     return build_named_scenario("chain7-vegas-at-2mbps", packet_target=packet_target,
-                                seed=3)
+                                seed=3, kernel_backend=backend)
 
 
 def _build_chain7_metrics(packet_target: int) -> Scenario:
@@ -77,30 +80,32 @@ def _build_chain7_metrics(packet_target: int) -> Scenario:
                                 seed=3, metrics=True)
 
 
-def _build_random50(packet_target: int) -> Scenario:
-    reset_packet_ids()
-    topology = random_topology(node_count=STRESS_NODE_COUNT, area=STRESS_AREA,
-                               flow_count=STRESS_FLOW_COUNT, seed=STRESS_SEED)
-    config = ScenarioConfig(variant="vegas", packet_target=packet_target,
-                            seed=STRESS_SEED, max_sim_time=200.0)
-    return Scenario(topology, config)
-
-
-def _build_mobile_chain7(packet_target: int) -> Scenario:
-    reset_packet_ids()
-    return build_named_scenario("chain7-rwp-vegas-2mbps",
-                                packet_target=packet_target, seed=3,
-                                max_sim_time=120.0, mobility_speed=20.0,
-                                mobility_pause=1.0)
-
-
-def _build_mobile_random50(packet_target: int) -> Scenario:
+def _build_random50(packet_target: int, backend: str = "reference") -> Scenario:
     reset_packet_ids()
     topology = random_topology(node_count=STRESS_NODE_COUNT, area=STRESS_AREA,
                                flow_count=STRESS_FLOW_COUNT, seed=STRESS_SEED)
     config = ScenarioConfig(variant="vegas", packet_target=packet_target,
                             seed=STRESS_SEED, max_sim_time=200.0,
-                            mobility="random-walk", mobility_speed=5.0)
+                            kernel_backend=backend)
+    return Scenario(topology, config)
+
+
+def _build_mobile_chain7(packet_target: int, backend: str = "reference") -> Scenario:
+    reset_packet_ids()
+    return build_named_scenario("chain7-rwp-vegas-2mbps",
+                                packet_target=packet_target, seed=3,
+                                max_sim_time=120.0, mobility_speed=20.0,
+                                mobility_pause=1.0, kernel_backend=backend)
+
+
+def _build_mobile_random50(packet_target: int, backend: str = "reference") -> Scenario:
+    reset_packet_ids()
+    topology = random_topology(node_count=STRESS_NODE_COUNT, area=STRESS_AREA,
+                               flow_count=STRESS_FLOW_COUNT, seed=STRESS_SEED)
+    config = ScenarioConfig(variant="vegas", packet_target=packet_target,
+                            seed=STRESS_SEED, max_sim_time=200.0,
+                            mobility="random-walk", mobility_speed=5.0,
+                            kernel_backend=backend)
     return Scenario(topology, config)
 
 
@@ -133,12 +138,17 @@ def run_scenario_benchmarks(
     chain_target: int = CHAIN_PACKET_TARGET,
     stress_target: int = STRESS_PACKET_TARGET,
 ) -> Dict[str, Dict[str, float]]:
-    """Run every macro benchmark on the current and the legacy kernel.
+    """Run every macro benchmark on every kernel backend plus the legacy one.
+
+    Each measurement is best-of-N with recorded run-to-run spread (see
+    :mod:`benchmarks.perf.timing`).
 
     Returns:
-        Mapping of benchmark name to its result dict; ``*_legacy`` entries hold
-        the reference-kernel numbers and each current entry gains a
-        ``speedup_vs_legacy`` field.
+        Mapping of benchmark name to its result dict.  The bare name holds
+        the ``reference`` backend's numbers with a ``speedup_vs_legacy``
+        field; ``{name}_legacy`` holds the embedded pre-optimisation kernel;
+        every other registered backend adds a ``{name}_{backend}`` entry
+        carrying ``speedup_vs_reference``.
     """
     results: Dict[str, Dict[str, float]] = {}
     for name, builder, target in (
@@ -147,20 +157,35 @@ def run_scenario_benchmarks(
         ("mobile_chain7", _build_mobile_chain7, chain_target),
         ("mobile_random50", _build_mobile_random50, stress_target),
     ):
-        current = _run_and_measure(builder(target))
+        per_backend = {
+            backend: best_of(lambda b=backend: _run_and_measure(
+                builder(target, backend=b)))
+            for backend in kernel_backend_names()
+        }
         with legacy_kernel():
-            legacy = _run_and_measure(builder(target))
-        current["speedup_vs_legacy"] = (
-            current["events_per_sec"] / legacy["events_per_sec"]
+            legacy = best_of(lambda: _run_and_measure(builder(target)))
+        reference = per_backend["reference"]
+        reference["speedup_vs_legacy"] = (
+            reference["events_per_sec"] / legacy["events_per_sec"]
             if legacy["events_per_sec"] else float("nan")
         )
-        results[name] = current
+        results[name] = reference
         results[f"{name}_legacy"] = legacy
+        for backend, result in per_backend.items():
+            if backend == "reference":
+                continue
+            result["speedup_vs_reference"] = (
+                result["events_per_sec"] / reference["events_per_sec"]
+                if reference["events_per_sec"] else float("nan")
+            )
+            results[f"{name}_{backend}"] = result
 
     # Metrics-plane overhead: same chain workload with time series enabled,
     # compared by wall time against the metrics-off run above (events/sec is
-    # not comparable — the sampler adds events of its own).
-    metrics_run = _run_and_measure(_build_chain7_metrics(chain_target))
+    # not comparable — the sampler adds events of its own).  Both sides are
+    # best-of-N wall times, so the ratio is jitter-resistant.
+    metrics_run = best_of(lambda: _run_and_measure(
+        _build_chain7_metrics(chain_target)))
     plain_wall = results["chain7_ftp"]["wall_time"]
     metrics_run["overhead_vs_disabled"] = (
         metrics_run["wall_time"] / plain_wall if plain_wall else float("nan")

@@ -1,0 +1,54 @@
+"""Best-of-N measurement with run-to-run variance tracking.
+
+One-shot wall-clock timings are the classic source of flaky benchmark
+deltas: a single GC pause or a noisy CI neighbour shifts a run by tens of
+percent.  Every throughput comparison in this suite therefore measures
+best-of-``BENCH_REPEATS`` and records the observed spread, so a
+cross-backend difference smaller than the machine's own jitter is visible
+as such in ``BENCH_kernel.json`` instead of masquerading as a result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+#: Repetitions per measurement (best-of-N; N=3 balances stability against
+#: total suite wall time).
+BENCH_REPEATS = 3
+
+#: Run-to-run spread above which a measurement is flagged as noisy: with
+#: more than 10% jitter between repeats, small backend-to-backend deltas in
+#: the same report are not trustworthy.
+SPREAD_WARN_THRESHOLD = 0.10
+
+
+def best_of(measure: Callable[[], Dict[str, float]],
+            repeats: int = BENCH_REPEATS) -> Dict[str, float]:
+    """Run ``measure`` ``repeats`` times and keep the fastest run's result.
+
+    The returned dict is the best run (highest ``events_per_sec``), augmented
+    with:
+
+    * ``runs_events_per_sec`` — every repeat's throughput, in run order;
+    * ``spread`` — ``(max - min) / max`` over the repeats, the relative
+      run-to-run variance.  Comparisons between two reports (or two backends)
+      closer than either side's spread are noise, and
+      ``python -m benchmarks.perf`` warns when a measurement exceeds
+      :data:`SPREAD_WARN_THRESHOLD`.
+    """
+    runs: List[Dict[str, float]] = [measure() for _ in range(max(1, repeats))]
+    rates = [run["events_per_sec"] for run in runs]
+    best = max(runs, key=lambda run: run["events_per_sec"])
+    top = max(rates)
+    best = dict(best)
+    best["runs_events_per_sec"] = rates
+    best["spread"] = (top - min(rates)) / top if top > 0 else 0.0
+    return best
+
+
+def noisy_measurements(benchmarks: Dict[str, Dict[str, float]]) -> List[str]:
+    """Names of measurements whose recorded spread exceeds the threshold."""
+    return sorted(
+        name for name, result in benchmarks.items()
+        if result.get("spread", 0.0) > SPREAD_WARN_THRESHOLD
+    )

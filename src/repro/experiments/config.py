@@ -27,6 +27,7 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
+from repro.core.backends import get_kernel_backend
 from repro.core.errors import ConfigurationError
 from repro.mobility.registry import get_mobility
 from repro.transport.ack_thinning import AckThinningPolicy
@@ -148,6 +149,12 @@ class ScenarioConfig:
             extra events (golden traces stay bit-identical).
         metrics_interval: Cadence of the periodic probe sampler in simulated
             seconds.
+        kernel_backend: Simulation-engine family resolved through
+            :mod:`repro.core.backends` (``"reference"``, the tuple-heap
+            baseline, or ``"wheel"``, the timer-wheel fast path).  Backends
+            are dispatch-order equivalent — golden traces are bit-identical
+            across them — so this is purely a performance knob, sweepable
+            like any other axis.
     """
 
     variant: VariantLike = TransportVariant.VEGAS
@@ -172,6 +179,7 @@ class ScenarioConfig:
     mobility_update_interval: float = 0.5
     metrics: bool = False
     metrics_interval: float = 0.1
+    kernel_backend: str = "reference"
 
     def __post_init__(self) -> None:
         if self.bandwidth_mbps <= 0:
@@ -196,6 +204,7 @@ class ScenarioConfig:
             raise ConfigurationError("mobility_update_interval must be positive")
         if self.metrics_interval <= 0:
             raise ConfigurationError("metrics_interval must be positive")
+        get_kernel_backend(self.kernel_backend)  # fail fast on unknown engines
         object.__setattr__(self, "variant", resolve_variant(self.variant))
         get_transport(self.variant).validate_config(self)
 

@@ -49,7 +49,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.core.engine import Simulator
+from repro.core.backends import create_kernel, kernel_backend_profiles
 from repro.core.errors import ConfigurationError
 from repro.core.randomness import RandomManager
 from repro.core.tracing import NULL_TRACER, Tracer
@@ -134,7 +134,7 @@ class Scenario:
         self.profile = get_transport(self.config.variant)
 
         config = self.config
-        self.sim = Simulator()
+        self.sim = create_kernel(config.kernel_backend)
         self.randomness = RandomManager(config.seed)
         self.timing: MacTiming = timing_for_bandwidth(config.bandwidth_mbps)
         propagation = RangePropagationModel(capture_threshold=config.capture_threshold)
@@ -496,6 +496,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="preset name (default: %(default)s); see --list")
     parser.add_argument("--list", action="store_true",
                         help="list available scenario presets and exit")
+    parser.add_argument("--kernel-backend", default=None, metavar="NAME",
+                        help="simulation-engine backend (see "
+                             "--list-kernel-backends); backends are "
+                             "dispatch-order equivalent, this is purely a "
+                             "performance knob")
+    parser.add_argument("--list-kernel-backends", action="store_true",
+                        help="list registered kernel backends and exit")
     parser.add_argument("--metrics", action="store_true",
                         help="enable the time-series metrics plane")
     parser.add_argument("--metrics-interval", type=float, default=None,
@@ -517,8 +524,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in sorted(available_scenarios()):
             print(name)
         return 0
+    if args.list_kernel_backends:
+        for profile in kernel_backend_profiles():
+            print(f"{profile.name}: {profile.description}")
+        return 0
 
     overrides: Dict[str, object] = {}
+    if args.kernel_backend is not None:
+        overrides["kernel_backend"] = args.kernel_backend
     if args.metrics:
         overrides["metrics"] = True
     if args.metrics_interval is not None:

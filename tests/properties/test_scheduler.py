@@ -10,6 +10,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.backends import create_kernel, kernel_backend_names
 from repro.core.engine import Event, Simulator, Timer
 
 #: Delays drawn from a small grid so same-time collisions are common — the
@@ -17,11 +18,22 @@ from repro.core.engine import Event, Simulator, Timer
 _delay_grid = st.sampled_from([0.0, 0.5, 1.0, 1.0, 2.0, 2.0, 3.0])
 
 
+#: Every scheduler invariant below must hold on every registered kernel
+#: backend, not just the reference engine (same public contract).
+#: Module-scoped (hypothesis forbids function-scoped fixtures under
+#: ``@given``); the factory builds a fresh engine per call, so examples
+#: never share state.
+@pytest.fixture(scope="module", params=kernel_backend_names())
+def make_sim(request):
+    backend = request.param
+    return lambda: create_kernel(backend)
+
+
 class TestFifoOrdering:
     @given(st.lists(_delay_grid, min_size=1, max_size=60))
     @settings(max_examples=100, deadline=None)
-    def test_same_time_events_fire_in_schedule_order(self, delays):
-        sim = Simulator()
+    def test_same_time_events_fire_in_schedule_order(self, make_sim, delays):
+        sim = make_sim()
         fired = []
         for index, delay in enumerate(delays):
             sim.schedule(delay, fired.append, (delay, index))
@@ -33,8 +45,8 @@ class TestFifoOrdering:
 
     @given(st.lists(_delay_grid, min_size=1, max_size=60))
     @settings(max_examples=100, deadline=None)
-    def test_event_ordering_matches_explicit_lt(self, delays):
-        sim = Simulator()
+    def test_event_ordering_matches_explicit_lt(self, make_sim, delays):
+        sim = make_sim()
         events = [sim.schedule(delay, lambda: None) for delay in delays]
         for earlier, later in zip(events, events[1:]):
             if earlier.time == later.time:
@@ -49,8 +61,8 @@ class TestMonotonicClock:
            st.lists(st.floats(min_value=0.0, max_value=10.0),
                     min_size=0, max_size=10))
     @settings(max_examples=100, deadline=None)
-    def test_clock_never_goes_backwards(self, delays, nested_delays):
-        sim = Simulator()
+    def test_clock_never_goes_backwards(self, make_sim, delays, nested_delays):
+        sim = make_sim()
         observed = []
 
         def observe():
@@ -67,8 +79,8 @@ class TestMonotonicClock:
                     min_size=1, max_size=30),
            st.floats(min_value=0.0, max_value=60.0))
     @settings(max_examples=100, deadline=None)
-    def test_run_until_leaves_clock_at_horizon_or_last_event(self, delays, until):
-        sim = Simulator()
+    def test_run_until_leaves_clock_at_horizon_or_last_event(self, make_sim, delays, until):
+        sim = make_sim()
         for delay in delays:
             sim.schedule(delay, lambda: None)
         sim.run(until=until)
@@ -80,8 +92,8 @@ class TestMonotonicClock:
 class TestCancelRescheduleSafety:
     @given(st.lists(st.tuples(_delay_grid, st.booleans()), min_size=1, max_size=60))
     @settings(max_examples=100, deadline=None)
-    def test_cancelled_events_never_fire_and_others_all_do(self, plan):
-        sim = Simulator()
+    def test_cancelled_events_never_fire_and_others_all_do(self, make_sim, plan):
+        sim = make_sim()
         fired = []
         events = []
         for index, (delay, _) in enumerate(plan):
@@ -96,8 +108,8 @@ class TestCancelRescheduleSafety:
 
     @given(st.data())
     @settings(max_examples=50, deadline=None)
-    def test_cancel_from_within_callback_is_safe(self, data):
-        sim = Simulator()
+    def test_cancel_from_within_callback_is_safe(self, make_sim, data):
+        sim = make_sim()
         fired = []
         victims = [sim.schedule(2.0, fired.append, i) for i in range(10)]
         to_cancel = data.draw(st.lists(st.integers(min_value=0, max_value=9),
@@ -114,8 +126,8 @@ class TestCancelRescheduleSafety:
     @given(st.lists(st.floats(min_value=0.01, max_value=5.0),
                     min_size=1, max_size=20))
     @settings(max_examples=50, deadline=None)
-    def test_timer_restart_storm_fires_exactly_once(self, restarts):
-        sim = Simulator()
+    def test_timer_restart_storm_fires_exactly_once(self, make_sim, restarts):
+        sim = make_sim()
         fired = []
         timer = Timer(sim, lambda: fired.append(sim.now))
         for delay in restarts:
@@ -129,8 +141,8 @@ class TestCancelRescheduleSafety:
     @given(st.lists(_delay_grid, min_size=1, max_size=40),
            st.integers(min_value=0, max_value=39))
     @settings(max_examples=50, deadline=None)
-    def test_pending_events_counts_exclude_tombstones(self, delays, cancel_count):
-        sim = Simulator()
+    def test_pending_events_counts_exclude_tombstones(self, make_sim, delays, cancel_count):
+        sim = make_sim()
         events = [sim.schedule(delay, lambda: None) for delay in delays]
         for event in events[:cancel_count]:
             sim.cancel(event)
@@ -140,16 +152,16 @@ class TestCancelRescheduleSafety:
 
 
 class TestEventHandle:
-    def test_event_equality_and_hash_follow_time_and_sequence(self):
-        sim = Simulator()
+    def test_event_equality_and_hash_follow_time_and_sequence(self, make_sim):
+        sim = make_sim()
         a = sim.schedule(1.0, lambda: None)
         b = sim.schedule(1.0, lambda: None)
         assert a != b
         assert a == Event(a.time, a.sequence, lambda: None)
         assert hash(a) == hash(Event(a.time, a.sequence, lambda: None))
 
-    def test_double_cancel_is_idempotent(self):
-        sim = Simulator()
+    def test_double_cancel_is_idempotent(self, make_sim):
+        sim = make_sim()
         event = sim.schedule(1.0, lambda: None)
         event.cancel()
         event.cancel()

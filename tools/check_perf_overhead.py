@@ -26,10 +26,23 @@ benchmarks.perf [--smoke]``) against the committed baseline
    cost at 1000 nodes relative to 50, constant density, a same-process
    ratio) exceeds ``--max-churn-scaling``.  With the grid spatial index the
    ratio tracks the 20x population ratio; the quadratic pre-index channel
-   measured ~400x, so the guard has an order of magnitude of headroom.
+   measured ~400x, so the guard has an order of magnitude of headroom; or
+5. an accelerated kernel backend regressed: some ``{bench}_{backend}`` entry
+   has no finite ``speedup_vs_reference``, the best accelerated speedup in
+   the report fell below ``--min-backend-speedup`` (the wheel must keep
+   beating the reference engine on its target workload, timer churn), or a
+   backend's macro-scenario ratio fell below the parity floor (the fast
+   path must never make real scenarios substantially slower).
+
+Every comparison above is a same-process *ratio*, so it holds on any
+machine.  Absolute throughput floors (``--min-events-per-sec``) are checked
+only for full-budget reports: smoke runs are too short and CI runners too
+noisy for wall-clock absolutes, which made them flaky — CI's smoke job
+checks ratios exclusively.
 
 The golden-trace suite (``tests/regression``) separately pins that
-metrics-disabled runs stay behaviourally bit-identical; this script pins
+metrics-disabled runs stay behaviourally bit-identical and the
+cross-backend differential suite pins backend equivalence; this script pins
 the performance envelope around them.
 
 Usage::
@@ -54,20 +67,38 @@ DEFAULT_TOLERANCE = 0.5
 DEFAULT_MAX_METRICS_OVERHEAD = 2.0
 DEFAULT_MAX_RESUME_OVERHEAD = 0.5
 DEFAULT_MAX_CHURN_SCALING = 25.0
+#: The best accelerated-backend speedup anywhere in the report must reach
+#: this; the wheel's timer-churn win is ~1.7x, so 1.2 catches a structural
+#: regression without tripping on machine jitter.
+DEFAULT_MIN_BACKEND_SPEEDUP = 1.2
+#: No accelerated backend may fall below this ratio of the reference
+#: engine's events/sec on any benchmark (macro scenarios included) — the
+#: fast path must stay within noise of parity where it cannot win.
+MIN_BACKEND_PARITY = 0.7
+#: Absolute-throughput floor for full-budget reports only (events/sec on
+#: ``event_throughput``); a loose bound far under any real machine's rate.
+DEFAULT_MIN_EVENTS_PER_SEC = 100_000.0
 
 
 def _load(path: Path) -> dict:
     try:
-        return json.loads(path.read_text())["benchmarks"]
+        report = json.loads(path.read_text())
+        report["benchmarks"]  # fail fast on a non-report JSON
+        return report
     except (OSError, ValueError, KeyError) as exc:
         raise SystemExit(f"cannot read benchmark report {path}: {exc}")
 
 
-def check(current: dict, baseline: dict, tolerance: float,
+def check(current_report: dict, baseline_report: dict, tolerance: float,
           max_metrics_overhead: float,
           max_resume_overhead: float = DEFAULT_MAX_RESUME_OVERHEAD,
-          max_churn_scaling: float = DEFAULT_MAX_CHURN_SCALING) -> list:
+          max_churn_scaling: float = DEFAULT_MAX_CHURN_SCALING,
+          min_backend_speedup: float = DEFAULT_MIN_BACKEND_SPEEDUP,
+          min_events_per_sec: float = DEFAULT_MIN_EVENTS_PER_SEC) -> list:
     """Return a list of human-readable failure strings (empty = pass)."""
+    current = current_report["benchmarks"]
+    baseline = baseline_report["benchmarks"]
+    smoke = bool(current_report.get("smoke"))
     failures = []
     compared = 0
     for name, base_result in sorted(baseline.items()):
@@ -126,6 +157,43 @@ def check(current: dict, baseline: dict, tolerance: float,
                 f"{max_churn_scaling:.1f}x) — update cost is growing "
                 f"super-linearly in node count"
             )
+
+    # Per-backend guard: every accelerated-backend entry carries
+    # speedup_vs_reference (a same-process ratio).  The best of them must
+    # clear --min-backend-speedup, and none may sink below the parity floor.
+    backend_ratios = {}
+    for name, result in sorted(current.items()):
+        ratio = result.get("speedup_vs_reference")
+        if ratio is None:
+            continue
+        if not math.isfinite(ratio):
+            failures.append(f"{name}: non-finite speedup_vs_reference")
+            continue
+        backend_ratios[name] = ratio
+        if ratio < MIN_BACKEND_PARITY:
+            failures.append(
+                f"{name}: accelerated backend runs at {ratio:.2f}x the "
+                f"reference engine (parity floor {MIN_BACKEND_PARITY:.2f}x)"
+            )
+    if backend_ratios and max(backend_ratios.values()) < min_backend_speedup:
+        best_name = max(backend_ratios, key=backend_ratios.get)
+        failures.append(
+            f"best accelerated-backend speedup is "
+            f"{backend_ratios[best_name]:.2f}x ({best_name}); required "
+            f">= {min_backend_speedup:.2f}x somewhere in the report — the "
+            "fast path no longer beats the reference engine on any workload"
+        )
+
+    # Absolute floors are wall-clock-dependent, so they only apply to
+    # full-budget reports; smoke CI compares ratios exclusively.
+    if not smoke and min_events_per_sec > 0:
+        throughput = current.get("event_throughput", {}).get("events_per_sec")
+        if throughput is not None and throughput < min_events_per_sec:
+            failures.append(
+                f"event_throughput: {throughput:,.0f} events/sec fell below "
+                f"the absolute floor {min_events_per_sec:,.0f} (full-budget "
+                "runs only)"
+            )
     return failures
 
 
@@ -150,11 +218,22 @@ def main(argv=None) -> int:
                         default=DEFAULT_MAX_CHURN_SCALING,
                         help="allowed 1000-vs-50-node mobility-update cost "
                              "ratio (default: %(default)s)")
+    parser.add_argument("--min-backend-speedup", type=float,
+                        default=DEFAULT_MIN_BACKEND_SPEEDUP,
+                        help="required best speedup_vs_reference across the "
+                             "accelerated kernel backends "
+                             "(default: %(default)s)")
+    parser.add_argument("--min-events-per-sec", type=float,
+                        default=DEFAULT_MIN_EVENTS_PER_SEC,
+                        help="absolute event_throughput floor, checked only "
+                             "for full-budget (non-smoke) reports; 0 "
+                             "disables (default: %(default)s)")
     args = parser.parse_args(argv)
 
     failures = check(_load(args.report), _load(args.baseline),
                      args.tolerance, args.max_metrics_overhead,
-                     args.max_resume_overhead, args.max_churn_scaling)
+                     args.max_resume_overhead, args.max_churn_scaling,
+                     args.min_backend_speedup, args.min_events_per_sec)
     if failures:
         print("perf overhead check FAILED:")
         for failure in failures:
