@@ -20,8 +20,14 @@ import platform
 import sys
 from pathlib import Path
 
+from benchmarks.perf.flow_bench import run_flow_benchmarks
 from benchmarks.perf.kernel_bench import DEFAULT_EVENTS, run_kernel_benchmarks
-from benchmarks.perf.mobility_bench import DEFAULT_ROUNDS, run_mobility_benchmarks
+from benchmarks.perf.mobility_bench import (
+    DEFAULT_ROUNDS,
+    SCALING_NODE_COUNTS,
+    SCALING_NODE_COUNTS_FULL,
+    run_mobility_benchmarks,
+)
 from benchmarks.perf.scenario_bench import (
     CHAIN_PACKET_TARGET,
     STRESS_PACKET_TARGET,
@@ -61,10 +67,19 @@ def main(argv=None) -> int:
     stress_target = SMOKE_PACKET_TARGET if args.smoke else STRESS_PACKET_TARGET
     churn_rounds = SMOKE_CHURN_ROUNDS if args.smoke else DEFAULT_ROUNDS
 
+    # The 10k-node churn entry only runs at full budget: its setup/warm-up
+    # cost alone dwarfs the whole smoke budget, and the guard bound it feeds
+    # (--max-churn-scaling-10k) applies to full reports only anyway.
+    churn_populations = (SCALING_NODE_COUNTS if args.smoke
+                         else SCALING_NODE_COUNTS_FULL)
+
     print(f"engine microbenchmarks ({n_events} events each) ...", flush=True)
     benchmarks = dict(run_kernel_benchmarks(n_events))
-    print(f"mobility microbenchmarks ({churn_rounds} churn rounds) ...", flush=True)
-    benchmarks.update(run_mobility_benchmarks(churn_rounds))
+    print(f"mobility microbenchmarks ({churn_rounds} churn rounds, "
+          f"populations {churn_populations}) ...", flush=True)
+    benchmarks.update(run_mobility_benchmarks(churn_rounds, churn_populations))
+    print("flow-setup benchmark (1000 flows) ...", flush=True)
+    benchmarks.update(run_flow_benchmarks())
     print(f"scenario benchmarks (chain target {chain_target}, "
           f"stress target {stress_target}) ...", flush=True)
     benchmarks.update(run_scenario_benchmarks(chain_target, stress_target))

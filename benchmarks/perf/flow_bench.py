@@ -1,0 +1,108 @@
+"""Flow-setup benchmark: scenario construction cost at thousands of flows.
+
+The city10k presets attach up to 1000 concurrent flows
+(``city10k-rwp-1000flows``), and every flow pays per-flow construction at
+:class:`~repro.experiments.runner.Scenario` build time: resolving the
+effective config, validating it against the transport profile, and building
+the sender/sink/application triple.  Before the effective-config
+memoization in :mod:`repro.experiments.workload`, a uniform 1000-flow
+workload performed 1000 ``dataclasses.replace`` + validation passes; now
+uniform flows share one validated config object and setup cost is dominated
+by the transports themselves.
+
+``flow_setup_1000`` isolates exactly that per-flow stage: an 8-hop chain
+(9 nodes, so node construction is noise) with 1000 identical NewReno flows
+between the chain's endpoints, static routing, no traffic — the measured
+wall time is scenario construction only.  The acceptance bound is
+sub-second 1000-flow setup, guarded by ``tools/check_perf_overhead.py``
+(``--max-flow-setup-seconds``, full-budget reports only: the bound is a
+wall-clock absolute).
+
+Reported like the other microbenchmarks: ``events`` (flows built),
+``wall_time``, ``events_per_sec``, best-of-3 with recorded ``spread``.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Dict
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import Scenario
+from repro.experiments.workload import FlowSpec, ScenarioSpec, Workload
+from repro.net.packet import reset_packet_ids
+from repro.topology.chain import chain_topology
+
+from benchmarks.perf.timing import best_of
+
+#: The headline flow count (matches the ``city10k-rwp-1000flows`` preset).
+FLOW_SETUP_FLOWS = 1000
+#: Chain length: enough hops to be a real multihop topology, few enough
+#: nodes that per-node cost cannot mask the per-flow cost under test.
+FLOW_SETUP_HOPS = 8
+
+
+def _flow_setup_spec(flow_count: int) -> ScenarioSpec:
+    """A 9-node chain carrying ``flow_count`` uniform NewReno flows."""
+    topology = chain_topology(hops=FLOW_SETUP_HOPS)
+    flows = tuple(
+        FlowSpec(source=0, destination=FLOW_SETUP_HOPS, variant="newreno")
+        for _ in range(flow_count)
+    )
+    return ScenarioSpec(
+        name=f"flow-setup-{flow_count}",
+        topology=topology,
+        workload=Workload(flows=flows),
+        config=ScenarioConfig(variant="newreno", routing="static",
+                              bandwidth_mbps=2.0),
+    )
+
+
+def bench_flow_setup(flow_count: int = FLOW_SETUP_FLOWS) -> Dict[str, float]:
+    """Time full :class:`Scenario` construction for a uniform N-flow spec.
+
+    The spec (topology + workload + validated config) is built once outside
+    the timed region; each timed pass constructs a complete scenario from
+    it — nodes, static routes, and one sender/sink/application triple per
+    flow — which is exactly what a study's executor pays per design point
+    before the first event runs.
+
+    Returns:
+        Best-of-3 dict with ``events`` (flows built), ``wall_time``,
+        ``events_per_sec``, ``spread`` and the bookkeeping field
+        ``flow_count``.
+    """
+    spec = _flow_setup_spec(flow_count)
+    Scenario(spec)  # warm-up: imports, transport registry, config memo
+
+    def measure() -> Dict[str, float]:
+        reset_packet_ids()
+        gc.collect()  # start each pass from a clean heap
+        start = time.perf_counter()
+        scenario = Scenario(spec)
+        wall = time.perf_counter() - start
+        flows_built = len(scenario.senders)
+        return {
+            "events": flows_built,
+            "wall_time": wall,
+            "events_per_sec": flows_built / wall if wall > 0 else 0.0,
+            "flow_count": flow_count,
+        }
+
+    # A single collector pause is the same order as one whole construction
+    # pass, so GC is off while timing (mirroring the mobility series).
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return best_of(measure)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def run_flow_benchmarks(
+    flow_count: int = FLOW_SETUP_FLOWS,
+) -> Dict[str, Dict[str, float]]:
+    """Run the flow-setup benchmark; the entry name pins the flow count."""
+    return {f"flow_setup_{flow_count}": bench_flow_setup(flow_count)}

@@ -9,15 +9,18 @@ Mobile scenarios add two costs on top of a static run:
   be rebuilt from the new geometry.  This is exactly what every
   :class:`~repro.mobility.base.MobilityManager` update interval does to the
   channel, with the protocol stack stripped away.
-* ``position_churn_50`` / ``_250`` / ``_1000`` (micro, scaling series) — the
-  pure mobility-update path (batch ``set_positions`` plus a full
-  ``neighbors_of`` sweep, i.e. what ``MobilityManager._update`` +
-  ``_current_links`` pay per interval) at three populations with constant
-  node density.  The larger entries carry ``cost_ratio_vs_50``, the
-  per-round cost relative to the 50-node entry of the same design, which
-  ``tools/check_perf_overhead.py`` guards: with the grid spatial index the
-  ratio tracks the population ratio (20x for 1000 vs 50); the quadratic
-  pre-index channel measured ~400x.
+* ``position_churn_50`` / ``_250`` / ``_1000`` / ``_10000`` (micro, scaling
+  series) — the pure mobility-update path (batch ``set_positions`` plus a
+  full ``neighbors_of`` sweep, i.e. what ``MobilityManager._update`` +
+  ``_current_links`` pay per interval) at constant node density.  The
+  larger entries carry ``cost_ratio_vs_50``, the per-round cost relative to
+  the 50-node entry of the same design, which
+  ``tools/check_perf_overhead.py`` guards: with the grid spatial index and
+  lazy generation-stamped invalidation the ratio tracks the population
+  ratio (20x for 1000 vs 50, 200x for 10000); the quadratic pre-index
+  channel measured ~400x at 1000 nodes already.  The 10000-node entry runs
+  in full-budget reports only (``--smoke`` skips it: one 10k warm-up alone
+  outweighs the whole smoke budget).
 * ``mobile_chain7`` / ``mobile_random50`` (macro, in
   :mod:`benchmarks.perf.scenario_bench`) — full mobile scenarios including
   MAC retry storms, RERRs and AODV re-discovery traffic.
@@ -41,6 +44,8 @@ from repro.phy.channel import WirelessChannel
 from repro.phy.propagation import Position
 from repro.phy.radio import Radio
 
+from benchmarks.perf.timing import best_of
+
 #: Default workload: a 50-node field jittered and re-broadcast per round.
 DEFAULT_NODE_COUNT = 50
 DEFAULT_ROUNDS = 200
@@ -51,6 +56,9 @@ JITTER = 7.5
 #: The scaling series: population sizes measured with constant node density
 #: (the field grows with sqrt(N), so per-node neighbourhoods stay comparable).
 SCALING_NODE_COUNTS = (50, 250, 1000)
+#: Full-budget series: adds the metro-scale population whose setup cost is
+#: too heavy for the CI smoke lane.
+SCALING_NODE_COUNTS_FULL = SCALING_NODE_COUNTS + (10_000,)
 #: 50-node field for the scaling series.  Deliberately sparser than the
 #: stress FIELD: the baseline field must be large relative to the 3x3
 #: interference block (1650 m square), otherwise the 50-node neighbourhood
@@ -140,15 +148,19 @@ def bench_mobility_update(node_count: int,
     ``SCALING_FIELD`` with ``sqrt(node_count / 50)``, so density — and with
     it the average neighbourhood size — is constant across the series.  One
     warm-up round builds the caches; the timed rounds then measure the
-    steady state.  The best of ``repeats`` passes is reported, with GC
-    disabled while timing, because a single collector pause at 1000 nodes
-    is the same order as a whole round.
+    steady state.  The best of ``repeats`` passes is reported through
+    :func:`benchmarks.perf.timing.best_of`, so every entry records its
+    run-to-run ``spread`` like the kernel benchmarks and >10% noisy churn
+    numbers get flagged on stdout.  GC is disabled while timing, because a
+    single collector pause at 1000+ nodes is the same order as a whole
+    round.
 
     Returns:
-        Dict with ``events`` (link queries: ``rounds * node_count``),
-        ``wall_time`` (best pass), ``events_per_sec``, ``update_cost``
-        (wall seconds per round, best pass) and the bookkeeping fields
-        ``rounds`` and ``node_count``.
+        Best-of-``repeats`` dict with ``events`` (link queries:
+        ``rounds * node_count``), ``wall_time`` (best pass),
+        ``events_per_sec``, ``update_cost`` (wall seconds per round, best
+        pass), ``spread`` and the bookkeeping fields ``rounds`` and
+        ``node_count``.
     """
     field = _scaled_field(node_count, base=SCALING_FIELD)
     rng = random.Random(SCALING_PLACEMENT_SEED + node_count)
@@ -171,38 +183,44 @@ def bench_mobility_update(node_count: int,
         for node_id in node_ids:
             channel.neighbors_of(node_id)
 
+    def measure() -> Dict[str, float]:
+        start = time.perf_counter()
+        for round_index in range(1, rounds + 1):
+            churn_round(JITTER if round_index % 2 else -JITTER)
+        wall = time.perf_counter() - start
+        queries = rounds * node_count
+        return {
+            "events": queries,
+            "wall_time": wall,
+            "events_per_sec": queries / wall if wall > 0 else 0.0,
+            "update_cost": wall / rounds if rounds > 0 else 0.0,
+            "rounds": rounds,
+            "node_count": node_count,
+        }
+
     churn_round(1.0)  # warm-up: build grid/cache steady state
-    best = math.inf
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        for _ in range(repeats):
-            start = time.perf_counter()
-            for round_index in range(1, rounds + 1):
-                churn_round(JITTER if round_index % 2 else -JITTER)
-            best = min(best, time.perf_counter() - start)
+        return best_of(measure, repeats)
     finally:
         if gc_was_enabled:
             gc.enable()
-    queries = rounds * node_count
-    return {
-        "events": queries,
-        "wall_time": best,
-        "events_per_sec": queries / best if best > 0 else 0.0,
-        "update_cost": best / rounds if rounds > 0 else 0.0,
-        "rounds": rounds,
-        "node_count": node_count,
-    }
 
 
-def run_mobility_benchmarks(rounds: int = DEFAULT_ROUNDS) -> Dict[str, Dict[str, float]]:
+def run_mobility_benchmarks(
+    rounds: int = DEFAULT_ROUNDS,
+    node_counts: Tuple[int, ...] = SCALING_NODE_COUNTS,
+) -> Dict[str, Dict[str, float]]:
     """Run the mobility microbenchmarks (no legacy twin: the batch-update
     API under test did not exist in the pre-optimisation kernel).
 
     Returns the historical full-broadcast ``position_churn`` entry plus the
-    ``position_churn_<N>`` mobility-update scaling series.  The 250- and
-    1000-node entries carry ``cost_ratio_vs_50`` — their per-round update
-    cost relative to the 50-node entry — which
+    ``position_churn_<N>`` mobility-update scaling series over
+    ``node_counts`` (the smoke lane uses :data:`SCALING_NODE_COUNTS`,
+    full-budget reports :data:`SCALING_NODE_COUNTS_FULL`).  Entries above
+    the 50-node baseline carry ``cost_ratio_vs_50`` — their per-round
+    update cost relative to the 50-node entry — which
     ``tools/check_perf_overhead.py`` guards against quadratic regressions
     (O(N·k) predicts a ratio near the population ratio; O(N²) predicts its
     square).
@@ -211,11 +229,13 @@ def run_mobility_benchmarks(rounds: int = DEFAULT_ROUNDS) -> Dict[str, Dict[str,
         "position_churn": bench_position_churn(rounds=rounds),
     }
     baseline_cost = None
-    for node_count in SCALING_NODE_COUNTS:
+    for node_count in node_counts:
         # Larger populations run fewer rounds to keep the suite fast; the
-        # reported cost is per round, so the ratio stays comparable.
+        # reported cost is per round, so the ratio stays comparable.  The
+        # floor of two rounds keeps the 10k entry from being a single-round
+        # sample (timer noise would dominate a lone ~150 ms measurement).
         scaled_rounds = max(
-            1, rounds * DEFAULT_NODE_COUNT // node_count)
+            2, rounds * DEFAULT_NODE_COUNT // node_count)
         entry = bench_mobility_update(node_count, scaled_rounds)
         if node_count == DEFAULT_NODE_COUNT:
             baseline_cost = entry["update_cost"]

@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
-"""City-scale mesh: 1,000 mobile nodes on a 6.5 km x 2.6 km field.
+"""City-scale mesh: 1,000 or 10,000 mobile nodes at the paper's density.
 
-Runs the ``city1k-*`` scenario presets — a random metro-scale mesh at the
-paper's node density with ten NewReno flows, under random-waypoint and
-Manhattan-grid (street-bound) mobility.  The channel's grid spatial index is
-what makes this population size tractable: delivery lists and the mobility
-link diff are computed from 3x3 cell neighbourhoods instead of all-pairs
-scans.
+Runs the ``city1k-*`` / ``city10k-*`` scenario presets — a random
+metro-scale mesh at the paper's node density with ten NewReno flows, under
+random-waypoint or Manhattan-grid (street-bound) mobility.  The channel's
+grid spatial index plus lazy generation-stamped cache invalidation are what
+make these population sizes tractable: delivery lists and the mobility link
+diff are computed from 3x3 cell neighbourhoods and only rebuilt for nodes
+whose neighbourhood actually changed.  The 10k presets additionally switch
+AODV to expanding-ring search, so route discoveries stop flooding the full
+metro diameter.
 
 Run with::
 
-    python examples/city_scale.py [--packets 600] [--sim-time 120]
+    python examples/city_scale.py                      # 1k, random-waypoint
+    python examples/city_scale.py --mobility manhattan
+    python examples/city_scale.py --nodes 10000        # metro scale
 
 Under ``REPRO_SMOKE=1`` (CI) the run is shortened but keeps the full
-1,000-node population, so the smoke lane genuinely exercises the index.
+population, so the smoke lane genuinely exercises the index and the lazy
+caches at the selected scale.
 """
 
 from __future__ import annotations
@@ -25,7 +31,14 @@ from repro import format_table
 from repro.experiments.scenarios import build_named_scenario
 from repro.experiments.smoke import smoke_scaled
 
-PRESETS = ("city1k-rwp", "city1k-manhattan")
+#: Preset name fragments by CLI flag value.
+NODE_CHOICES = (1000, 10000)
+MOBILITY_CHOICES = ("rwp", "manhattan")
+
+
+def preset_name(nodes: int, mobility: str) -> str:
+    """Map (nodes, mobility) to the registered preset name."""
+    return f"city{nodes // 1000}k-{mobility}"
 
 
 def run_preset(name: str, args: argparse.Namespace) -> None:
@@ -59,9 +72,12 @@ def run_preset(name: str, args: argparse.Namespace) -> None:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--presets", nargs="+", default=list(PRESETS),
-                        choices=PRESETS, metavar="PRESET",
-                        help=f"presets to run (default: all of {PRESETS})")
+    parser.add_argument("--nodes", type=int, default=1000,
+                        choices=NODE_CHOICES,
+                        help="mesh population (default: %(default)s)")
+    parser.add_argument("--mobility", default="rwp",
+                        choices=MOBILITY_CHOICES,
+                        help="mobility model preset tag (default: %(default)s)")
     parser.add_argument("--packets", type=int, default=smoke_scaled(600, 25),
                         help="delivered packets across all flows")
     parser.add_argument("--sim-time", type=float,
@@ -70,8 +86,7 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=1)
     args = parser.parse_args()
 
-    for name in args.presets:
-        run_preset(name, args)
+    run_preset(preset_name(args.nodes, args.mobility), args)
 
 
 if __name__ == "__main__":

@@ -155,6 +155,11 @@ class ScenarioConfig:
             are dispatch-order equivalent — golden traces are bit-identical
             across them — so this is purely a performance knob, sweepable
             like any other axis.
+        aodv_expanding_ring: Enable AODV's expanding-ring RREQ search
+            (RFC 3561 §6.4): discoveries probe small TTL rings before
+            flooding the full ``net_diameter_ttl``.  Off by default — flood
+            behaviour and traces are untouched; the ``city10k`` presets turn
+            it on because full-diameter floods dominate a 10k-node mesh.
     """
 
     variant: VariantLike = TransportVariant.VEGAS
@@ -180,6 +185,7 @@ class ScenarioConfig:
     metrics: bool = False
     metrics_interval: float = 0.1
     kernel_backend: str = "reference"
+    aodv_expanding_ring: bool = False
 
     def __post_init__(self) -> None:
         if self.bandwidth_mbps <= 0:
@@ -190,6 +196,10 @@ class ScenarioConfig:
             raise ConfigurationError("batch_count must be at least 2")
         if self.routing not in ("aodv", "static"):
             raise ConfigurationError(f"unknown routing {self.routing!r}")
+        if self.aodv_expanding_ring and self.routing != "aodv":
+            raise ConfigurationError(
+                "aodv_expanding_ring requires routing='aodv'"
+            )
         get_mobility(self.mobility)  # fail fast on unknown mobility models
         if self.mobility != "static" and self.routing == "static":
             raise ConfigurationError(

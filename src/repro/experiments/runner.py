@@ -70,6 +70,7 @@ from repro.phy.energy import (
     set_energy_gauges,
 )
 from repro.phy.propagation import RangePropagationModel
+from repro.routing.aodv import AodvConfig
 from repro.routing.static import StaticRouting
 from repro.topology.base import Topology, all_next_hop_tables
 from repro.transport.registry import TransportBuildContext, get_transport
@@ -169,6 +170,10 @@ class Scenario:
         self.metrics.start_sampling(self.sim, self.config.metrics_interval)
 
     def _build_nodes(self) -> None:
+        # None keeps the AodvRouting default config object — bit-identical to
+        # a build that predates the expanding-ring knob.
+        aodv_config = (AodvConfig(expanding_ring=True)
+                       if self.config.aodv_expanding_ring else None)
         for node_id in self.topology.node_ids:
             self.nodes[node_id] = Node(
                 sim=self.sim,
@@ -179,6 +184,7 @@ class Scenario:
                 randomness=self.randomness,
                 routing=self.config.routing,
                 queue_capacity=self.config.queue_capacity,
+                aodv_config=aodv_config,
                 tracer=self.tracer,
                 metrics=self.metrics,
             )

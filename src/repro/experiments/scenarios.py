@@ -185,24 +185,33 @@ def city_scenario_spec(
     mobility: str = "random-waypoint",
     node_count: int = 1000,
     seed: int = 1,
+    flow_count: Optional[int] = None,
 ) -> ScenarioSpec:
-    """A city-scale mobile mesh spec: 1k-node random field, ten NewReno flows.
+    """A city-scale mobile mesh spec: random metro field, NewReno flows.
 
     The placement comes from
     :func:`repro.topology.random_topology.city_topology` (paper node density,
-    ~8x the paper's area) and the flows are lifted into an explicit Workload
-    API v2 flow list; only the channel's grid spatial index makes populations
-    of this size tractable.  ``mobility`` selects any registered mobile
-    profile — the shipped presets use ``random-waypoint`` and ``manhattan``.
+    area scaled with ``sqrt(node_count/1000)``) and the flows are lifted into
+    an explicit Workload API v2 flow list; only the channel's grid spatial
+    index and lazy cache invalidation make populations of this size tractable.
+    ``mobility`` selects any registered mobile profile — the shipped presets
+    use ``random-waypoint`` and ``manhattan``.  Above 1000 nodes the spec
+    turns on expanding-ring AODV search so route discoveries stop flooding
+    the full 10k-node diameter; at 1000 and below everything stays
+    byte-identical to the original ``city1k`` presets.
 
     Args:
         mobility: Registered mobility-profile name.
-        node_count: Mesh size (1000 for the named presets).
+        node_count: Mesh size (1000 for the ``city1k`` presets, 10000 for
+            ``city10k``).
         seed: Placement/flow seed.
+        flow_count: Concurrent flows; ``None`` keeps the city default (10).
     """
     from repro.topology.random_topology import city_topology
 
-    topology = city_topology(node_count=node_count, seed=seed)
+    topology_kwargs = {} if flow_count is None else {"flow_count": flow_count}
+    topology = city_topology(node_count=node_count, seed=seed,
+                             **topology_kwargs)
     return ScenarioSpec(
         name=f"city{node_count}-{mobility}",
         topology=topology,
@@ -216,6 +225,7 @@ def city_scenario_spec(
             # transmission range, and the grid re-buckets only cell crossers.
             mobility_update_interval=1.0,
             max_sim_time=300.0,
+            aodv_expanding_ring=node_count > 1000,
         ),
     )
 
@@ -225,6 +235,16 @@ register_scenario("random50-tcp-with-udp-background",
                   _random50_tcp_with_udp_background)
 register_scenario("city1k-rwp", lambda: city_scenario_spec("random-waypoint"))
 register_scenario("city1k-manhattan", lambda: city_scenario_spec("manhattan"))
+register_scenario(
+    "city10k-rwp",
+    lambda: city_scenario_spec("random-waypoint", node_count=10_000))
+register_scenario(
+    "city10k-manhattan",
+    lambda: city_scenario_spec("manhattan", node_count=10_000))
+register_scenario(
+    "city10k-rwp-1000flows",
+    lambda: city_scenario_spec("random-waypoint", node_count=10_000,
+                               flow_count=1000))
 
 
 #: Snapshot (a copy) of the preset table at import time, kept for backwards

@@ -75,6 +75,15 @@ __all__ = [
     "mixed_transport_workload",
 ]
 
+#: Memo of validated per-flow configs, keyed by (base config, sorted override
+#: items).  ``dataclasses.replace`` re-runs the full ScenarioConfig
+#: ``__post_init__`` validation, which dominates scenario construction when
+#: thousands of flows share a handful of override combinations — uniform
+#: workloads collapse to one validation per distinct combination.  Both keys
+#: and values are frozen dataclasses, so sharing the result object is safe.
+_EFFECTIVE_CONFIG_CACHE: Dict[Tuple[ScenarioConfig, Tuple], ScenarioConfig] = {}
+_EFFECTIVE_CONFIG_CACHE_LIMIT = 1024
+
 
 @dataclass(frozen=True)
 class FlowSpec:
@@ -177,11 +186,25 @@ class FlowSpec:
 
         Returns ``base`` itself when the flow overrides nothing, so the legacy
         single-variant path constructs flows from the identical config object.
+        Flows with identical overrides against the same base share one
+        validated config object (see ``_EFFECTIVE_CONFIG_CACHE``), making
+        thousand-flow uniform scenarios pay for validation once, not per flow.
         """
         overrides = self.config_overrides()
         if not overrides:
             return base
-        return replace(base, **overrides)
+        try:
+            key = (base, tuple(sorted(overrides.items())))
+            cached = _EFFECTIVE_CONFIG_CACHE.get(key)
+        except TypeError:
+            # Unhashable override value (a caller passed a bespoke mutable
+            # object): build an uncached fresh copy.
+            return replace(base, **overrides)
+        if cached is None:
+            if len(_EFFECTIVE_CONFIG_CACHE) >= _EFFECTIVE_CONFIG_CACHE_LIMIT:
+                _EFFECTIVE_CONFIG_CACHE.clear()
+            cached = _EFFECTIVE_CONFIG_CACHE[key] = replace(base, **overrides)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -373,6 +396,9 @@ class ScenarioSpec:
 
     def _validate(self) -> None:
         nodes = self.topology.positions
+        # Flows sharing an effective config object (the memoized common case)
+        # are validated once per distinct object, not once per flow.
+        validated_configs = set()
         for index, flow in enumerate(self.workload, start=1):
             for endpoint in flow.endpoints:
                 if endpoint not in nodes:
@@ -383,7 +409,9 @@ class ScenarioSpec:
             # Fail fast on invalid per-flow variant/parameter combinations
             # (e.g. an optimal-window flow without a window clamp).
             flow_config = flow.effective_config(self.config)
-            get_transport(flow_config.variant).validate_config(flow_config)
+            if id(flow_config) not in validated_configs:
+                validated_configs.add(id(flow_config))
+                get_transport(flow_config.variant).validate_config(flow_config)
         for event in self.timeline:
             if event.is_flow_event:
                 if not 1 <= event.target <= len(self.workload):

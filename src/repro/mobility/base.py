@@ -216,6 +216,10 @@ class MobilityManager:
         self._node_ids: List[int] = sorted(channel.node_ids)
         self._started = False
         self._links: Set[Tuple[int, int]] = set()
+        # Symmetric adjacency mirror of _links ({node: set of neighbours}),
+        # kept in lockstep so per-update diffs only visit the movers instead
+        # of recomputing every node's neighbour view.
+        self._adjacency: Dict[int, Set[int]] = {}
         self._seen_impairments = channel.impairment_generation
 
     # ------------------------------------------------------------------
@@ -234,6 +238,7 @@ class MobilityManager:
         positions = {node: self.channel.position_of(node) for node in self._node_ids}
         self.model.bind(positions, area_around(positions.values()), self.rng)
         self._links = self._current_links()
+        self._adjacency = self._adjacency_from_links(self._links)
         self._seen_impairments = self.channel.impairment_generation
         self.metrics.add_probe(
             "mobility.active_links", lambda: len(self._links), unit="links",
@@ -276,12 +281,26 @@ class MobilityManager:
         outages can break or form links, and both flow through this single
         path so ``mobility.active_links`` and the ``link_up``/``link_down``
         trace stream always reflect the channel's delivery reality.
+
+        Movement-only updates diff incrementally: only the movers' neighbour
+        views are recomputed (O(movers·k), not O(N·k)).  That is exhaustive
+        because a pair whose status changed must contain a mover, and the
+        adjacency mirror is updated symmetrically so the non-mover endpoint
+        needs no visit of its own.  Impairment changes can flip static-static
+        pairs, so those fall back to the full recompute.
         """
-        self._seen_impairments = self.channel.impairment_generation
-        links = self._current_links()
-        broken = sorted(self._links - links)
-        formed = sorted(links - self._links)
-        self._links = links
+        channel = self.channel
+        if channel.impairment_generation != self._seen_impairments:
+            self._seen_impairments = channel.impairment_generation
+            links = self._current_links()
+            broken = sorted(self._links - links)
+            formed = sorted(links - self._links)
+            self._links = links
+            self._adjacency = self._adjacency_from_links(links)
+        else:
+            broken, formed = self._diff_movers(moved)
+            self._links.difference_update(broken)
+            self._links.update(formed)
         self.stats._links_broken.value += len(broken)
         self.stats._links_formed.value += len(formed)
         if not self.tracer.enabled:
@@ -293,6 +312,43 @@ class MobilityManager:
             self.tracer.record(self.sim.now, "mobility", "link_down", a=a, b=b)
         for a, b in formed:
             self.tracer.record(self.sim.now, "mobility", "link_up", a=a, b=b)
+
+    def _diff_movers(self, moved: Dict[int, Position]) -> Tuple[
+            List[Tuple[int, int]], List[Tuple[int, int]]]:
+        """Sorted (broken, formed) link lists from re-diffing only the movers.
+
+        Each mover's fresh neighbour view is diffed against the adjacency
+        mirror, and the mirror's other endpoint is patched symmetrically —
+        so when both endpoints of a changed pair moved, the second mover
+        sees an already-updated mirror and the pair is reported exactly once.
+        """
+        channel = self.channel
+        adjacency = self._adjacency
+        broken: List[Tuple[int, int]] = []
+        formed: List[Tuple[int, int]] = []
+        for a in sorted(moved):
+            new_neighbors = set(channel.neighbors_of(a))
+            old_neighbors = adjacency[a]
+            if new_neighbors == old_neighbors:
+                continue
+            for b in old_neighbors - new_neighbors:
+                adjacency[b].discard(a)
+                broken.append((a, b) if a < b else (b, a))
+            for b in new_neighbors - old_neighbors:
+                adjacency[b].add(a)
+                formed.append((a, b) if a < b else (b, a))
+            adjacency[a] = new_neighbors
+        broken.sort()
+        formed.sort()
+        return broken, formed
+
+    def _adjacency_from_links(self, links: Set[Tuple[int, int]]) -> Dict[int, Set[int]]:
+        """A fresh symmetric adjacency mirror of ``links``."""
+        adjacency: Dict[int, Set[int]] = {node: set() for node in self._node_ids}
+        for a, b in links:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        return adjacency
 
     def _current_links(self) -> Set[Tuple[int, int]]:
         """All bidirectional in-transmission-range pairs, as ordered tuples.

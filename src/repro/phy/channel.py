@@ -15,17 +15,23 @@ candidate set, it never reorders scheduled deliveries — which keeps golden
 traces bit-identical to the pre-index channel.
 
 Positions may change mid-run: a :class:`~repro.mobility.base.MobilityManager`
-pushes updated positions through :meth:`WirelessChannel.set_positions`, which
-re-buckets the movers and invalidates only the cached link classifications
-that involve a moved node's old or new neighbourhood (falling back to a full
-wipe when most of the population moves at once, the mobile steady state).
-Static scenarios never invalidate and keep the fully cached fast path.
+pushes updated positions through :meth:`WirelessChannel.set_positions`.
+Invalidation is *lazy* and generation-stamped: moving a node only bumps a
+per-cell generation counter on the cells it touched — O(movers) regardless of
+population size — and every cached link/delivery/neighbour entry carries the
+cell and 3×3 block stamp it was built under.  A lookup first compares a single
+global move-generation integer (the static fast path), then revalidates the
+stamp (nine dict reads) and rebuilds only if the entry's neighbourhood really
+changed.  An interval where 100% of nodes move therefore costs O(movers) up
+front instead of the old O(N·k) full wipe-and-rebuild, and entries far from
+every mover survive untouched.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.core.engine import Simulator
 from repro.core.errors import ConfigurationError
@@ -33,12 +39,12 @@ from repro.core.tracing import NULL_TRACER, Tracer
 from repro.net.packet import Packet
 from repro.phy.propagation import Position, RangePropagationModel
 from repro.phy.radio import Radio
-from repro.phy.spatial import GridIndex
+from repro.phy.spatial import BLOCK_OFFSETS, CellKey, GridIndex
 
-#: When at least this fraction of the population moves in one batch, the
-#: incremental per-neighbourhood invalidation would visit nearly every node
-#: anyway — wipe the caches outright instead.
-_FULL_INVALIDATION_FRACTION = 1 / 3
+#: A stamped cache entry: ``[validated_move_generation, cell_key, block_stamp,
+#: payload]``.  Mutable on purpose — successful revalidation refreshes the
+#: generation in place so the next lookup takes the single-compare fast path.
+_StampedEntry = list
 
 
 @dataclass
@@ -48,6 +54,13 @@ class ChannelStats:
     transmissions: int = 0
     bytes_transmitted: int = 0
     deliveries_attempted: int = 0
+    #: Delivery lists computed from scratch (cache miss or stale stamp).
+    #: Mobile steady state should grow this with queried senders, not with
+    #: population — the old full-wipe path forced a rebuild per sender per
+    #: interval; the lazy stamps rebuild only what a mover actually touched.
+    delivery_rebuilds: int = 0
+    #: Geometric neighbour lists computed from scratch.
+    neighbor_rebuilds: int = 0
 
 
 class WirelessChannel:
@@ -79,15 +92,28 @@ class WirelessChannel:
         # order, delivery lists and neighbour views sort back into the order
         # radios registered (the pre-index iteration order golden traces pin).
         self._registration_index: Dict[int, int] = {}
-        # Cache of (receivable, interferes, delay, power) per ordered node
-        # pair, keyed source-first so all of one source's entries can be
-        # dropped in one pop.  Invalidated only for neighbourhoods around
-        # moved nodes — never during a static run.
-        self._link_cache: Dict[int, Dict[int, Tuple[bool, bool, float, float]]] = {}
-        # Per-sender delivery list: (radio, delay, receivable, power) for every
-        # radio inside interference range, in registration order.  Lets
-        # broadcast() skip out-of-range radios without touching them.
-        self._delivery_cache: Dict[int, List[Tuple[Radio, float, bool, float]]] = {}
+        # Lazy generation-stamped caches.  Every entry is a _StampedEntry
+        # ``[move_generation, cell_key, block_stamp, payload]`` validated on
+        # lookup by _cached_payload(); set_positions never walks them.
+        #
+        # _link_cache payload: {dst: (receivable, interferes, delay, power)}.
+        self._link_cache: Dict[int, _StampedEntry] = {}
+        # _delivery_cache payload: [(radio, delay, receivable, power), ...]
+        # for every radio inside interference range, in registration order.
+        # Lets broadcast() skip out-of-range radios without touching them.
+        self._delivery_cache: Dict[int, _StampedEntry] = {}
+        # _neighbor_cache payload: in-transmission-range node ids, in
+        # registration order (the geometric_neighbors_of answer).
+        self._neighbor_cache: Dict[int, _StampedEntry] = {}
+        # Bumped once per set_positions batch (and per registration); an entry
+        # validated at the current generation is trusted with one int compare.
+        self._move_generation = 0
+        # Per-cell move counters: a mover bumps its old cell (distances inside
+        # changed even without a cell crossing) and, when it crossed, its new
+        # cell.  An entry is stale iff its node changed cell or the generation
+        # sum over its 3×3 block moved — both monotone, so a matching
+        # (cell_key, block_stamp) pair proves the neighbourhood is untouched.
+        self._cell_generation: Dict[CellKey, int] = {}
         # Scripted impairments (scenario-timeline events): downed nodes emit
         # and receive nothing; blocked (unordered) node pairs exchange nothing.
         self._down_nodes: Set[int] = set()
@@ -105,28 +131,30 @@ class WirelessChannel:
         self._positions[radio.node_id] = position
         self._registration_index[radio.node_id] = len(self._registration_index)
         self._grid.insert(radio.node_id, position)
-        self._link_cache.clear()
-        self._delivery_cache.clear()
+        # A new node changes the geometry of every neighbourhood overlapping
+        # its cell; bumping the cell (and the global generation, so validated
+        # entries re-check their stamp) is O(1) instead of a cache wipe.
+        self._move_generation += 1
+        cell = self._grid.cell_key(position)
+        self._cell_generation[cell] = self._cell_generation.get(cell, 0) + 1
 
     def set_position(self, node_id: int, position: Position) -> None:
-        """Move a node (invalidates the link and delivery caches around it)."""
+        """Move a node (stale cache entries around it revalidate on lookup)."""
         self.set_positions({node_id: position})
 
     def set_positions(self, positions: Mapping[int, Position]) -> None:
-        """Move several nodes with a single cache invalidation pass.
+        """Move several nodes in one batch.
 
         This is the mobility hot path: a
         :class:`~repro.mobility.base.MobilityManager` moves most of the
-        population every update interval, so per-node :meth:`set_position`
-        calls would invalidate once per node instead of once per update.
+        population every update interval.  The cost here is O(movers) no
+        matter how large the population or the batch: each mover re-buckets
+        in the grid and bumps the generation counter of the cell(s) it
+        touched.  No cache is walked or wiped — stale entries are detected
+        (by their stamp) and rebuilt lazily on their next lookup, so a node
+        far from every mover keeps its cached delivery list and even a
+        100%-movers interval does no up-front rebuild work.
         Unknown node ids are rejected before any position changes.
-
-        Invalidation is incremental: only link/delivery cache entries whose
-        source lies in a moved node's old or new 3×3 cell neighbourhood (or
-        is itself a mover) are dropped — a node far from every mover keeps
-        its cached delivery list.  When a large fraction of the population
-        moves in one batch the caches are wiped outright, which is cheaper
-        than walking nearly every neighbourhood.
 
         Raises:
             ConfigurationError: If any node id is not registered.
@@ -138,35 +166,51 @@ class WirelessChannel:
             raise ConfigurationError(f"unknown nodes {sorted(unknown)}")
         grid = self._grid
         own_positions = self._positions
-        if len(positions) >= _FULL_INVALIDATION_FRACTION * len(self._radios):
-            own_positions.update(positions)
-            for node_id, position in positions.items():
-                grid.move(node_id, position)
-            self._link_cache.clear()
-            self._delivery_cache.clear()
-            return
-        affected: Set[int] = set(positions)
+        cell_generation = self._cell_generation
+        self._move_generation += 1
         for node_id, position in positions.items():
-            affected.update(grid.neighborhood(node_id))
             own_positions[node_id] = position
+            # The old cell's geometry changed even if the node stayed inside
+            # it — in-cell motion still changes every distance to the node.
+            old_cell = grid.cell_of(node_id)
+            cell_generation[old_cell] = cell_generation.get(old_cell, 0) + 1
             if grid.move(node_id, position):
-                affected.update(grid.neighborhood(node_id))
-        self._invalidate(affected)
+                new_cell = grid.cell_of(node_id)
+                cell_generation[new_cell] = cell_generation.get(new_cell, 0) + 1
 
-    def _invalidate(self, node_ids: Iterable[int]) -> None:
-        """Drop the cached links and delivery lists sourced at ``node_ids``.
+    def _block_stamp(self, cell: CellKey) -> int:
+        """Sum of the per-cell generations over ``cell``'s 3×3 block.
 
-        Sufficient after a batch move with ``node_ids`` covering the movers
-        plus their old and new neighbourhoods: any pair that was or becomes
-        interfering has its source in that set, so entries left behind are
-        non-interfering both before and after the move and classify the pair
-        identically.
+        Monotone in every summand, so a cached (cell_key, block_stamp) pair
+        matching the current values proves no move touched the block since
+        the entry was built — a changed summand can never be cancelled out.
         """
-        link_cache = self._link_cache
-        delivery_cache = self._delivery_cache
-        for node_id in node_ids:
-            link_cache.pop(node_id, None)
-            delivery_cache.pop(node_id, None)
+        generations = self._cell_generation.get
+        cx, cy = cell
+        stamp = 0
+        for dx, dy in BLOCK_OFFSETS:
+            stamp += generations((cx + dx, cy + dy), 0)
+        return stamp
+
+    def _cached_payload(self, cache: Dict[int, _StampedEntry], node_id: int):
+        """Return the still-valid cached payload for ``node_id``, else None.
+
+        Fast path: one int compare against the global move generation (no
+        motion since the entry was last validated).  Slow path: the node is
+        still in the cell the entry was built for and the block stamp is
+        unchanged — then the entry is refreshed in place so the next lookup
+        takes the fast path again.
+        """
+        entry = cache.get(node_id)
+        if entry is None:
+            return None
+        if entry[0] == self._move_generation:
+            return entry[3]
+        cell = self._grid.cell_of(node_id)
+        if entry[1] == cell and entry[2] == self._block_stamp(cell):
+            entry[0] = self._move_generation
+            return entry[3]
+        return None
 
     def position_of(self, node_id: int) -> Position:
         """Return the position of ``node_id``.
@@ -219,17 +263,32 @@ class WirelessChannel:
         """Node ids within transmission range of ``node_id`` (excluding itself).
 
         Pure geometry, ignoring scripted impairments — the view the spatial
-        index itself answers.  Returned in registration order.
+        index itself answers.  Returned in registration order.  Answers are
+        cached under the lazy stamp scheme; callers get a private copy.
         """
+        cached = self._cached_payload(self._neighbor_cache, node_id)
+        if cached is not None:
+            return list(cached)
         origin = self.position_of(node_id)
         positions = self._positions
         can_receive = self.propagation.can_receive
+        # Inlined Position.distance_to (same operands, same order → identical
+        # IEEE result): this comprehension runs once per candidate of every
+        # neighbour rebuild, and the bound-method dispatch is measurable at
+        # metro scale.
+        hypot = math.hypot
+        ox, oy = origin.x, origin.y
         in_range = [
             other for other in self._grid.neighborhood(node_id)
-            if can_receive(origin.distance_to(positions[other]))
+            if can_receive(hypot(ox - (p := positions[other]).x, oy - p.y))
         ]
         in_range.sort(key=self._registration_index.__getitem__)
-        return in_range
+        cell = self._grid.cell_of(node_id)
+        self._neighbor_cache[node_id] = [
+            self._move_generation, cell, self._block_stamp(cell), in_range
+        ]
+        self.stats.neighbor_rebuilds += 1
+        return list(in_range)
 
     @property
     def node_ids(self) -> List[int]:
@@ -314,7 +373,7 @@ class WirelessChannel:
         stats.transmissions += 1
         stats.bytes_transmitted += packet.size
         sender_id = sender.node_id
-        deliveries = self._delivery_cache.get(sender_id)
+        deliveries = self._cached_payload(self._delivery_cache, sender_id)
         if deliveries is None:
             deliveries = self._build_deliveries(sender_id)
         stats.deliveries_attempted += len(deliveries)
@@ -332,6 +391,7 @@ class WirelessChannel:
         table — golden traces depend on that order.
         """
         deliveries: List[Tuple[Radio, float, bool, float]] = []
+        links = self._link_map(sender_id)
         if sender_id not in self._down_nodes:
             radios = self._radios
             down = self._down_nodes
@@ -343,22 +403,41 @@ class WirelessChannel:
                     continue
                 if blocked and self.is_link_blocked(sender_id, receiver_id):
                     continue
-                receivable, interferes, delay, power = self._link(sender_id, receiver_id)
+                cached = links.get(receiver_id)
+                if cached is None:
+                    cached = links[receiver_id] = self._classify(sender_id, receiver_id)
+                receivable, interferes, delay, power = cached
                 if interferes:
                     deliveries.append((radios[receiver_id], delay, receivable, power))
-        self._delivery_cache[sender_id] = deliveries
+        cell = self._grid.cell_of(sender_id)
+        self._delivery_cache[sender_id] = [
+            self._move_generation, cell, self._block_stamp(cell), deliveries
+        ]
+        self.stats.delivery_rebuilds += 1
         return deliveries
 
+    def _link_map(self, src: int) -> Dict[int, Tuple[bool, bool, float, float]]:
+        """The still-valid per-destination link map for ``src`` (fresh if stale)."""
+        links = self._cached_payload(self._link_cache, src)
+        if links is None:
+            links = {}
+            cell = self._grid.cell_of(src)
+            self._link_cache[src] = [
+                self._move_generation, cell, self._block_stamp(cell), links
+            ]
+        return links
+
     def _link(self, src: int, dst: int) -> Tuple[bool, bool, float, float]:
-        per_source = self._link_cache.get(src)
-        if per_source is None:
-            per_source = self._link_cache[src] = {}
-        cached = per_source.get(dst)
+        """Classification of the ``src``→``dst`` link, via the stamped cache."""
+        links = self._link_map(src)
+        cached = links.get(dst)
         if cached is None:
-            distance = self.distance(src, dst)
-            receivable, interferes = self.propagation.classify(distance)
-            delay = self.propagation.propagation_delay(distance)
-            power = self.propagation.relative_power(distance)
-            cached = (receivable, interferes, delay, power)
-            per_source[dst] = cached
+            cached = links[dst] = self._classify(src, dst)
         return cached
+
+    def _classify(self, src: int, dst: int) -> Tuple[bool, bool, float, float]:
+        distance = self.distance(src, dst)
+        receivable, interferes = self.propagation.classify(distance)
+        delay = self.propagation.propagation_delay(distance)
+        power = self.propagation.relative_power(distance)
+        return (receivable, interferes, delay, power)

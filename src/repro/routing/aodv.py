@@ -54,9 +54,22 @@ class AodvConfig:
         rreq_jitter: Maximum random delay (s) before rebroadcasting an RREQ.
         packet_buffer_size: Maximum data packets buffered per destination
             while a discovery is in progress.
-        net_diameter_ttl: TTL used for flooded RREQs.
+        net_diameter_ttl: TTL used for full-flood RREQs.
         seen_cache_size: Number of recent (originator, rreq_id) pairs kept for
             duplicate suppression.
+        expanding_ring: Enable RFC 3561 §6.4 expanding-ring search: RREQs
+            start with a small TTL and widen on timeout instead of flooding
+            the whole mesh for every discovery.  Off by default — the flood
+            behaviour (and with it every existing trace) is untouched unless
+            a scenario opts in; the 10k-node city presets do.
+        ttl_start: TTL of the first ring.
+        ttl_increment: TTL added per unanswered ring.
+        ttl_threshold: Once the next ring's TTL would exceed this, jump
+            straight to ``net_diameter_ttl`` (the RFC's TTL_THRESHOLD).
+        node_traversal_time: Estimated one-hop traversal time (s); each
+            sub-diameter ring waits ``2 * node_traversal_time * (ttl + 2)``
+            for an RREP (the RFC's RING_TRAVERSAL_TIME) instead of the full
+            ``rreq_wait_time`` backoff schedule.
     """
 
     active_route_timeout: float = 10.0
@@ -67,6 +80,11 @@ class AodvConfig:
     packet_buffer_size: int = 64
     net_diameter_ttl: int = 64
     seen_cache_size: int = 256
+    expanding_ring: bool = False
+    ttl_start: int = 2
+    ttl_increment: int = 2
+    ttl_threshold: int = 7
+    node_traversal_time: float = 0.04
 
 
 @dataclass
@@ -77,6 +95,9 @@ class _Discovery:
     retries: int = 0
     timer: Optional[Timer] = None
     buffer: Deque[Packet] = field(default_factory=deque)
+    #: TTL of the last RREQ sent for this discovery (0 = none yet); under
+    #: expanding-ring search the ladder widens from here on each timeout.
+    ttl: int = 0
 
 
 class AodvRouting(RoutingProtocol):
@@ -153,8 +174,18 @@ class AodvRouting(RoutingProtocol):
     # Route discovery
     # ==================================================================
     def _send_rreq(self, discovery: _Discovery) -> None:
+        config = self.config
         self._sequence_number += 1
         self._rreq_id += 1
+        if config.expanding_ring:
+            ttl = discovery.ttl = self._next_ring_ttl(discovery)
+            if ttl < config.net_diameter_ttl:
+                wait = 2.0 * config.node_traversal_time * (ttl + 2)
+            else:
+                wait = config.rreq_wait_time * (2 ** discovery.retries)
+        else:
+            ttl = config.net_diameter_ttl
+            wait = config.rreq_wait_time * (2 ** discovery.retries)
         header = AodvHeader(
             message_type=AodvMessageType.RREQ,
             originator=self.node_id,
@@ -167,26 +198,48 @@ class AodvRouting(RoutingProtocol):
         packet = Packet(
             payload_size=0,
             ip=IpHeader(src=self.node_id, dst=BROADCAST, protocol=IpProtocol.AODV,
-                        ttl=self.config.net_diameter_ttl),
+                        ttl=ttl),
             aodv=header,
         )
         self._remember_rreq(self.node_id, self._rreq_id)
         self.stats._control_packets_sent.value += 1
-        self.tracer.record(self.sim.now, "aodv", "rreq_send", node=self.node_id,
-                           dst=discovery.destination, rreq_id=self._rreq_id,
-                           retry=discovery.retries)
+        if config.expanding_ring:
+            # The extra ttl key only exists on the opt-in path, so traces of
+            # flood-mode scenarios (everything the goldens pin) are unchanged.
+            self.tracer.record(self.sim.now, "aodv", "rreq_send", node=self.node_id,
+                               dst=discovery.destination, rreq_id=self._rreq_id,
+                               retry=discovery.retries, ttl=ttl)
+        else:
+            self.tracer.record(self.sim.now, "aodv", "rreq_send", node=self.node_id,
+                               dst=discovery.destination, rreq_id=self._rreq_id,
+                               retry=discovery.retries)
         self._broadcast_to_mac(packet)
 
-        wait = self.config.rreq_wait_time * (2 ** discovery.retries)
         if discovery.timer is None:
             discovery.timer = Timer(self.sim, lambda d=discovery: self._rreq_timeout(d))
         discovery.timer.start(wait)
+
+    def _next_ring_ttl(self, discovery: _Discovery) -> int:
+        """The TTL of the next ring in the expanding-ring ladder."""
+        config = self.config
+        if discovery.ttl == 0:
+            ttl = config.ttl_start
+        else:
+            ttl = discovery.ttl + config.ttl_increment
+            if ttl > config.ttl_threshold:
+                ttl = config.net_diameter_ttl
+        return min(ttl, config.net_diameter_ttl)
 
     def _rreq_timeout(self, discovery: _Discovery) -> None:
         if discovery.destination not in self._discoveries:
             return
         if self.table.lookup(discovery.destination, self.sim.now) is not None:
             self._complete_discovery(discovery.destination)
+            return
+        if (self.config.expanding_ring
+                and discovery.ttl < self.config.net_diameter_ttl):
+            # Widen the ring; sub-diameter attempts do not consume a retry.
+            self._send_rreq(discovery)
             return
         discovery.retries += 1
         if discovery.retries > self.config.rreq_retries:

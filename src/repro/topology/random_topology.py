@@ -11,6 +11,7 @@ apart, so every generated scenario is actually runnable.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import List, Optional, Tuple
 
@@ -83,7 +84,7 @@ def random_topology(
 
 def city_topology(
     node_count: int = CITY_NODE_COUNT,
-    area: Tuple[float, float] = CITY_AREA,
+    area: Optional[Tuple[float, float]] = None,
     flow_count: int = CITY_FLOW_COUNT,
     seed: int = 1,
     propagation: Optional[RangePropagationModel] = None,
@@ -93,16 +94,22 @@ def city_topology(
     """Generate a connected city-scale random mesh (1000 nodes by default).
 
     A thin preset over :func:`random_topology` at roughly the paper's node
-    density but ~8x the area: same placement/resampling procedure, same flow
-    drawing, with a higher default minimum flow hop count so the ten flows
-    cross a meaningful slice of the metro area.  The channel's grid spatial
-    index is what makes populations of this size simulate in reasonable
-    time; the generator itself also goes through the grid-indexed
-    connectivity check.
+    density but a much larger area: same placement/resampling procedure, same
+    flow drawing, with a higher default minimum flow hop count so the flows
+    cross a meaningful slice of the metro area.  When ``area`` is omitted the
+    1000-node reference area (6500 m × 2600 m, ~59 nodes/km²) is scaled by
+    ``sqrt(node_count / 1000)`` per side, keeping the density — and with it
+    Bettstetter's connectivity guarantee — constant from 1k to 10k nodes.
+    The channel's grid spatial index is what makes populations of this size
+    simulate in reasonable time; the generator itself also goes through the
+    grid-indexed connectivity check.
 
     Returns:
         A connected :class:`Topology` named ``city-<node_count>``.
     """
+    if area is None:
+        scale = math.sqrt(node_count / CITY_NODE_COUNT)
+        area = (CITY_AREA[0] * scale, CITY_AREA[1] * scale)
     topology = random_topology(
         node_count=node_count,
         area=area,
@@ -137,11 +144,14 @@ def _draw_flows(
         source, destination = rng.sample(nodes, 2)
         if source in used or destination in used:
             continue
-        try:
-            hops = nx.shortest_path_length(graph, source, destination)
-        except nx.NetworkXNoPath:
-            continue
-        if hops < min_flow_hops:
+        # The generator only draws flows on connected placements, so a path
+        # always exists; the min-hop test only needs the truncated BFS ball
+        # of radius ``min_flow_hops - 1`` around the source — O(local) on a
+        # 10k-node mesh instead of a full-graph shortest-path search, with
+        # accept/reject decisions (and the RNG draw sequence) identical.
+        too_close = nx.single_source_shortest_path_length(
+            graph, source, cutoff=min_flow_hops - 1)
+        if destination in too_close:
             continue
         flows.append(FlowSpec(source=source, destination=destination))
         used.add(source)

@@ -64,6 +64,11 @@ class TestScenarioConfig:
         with pytest.raises(ConfigurationError):
             ScenarioConfig(routing="dsr")
 
+    def test_expanding_ring_requires_aodv(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(routing="static", aodv_expanding_ring=True)
+        assert ScenarioConfig(aodv_expanding_ring=True).aodv_expanding_ring
+
     def test_optimal_window_variant_requires_clamp(self):
         with pytest.raises(ConfigurationError):
             ScenarioConfig(variant=TransportVariant.NEWRENO_OPTIMAL_WINDOW)

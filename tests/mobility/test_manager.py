@@ -201,6 +201,27 @@ class TestMobilityManager:
         assert manager.stats.links_formed == 2
         assert len(manager._links) == 2
 
+    def test_incremental_diff_matches_full_recompute(self, sim):
+        # The movers-only diff must keep _links (and the adjacency mirror)
+        # identical to a from-scratch recompute after every update — the
+        # equivalence fallback the incremental path is allowed to replace.
+        coords = [(x * 150.0, y * 150.0) for x in range(4) for y in range(3)]
+        channel = build_channel(sim, coords)
+        manager = MobilityManager(
+            sim, channel,
+            RandomWaypointMobility(min_speed=20.0, max_speed=80.0),
+            update_interval=0.5, rng=random.Random(7),
+        )
+        manager.start()
+        # Mix a scripted impairment into the middle of the run so both the
+        # incremental and the full-recompute branches are exercised.
+        sim.schedule(2.2, channel.set_node_down, 3)
+        sim.schedule(4.2, channel.set_node_down, 3, False)
+        for step in range(1, 13):
+            sim.run(until=0.5 * step + 0.01)
+            assert manager._links == manager._current_links()
+            assert manager._adjacency == manager._adjacency_from_links(manager._links)
+
     def test_same_seed_same_trajectories(self):
         def final_positions(seed):
             sim = Simulator()

@@ -193,16 +193,21 @@ class TestSpatialIndexIntegration:
 
     def test_incremental_move_keeps_unrelated_cache(self, sim, channel):
         # Nodes 0-5 clustered at the origin; node 6 kilometres away.  Moving
-        # node 6 within its own far-away cell must not drop the cluster's
-        # cached delivery lists (the incremental invalidation path).
+        # node 6 within its own far-away cell must leave the cluster's cached
+        # delivery lists valid (stamp revalidation, zero rebuilds) while the
+        # mover's own entry goes stale.
         for node_id in range(6):
             add_node(sim, channel, node_id, 30.0 * node_id, 0)
         far = add_node(sim, channel, 6, 10_000, 0)
         for node_id in range(7):
             channel._build_deliveries(node_id)
+        rebuilds = channel.stats.delivery_rebuilds
         channel.set_positions({6: Position(10_100.0, 0.0)})
-        assert set(channel._delivery_cache) >= set(range(6))
-        assert 6 not in channel._delivery_cache
+        for node_id in range(6):
+            assert channel._cached_payload(
+                channel._delivery_cache, node_id) is not None
+        assert channel._cached_payload(channel._delivery_cache, 6) is None
+        assert channel.stats.delivery_rebuilds == rebuilds
         # And the moved node's view is correct after the move.
         assert channel.neighbors_of(6) == []
         far.transmit(Packet(payload_size=10), duration=0.001)
@@ -210,12 +215,52 @@ class TestSpatialIndexIntegration:
         assert all(channel._radios[n].listener.received == []
                    for n in range(6))
 
-    def test_mass_move_falls_back_to_full_wipe(self, sim, channel):
+    def test_mass_move_keeps_entries_and_rebuilds_lazily(self, sim, channel):
+        # Moving 100% of the population used to wipe both caches outright.
+        # Now it only bumps generation counters: every entry survives (stale),
+        # no rebuild happens up front, and queries still answer correctly.
         for node_id in range(6):
             add_node(sim, channel, node_id, 30.0 * node_id, 0)
         for node_id in range(6):
             channel._build_deliveries(node_id)
+        rebuilds = channel.stats.delivery_rebuilds
         channel.set_positions({node_id: Position(1000.0 + 30.0 * node_id, 0.0)
                                for node_id in range(6)})
-        assert channel._delivery_cache == {}
+        assert set(channel._delivery_cache) == set(range(6))
+        assert channel.stats.delivery_rebuilds == rebuilds
+        for node_id in range(6):
+            assert channel._cached_payload(
+                channel._delivery_cache, node_id) is None
         assert channel.neighbors_of(0) == [1, 2, 3, 4, 5]
+
+    def test_steady_state_update_rebuilds_only_queried_senders(self, sim, channel):
+        # Two clusters 10 km apart, every node moving each interval — the
+        # mobile steady state that used to hit the O(N) full-wipe fallback.
+        # Lazy stamps must defer all rebuild work to actual queries, and an
+        # interval that leaves a neighbourhood untouched must revalidate its
+        # entries without rebuilding them.
+        for node_id in range(4):
+            add_node(sim, channel, node_id, 40.0 * node_id, 0.0)
+        for node_id in range(4, 8):
+            add_node(sim, channel, node_id, 10_000.0 + 40.0 * (node_id - 4), 0.0)
+        for node_id in range(8):
+            channel._build_deliveries(node_id)
+        rebuilds = channel.stats.delivery_rebuilds
+        # Interval 1: 100% of nodes jitter within their cells.
+        channel.set_positions({
+            node_id: Position(channel.position_of(node_id).x + 1.0, 2.0)
+            for node_id in range(8)})
+        assert channel.stats.delivery_rebuilds == rebuilds   # nothing up front
+        assert set(channel._delivery_cache) == set(range(8))  # no wipe
+        # One broadcast rebuilds exactly the transmitting sender's list.
+        channel._radios[0].transmit(Packet(payload_size=10), duration=0.001)
+        assert channel.stats.delivery_rebuilds == rebuilds + 1
+        # Interval 2: only the far cluster moves.  Node 0's list — rebuilt
+        # after interval 1, neighbourhood untouched since — revalidates by
+        # stamp without a rebuild.  (Nodes 1-3 stay stale from interval 1:
+        # they were never re-queried, which is exactly the laziness.)
+        channel.set_positions({
+            node_id: Position(channel.position_of(node_id).x + 1.0, 4.0)
+            for node_id in range(4, 8)})
+        assert channel._cached_payload(channel._delivery_cache, 0) is not None
+        assert channel.stats.delivery_rebuilds == rebuilds + 1

@@ -4,9 +4,10 @@ The channel's correctness contract after the spatial-index change is exact
 equivalence: for any placement, any ranges and any sequence of batch moves,
 the grid-backed neighbour views and delivery lists must equal what the old
 all-pairs scans computed — same members, same (registration) order.  These
-tests pin that equivalence across random placements, including both
-``set_positions`` invalidation paths (incremental for small batches, full
-cache wipe for large ones).
+tests pin that equivalence across random placements, including the lazy
+generation-stamped invalidation: stale entries are only detected and rebuilt
+on lookup, so every query after a batch move (or an impairment flip) must
+still equal a freshly built channel's answer.
 """
 
 from __future__ import annotations
@@ -104,8 +105,8 @@ class TestGridIndexEquivalence:
     @settings(max_examples=40, deadline=None)
     def test_single_node_moves_use_incremental_invalidation(self, placement,
                                                             tx_range, data):
-        # One mover per batch forces the incremental path for any population
-        # above three nodes (the full-wipe fallback needs a third to move).
+        # One mover per batch: only the entries whose 3×3 block the mover
+        # touched may go stale; everything else must revalidate in place.
         channel = build_channel(placement, tx_range, interference_factor=1.5)
         node_ids = channel.node_ids
         assert_views_match_brute_force(channel)
@@ -114,3 +115,72 @@ class TestGridIndexEquivalence:
             x, y = data.draw(coordinates)
             channel.set_position(mover, Position(x, y))
             assert_views_match_brute_force(channel)
+
+
+class TestLazyInvalidationEquivalence:
+    """The lazy stamped caches vs a freshly built channel.
+
+    ``assert_views_match_brute_force`` forces rebuilds (it calls
+    ``_build_deliveries`` directly); these tests instead read through the
+    cache-validation path after arbitrary event sequences, so a stale entry
+    wrongly revalidated by its stamp would be caught.
+    """
+
+    @staticmethod
+    def _warm_deliveries(channel, node_id):
+        cached = channel._cached_payload(channel._delivery_cache, node_id)
+        if cached is None:
+            cached = channel._build_deliveries(node_id)
+        return [entry[0].node_id for entry in cached]
+
+    @given(placement=placements,
+           tx_range=st.floats(min_value=50.0, max_value=600.0),
+           data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_queries_match_fresh_channel_after_event_soup(self, placement,
+                                                          tx_range, data):
+        channel = build_channel(placement, tx_range, interference_factor=1.8)
+        node_ids = channel.node_ids
+        assert_views_match_brute_force(channel)   # populate every cache
+        down = set()
+        blocked = set()
+        for _ in range(5):
+            action = data.draw(st.sampled_from(["move", "node", "link"]))
+            if action == "move":
+                batch = data.draw(st.dictionaries(
+                    st.sampled_from(node_ids), coordinates,
+                    min_size=1, max_size=len(node_ids)))
+                channel.set_positions({node_id: Position(x, y)
+                                       for node_id, (x, y) in batch.items()})
+            elif action == "node":
+                node = data.draw(st.sampled_from(node_ids))
+                if node in down:
+                    down.discard(node)
+                    channel.set_node_down(node, down=False)
+                else:
+                    down.add(node)
+                    channel.set_node_down(node)
+            else:
+                a = data.draw(st.sampled_from(node_ids))
+                b = data.draw(st.sampled_from(node_ids))
+                if a == b:
+                    continue
+                key = (a, b) if a < b else (b, a)
+                if key in blocked:
+                    blocked.discard(key)
+                    channel.set_link_blocked(a, b, blocked=False)
+                else:
+                    blocked.add(key)
+                    channel.set_link_blocked(a, b)
+            fresh = build_channel(
+                [(channel.position_of(n).x, channel.position_of(n).y)
+                 for n in node_ids],
+                tx_range, interference_factor=1.8)
+            for node in down:
+                fresh.set_node_down(node)
+            for a, b in blocked:
+                fresh.set_link_blocked(a, b)
+            for node_id in node_ids:
+                assert channel.neighbors_of(node_id) == fresh.neighbors_of(node_id)
+                assert (self._warm_deliveries(channel, node_id)
+                        == self._warm_deliveries(fresh, node_id))

@@ -14,17 +14,18 @@ from repro.routing.aodv import AodvConfig, AodvRouting
 from repro.topology.chain import chain_topology
 
 
-def build_aodv_chain(sim, hops, bandwidth=2.0, aodv_config=None):
+def build_aodv_chain(sim, hops, bandwidth=2.0, aodv_config=None, tracer=None):
     topology = chain_topology(hops=hops)
     channel = WirelessChannel(sim)
     randomness = RandomManager(seed=17)
     timing = timing_for_bandwidth(bandwidth)
     nodes = {}
     for node_id in topology.node_ids:
+        kwargs = {} if tracer is None else {"tracer": tracer}
         nodes[node_id] = Node(
             sim=sim, node_id=node_id, position=topology.positions[node_id],
             channel=channel, timing=timing, randomness=randomness,
-            routing="aodv", aodv_config=aodv_config,
+            routing="aodv", aodv_config=aodv_config, **kwargs,
         )
     return nodes
 
@@ -159,3 +160,58 @@ class TestLinkFailureHandling:
         nodes[0].send_from_transport(make_udp_packet(0, 43))
         sim.run(until=4.0)
         assert routing.sequence_number > first
+
+
+class TestExpandingRing:
+    def _origin_rreqs(self, tracer):
+        return [record.details for record in tracer.filter("aodv", "rreq_send")
+                if record.node == 0]
+
+    def test_flood_mode_traces_have_no_ttl_key(self, sim):
+        # Default config: expanding ring off, the rreq_send record schema is
+        # exactly what the golden traces pin.
+        from repro.core.tracing import Tracer
+        tracer = Tracer(enabled=True)
+        nodes = build_aodv_chain(sim, hops=2, tracer=tracer)
+        nodes[0].send_from_transport(make_udp_packet(0, 2))
+        sim.run(until=2.0)
+        records = self._origin_rreqs(tracer)
+        assert records
+        assert all(set(record) == {"dst", "rreq_id", "retry"}
+                   for record in records)
+        assert AodvConfig().expanding_ring is False
+
+    def test_ring_stops_before_full_diameter_on_success(self, sim):
+        # Destination 4 hops out, ladder 2 → 4: the second ring reaches it,
+        # so no full-diameter flood is ever sent.
+        from repro.core.tracing import Tracer
+        tracer = Tracer(enabled=True)
+        config = AodvConfig(expanding_ring=True, net_diameter_ttl=16)
+        nodes = build_aodv_chain(sim, hops=4, aodv_config=config, tracer=tracer)
+        agent = RecordingAgent(4)
+        nodes[4].register_agent(agent)
+        nodes[0].send_from_transport(make_udp_packet(0, 4))
+        sim.run(until=5.0)
+        assert len(agent.received) == 1
+        ttls = [record["ttl"] for record in self._origin_rreqs(tracer)]
+        assert ttls == [2, 4]
+        retries = [record["retry"] for record in self._origin_rreqs(tracer)]
+        assert retries == [0, 0]
+
+    def test_ladder_widens_to_diameter_and_counts_retries_only_there(self, sim):
+        # Unreachable destination: the ladder climbs 2, 4, 6, then jumps to
+        # net_diameter_ttl (8 > ttl_threshold 7); only full-TTL attempts
+        # consume rreq_retries, then the discovery fails.
+        from repro.core.tracing import Tracer
+        tracer = Tracer(enabled=True)
+        config = AodvConfig(expanding_ring=True, net_diameter_ttl=10,
+                            rreq_retries=1, rreq_wait_time=0.2)
+        nodes = build_aodv_chain(sim, hops=2, aodv_config=config, tracer=tracer)
+        nodes[0].send_from_transport(make_udp_packet(0, 99))
+        sim.run(until=10.0)
+        records = self._origin_rreqs(tracer)
+        assert [record["ttl"] for record in records] == [2, 4, 6, 10, 10]
+        assert [record["retry"] for record in records] == [0, 0, 0, 0, 1]
+        failures = tracer.filter("aodv", "discovery_failed")
+        assert len(failures) == 1
+        assert failures[0].details["dst"] == 99

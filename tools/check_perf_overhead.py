@@ -26,7 +26,13 @@ benchmarks.perf [--smoke]``) against the committed baseline
    cost at 1000 nodes relative to 50, constant density, a same-process
    ratio) exceeds ``--max-churn-scaling``.  With the grid spatial index the
    ratio tracks the 20x population ratio; the quadratic pre-index channel
-   measured ~400x, so the guard has an order of magnitude of headroom; or
+   measured ~400x, so the guard has an order of magnitude of headroom.
+   Full-budget reports additionally carry ``position_churn_10000``, whose
+   ratio is held to ``--max-churn-scaling-10k`` (≈ linear-with-overhead for
+   200x nodes; the entry is skipped in smoke runs, mirroring the
+   absolute-floor gating), and ``flow_setup_1000``, whose wall time must
+   stay under ``--max-flow-setup-seconds`` (sub-second 1000-flow scenario
+   construction — a wall-clock absolute, hence full-budget only); or
 5. an accelerated kernel backend regressed: some ``{bench}_{backend}`` entry
    has no finite ``speedup_vs_reference``, the best accelerated speedup in
    the report fell below ``--min-backend-speedup`` (the wheel must keep
@@ -67,6 +73,15 @@ DEFAULT_TOLERANCE = 0.5
 DEFAULT_MAX_METRICS_OVERHEAD = 2.0
 DEFAULT_MAX_RESUME_OVERHEAD = 0.5
 DEFAULT_MAX_CHURN_SCALING = 25.0
+#: 10000-vs-50-node churn bound, full-budget reports only.  Linear scaling
+#: predicts 200x; the lazy-invalidation channel measures well under that,
+#: and 300 leaves headroom for constant-factor overhead without letting a
+#: super-linear regression (O(N²) predicts ~40000x) slip through.
+DEFAULT_MAX_CHURN_SCALING_10K = 300.0
+#: 1000-flow scenario-construction wall-time bound (seconds), full-budget
+#: reports only: sub-second setup is the acceptance bar for the city10k
+#: thousand-flow preset, and wall-clock absolutes are too noisy for smoke.
+DEFAULT_MAX_FLOW_SETUP_SECONDS = 1.0
 #: The best accelerated-backend speedup anywhere in the report must reach
 #: this; the wheel's timer-churn win is ~1.7x, so 1.2 catches a structural
 #: regression without tripping on machine jitter.
@@ -94,7 +109,9 @@ def check(current_report: dict, baseline_report: dict, tolerance: float,
           max_resume_overhead: float = DEFAULT_MAX_RESUME_OVERHEAD,
           max_churn_scaling: float = DEFAULT_MAX_CHURN_SCALING,
           min_backend_speedup: float = DEFAULT_MIN_BACKEND_SPEEDUP,
-          min_events_per_sec: float = DEFAULT_MIN_EVENTS_PER_SEC) -> list:
+          min_events_per_sec: float = DEFAULT_MIN_EVENTS_PER_SEC,
+          max_churn_scaling_10k: float = DEFAULT_MAX_CHURN_SCALING_10K,
+          max_flow_setup_seconds: float = DEFAULT_MAX_FLOW_SETUP_SECONDS) -> list:
     """Return a list of human-readable failure strings (empty = pass)."""
     current = current_report["benchmarks"]
     baseline = baseline_report["benchmarks"]
@@ -158,6 +175,34 @@ def check(current_report: dict, baseline_report: dict, tolerance: float,
                 f"super-linearly in node count"
             )
 
+    # The 10k churn entry and the flow-setup wall-time bound only exist /
+    # apply at full budget (the smoke suite skips the 10k population and
+    # wall-clock absolutes are machine-dependent).
+    if not smoke:
+        churn_10k = current.get("position_churn_10000")
+        if churn_10k is not None:
+            ratio = churn_10k.get("cost_ratio_vs_50")
+            if ratio is None or not math.isfinite(ratio):
+                failures.append("position_churn_10000: missing cost_ratio_vs_50")
+            elif ratio > max_churn_scaling_10k:
+                failures.append(
+                    f"position_churn_10000: mobility update at 10000 nodes "
+                    f"costs {ratio:.1f}x the 50-node round (limit "
+                    f"{max_churn_scaling_10k:.1f}x) — the lazy-invalidation "
+                    f"path is no longer ~linear in node count"
+                )
+        flow_setup = current.get("flow_setup_1000")
+        if flow_setup is not None and max_flow_setup_seconds > 0:
+            wall = flow_setup.get("wall_time")
+            if wall is None or not math.isfinite(wall):
+                failures.append("flow_setup_1000: missing wall_time")
+            elif wall > max_flow_setup_seconds:
+                failures.append(
+                    f"flow_setup_1000: 1000-flow scenario construction took "
+                    f"{wall:.2f}s (limit {max_flow_setup_seconds:.2f}s, "
+                    f"full-budget runs only)"
+                )
+
     # Per-backend guard: every accelerated-backend entry carries
     # speedup_vs_reference (a same-process ratio).  The best of them must
     # clear --min-backend-speedup, and none may sink below the parity floor.
@@ -218,6 +263,16 @@ def main(argv=None) -> int:
                         default=DEFAULT_MAX_CHURN_SCALING,
                         help="allowed 1000-vs-50-node mobility-update cost "
                              "ratio (default: %(default)s)")
+    parser.add_argument("--max-churn-scaling-10k", type=float,
+                        default=DEFAULT_MAX_CHURN_SCALING_10K,
+                        help="allowed 10000-vs-50-node mobility-update cost "
+                             "ratio, checked only for full-budget reports "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-flow-setup-seconds", type=float,
+                        default=DEFAULT_MAX_FLOW_SETUP_SECONDS,
+                        help="allowed 1000-flow scenario-construction wall "
+                             "time in seconds, checked only for full-budget "
+                             "reports; 0 disables (default: %(default)s)")
     parser.add_argument("--min-backend-speedup", type=float,
                         default=DEFAULT_MIN_BACKEND_SPEEDUP,
                         help="required best speedup_vs_reference across the "
@@ -233,7 +288,8 @@ def main(argv=None) -> int:
     failures = check(_load(args.report), _load(args.baseline),
                      args.tolerance, args.max_metrics_overhead,
                      args.max_resume_overhead, args.max_churn_scaling,
-                     args.min_backend_speedup, args.min_events_per_sec)
+                     args.min_backend_speedup, args.min_events_per_sec,
+                     args.max_churn_scaling_10k, args.max_flow_setup_seconds)
     if failures:
         print("perf overhead check FAILED:")
         for failure in failures:
