@@ -39,6 +39,7 @@ from benchmarks.perf.study_bench import (
     run_study_benchmarks,
 )
 from benchmarks.perf.timing import SPREAD_WARN_THRESHOLD, noisy_measurements
+from benchmarks.perf.wired_bench import WIRED_PACKET_TARGET, run_wired_benchmarks
 
 #: Smoke-mode budgets: enough events to exercise every code path, small enough
 #: for a CI job measured in seconds.
@@ -83,6 +84,9 @@ def main(argv=None) -> int:
     print(f"scenario benchmarks (chain target {chain_target}, "
           f"stress target {stress_target}) ...", flush=True)
     benchmarks.update(run_scenario_benchmarks(chain_target, stress_target))
+    wired_target = SMOKE_PACKET_TARGET if args.smoke else WIRED_PACKET_TARGET
+    print(f"wired-bus benchmark (target {wired_target}) ...", flush=True)
+    benchmarks.update(run_wired_benchmarks(wired_target))
     study_target = SMOKE_STUDY_PACKET_TARGET if args.smoke else STUDY_PACKET_TARGET
     study_reps = SMOKE_STUDY_REPLICATIONS if args.smoke else STUDY_REPLICATIONS
     print(f"study execution-plane benchmark (target {study_target}, "

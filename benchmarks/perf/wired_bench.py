@@ -1,0 +1,86 @@
+"""Micro-benchmark for the wired CSMA/CD plane.
+
+``wired_bus_throughput`` runs a full transport stack (NewReno over static
+routing) with every node on one shared Ethernet bus — the ``wired`` link
+layer — so the measured event mix is carrier-sense deferrals, backoff
+timers and frame deliveries rather than 802.11 RTS/CTS exchanges.  Like the
+macro scenarios it is measured best-of-N per kernel backend plus the
+embedded legacy kernel, so the bare name carries ``speedup_vs_legacy`` and
+every ``wired_bus_throughput_{backend}`` entry carries
+``speedup_vs_reference`` — which puts the wired plane under the same
+backend parity floor (``tools/check_perf_overhead.py``) as everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import Scenario
+from repro.net.packet import reset_packet_ids
+from repro.topology.chain import chain_topology
+
+from repro.core.backends import kernel_backend_names
+
+from benchmarks.perf.legacy import legacy_kernel
+from benchmarks.perf.scenario_bench import _run_and_measure
+from benchmarks.perf.timing import best_of
+
+#: Default in-order packet target (sized like the macro scenarios).
+WIRED_PACKET_TARGET = 400
+
+#: Bus population: a 4-hop chain's five nodes all share the segment, so the
+#: data flow and its ACK stream contend for the one medium.
+WIRED_HOPS = 4
+
+
+def _build_wired_bus(packet_target: int, backend: str = "reference") -> Scenario:
+    reset_packet_ids()
+    topology = chain_topology(hops=WIRED_HOPS)
+    config = ScenarioConfig(variant="newreno", routing="static",
+                            link_layer="wired", packet_target=packet_target,
+                            max_sim_time=600.0, seed=3,
+                            kernel_backend=backend)
+    return Scenario(topology, config)
+
+
+def bench_wired_bus(packet_target: int = WIRED_PACKET_TARGET) -> Dict[str, float]:
+    """One NewReno flow with all nodes on a shared 10 Mbit/s bus."""
+    return _run_and_measure(_build_wired_bus(packet_target))
+
+
+def run_wired_benchmarks(
+    packet_target: int = WIRED_PACKET_TARGET,
+) -> Dict[str, Dict[str, float]]:
+    """Measure the wired bus on every kernel backend plus the legacy one.
+
+    Returns the same naming scheme as the macro scenarios: the bare name is
+    the ``reference`` backend with ``speedup_vs_legacy``; ``_legacy`` is the
+    embedded pre-optimisation kernel; other backends add ``_{backend}``
+    entries with ``speedup_vs_reference``.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    per_backend = {
+        backend: best_of(lambda b=backend: _run_and_measure(
+            _build_wired_bus(packet_target, backend=b)))
+        for backend in kernel_backend_names()
+    }
+    with legacy_kernel():
+        legacy = best_of(lambda: _run_and_measure(
+            _build_wired_bus(packet_target)))
+    reference = per_backend["reference"]
+    reference["speedup_vs_legacy"] = (
+        reference["events_per_sec"] / legacy["events_per_sec"]
+        if legacy["events_per_sec"] else float("nan")
+    )
+    results["wired_bus_throughput"] = reference
+    results["wired_bus_throughput_legacy"] = legacy
+    for backend, result in per_backend.items():
+        if backend == "reference":
+            continue
+        result["speedup_vs_reference"] = (
+            result["events_per_sec"] / reference["events_per_sec"]
+            if reference["events_per_sec"] else float("nan")
+        )
+        results[f"wired_bus_throughput_{backend}"] = result
+    return results

@@ -41,12 +41,11 @@ Registering a custom engine::
 
 from __future__ import annotations
 
-import difflib
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, List
 
 from repro.core.engine import Simulator
-from repro.core.errors import ConfigurationError
+from repro.core.registry import NamedRegistry, normalize_name
 from repro.core.wheel import WheelSimulator
 
 
@@ -70,12 +69,16 @@ class KernelBackendProfile:
         return self.factory()
 
 
-_KERNELS: Dict[str, KernelBackendProfile] = {}
+_KERNELS = NamedRegistry(
+    "kernel backend",
+    suggestion_listing="python -m repro.experiments.runner "
+                       "--list-kernel-backends",
+)
 
 
 def kernel_backend_key(name: str) -> str:
     """Canonical registry key of a backend name (case/space-insensitive)."""
-    return name.strip().lower()
+    return normalize_name(name)
 
 
 def register_kernel_backend(profile: KernelBackendProfile,
@@ -93,17 +96,13 @@ def register_kernel_backend(profile: KernelBackendProfile,
     Raises:
         ConfigurationError: On a duplicate name without ``replace``.
     """
-    key = kernel_backend_key(profile.name)
-    if key in _KERNELS and not replace:
-        raise ConfigurationError(
-            f"kernel backend {profile.name!r} is already registered")
-    _KERNELS[key] = profile
+    _KERNELS.register(profile, name=profile.name, replace=replace)
     return profile
 
 
 def unregister_kernel_backend(name: str) -> None:
     """Remove a backend (mainly for tests); unknown names are ignored."""
-    _KERNELS.pop(kernel_backend_key(name), None)
+    _KERNELS.unregister(name)
 
 
 def get_kernel_backend(name: str) -> KernelBackendProfile:
@@ -114,28 +113,17 @@ def get_kernel_backend(name: str) -> KernelBackendProfile:
             difflib close-match suggestions and the ``--list-kernel-backends``
             pointer (the runner CLI turns it into an exit-2 error).
     """
-    profile = _KERNELS.get(kernel_backend_key(name))
-    if profile is None:
-        suggestions = difflib.get_close_matches(
-            name, kernel_backend_names(), n=3, cutoff=0.5)
-        hint = (f"; did you mean {', '.join(repr(s) for s in suggestions)}?"
-                if suggestions else "")
-        raise ConfigurationError(
-            f"unknown kernel backend {name!r}{hint} (run `python -m "
-            "repro.experiments.runner --list-kernel-backends` for all "
-            "backends)"
-        )
-    return profile
+    return _KERNELS.get(name)
 
 
 def kernel_backend_names() -> List[str]:
     """Sorted canonical names of all registered kernel backends."""
-    return sorted(_KERNELS)
+    return _KERNELS.names()
 
 
 def kernel_backend_profiles() -> List[KernelBackendProfile]:
     """All registered kernel-backend profiles, sorted by name."""
-    return [_KERNELS[name] for name in kernel_backend_names()]
+    return _KERNELS.values()
 
 
 def create_kernel(name: str) -> object:

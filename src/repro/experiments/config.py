@@ -28,6 +28,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
 from repro.core.backends import get_kernel_backend
+from repro.link.registry import get_link_layer
 from repro.core.errors import ConfigurationError
 from repro.mobility.registry import get_mobility
 from repro.transport.ack_thinning import AckThinningPolicy
@@ -160,6 +161,15 @@ class ScenarioConfig:
             flooding the full ``net_diameter_ttl``.  Off by default — flood
             behaviour and traces are untouched; the ``city10k`` presets turn
             it on because full-diameter floods dominate a 10k-node mesh.
+        link_layer: Link-layer profile resolved through
+            :mod:`repro.link.registry` (``"wireless"``, the default 802.11
+            plane, or ``"wired"``, one shared Ethernet-style CSMA/CD bus).
+            Topologies carrying their own link plan (the ``backbone``
+            family) override this; it is sweepable like any other axis.
+        wired_rate_mbps: Transmission rate of wired segments built by the
+            ``wired`` profile, in Mb/s.
+        wired_propagation_delay: One-way propagation delay of those
+            segments in seconds (also the collision vulnerability window).
     """
 
     variant: VariantLike = TransportVariant.VEGAS
@@ -186,6 +196,9 @@ class ScenarioConfig:
     metrics_interval: float = 0.1
     kernel_backend: str = "reference"
     aodv_expanding_ring: bool = False
+    link_layer: str = "wireless"
+    wired_rate_mbps: float = 10.0
+    wired_propagation_delay: float = 5e-6
 
     def __post_init__(self) -> None:
         if self.bandwidth_mbps <= 0:
@@ -215,6 +228,17 @@ class ScenarioConfig:
         if self.metrics_interval <= 0:
             raise ConfigurationError("metrics_interval must be positive")
         get_kernel_backend(self.kernel_backend)  # fail fast on unknown engines
+        get_link_layer(self.link_layer)  # fail fast on unknown link layers
+        if self.wired_rate_mbps <= 0:
+            raise ConfigurationError("wired_rate_mbps must be positive")
+        if self.wired_propagation_delay < 0:
+            raise ConfigurationError(
+                "wired_propagation_delay must be non-negative")
+        if self.link_layer != "wireless" and self.mobility != "static":
+            raise ConfigurationError(
+                "mobility models move radios; only the 'wireless' link "
+                "layer supports mobility"
+            )
         object.__setattr__(self, "variant", resolve_variant(self.variant))
         get_transport(self.variant).validate_config(self)
 

@@ -27,7 +27,6 @@ that can lease items and publish fingerprint-keyed results is a backend.
 
 from __future__ import annotations
 
-import difflib
 import os
 import time as _time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -38,6 +37,7 @@ from typing import (
 )
 
 from repro.core.errors import ConfigurationError, SimulationError
+from repro.core.registry import NamedRegistry
 from repro.core.tracing import NULL_TRACER, Tracer
 from repro.experiments.exec.aggregate import ProgressSnapshot, StreamingAggregator
 from repro.experiments.exec.store import ResultStore
@@ -408,7 +408,10 @@ class ExecutorBackend:
     description: str = ""
 
 
-_BACKENDS: Dict[str, ExecutorBackend] = {}
+_BACKENDS = NamedRegistry(
+    "executor backend",
+    suggestion_listing="python -m repro.experiments.study --list-backends",
+)
 
 
 def register_backend(backend: ExecutorBackend,
@@ -418,17 +421,13 @@ def register_backend(backend: ExecutorBackend,
     Raises:
         ConfigurationError: On a duplicate name without ``replace``.
     """
-    key = backend.name.strip().lower()
-    if key in _BACKENDS and not replace:
-        raise ConfigurationError(
-            f"executor backend {backend.name!r} is already registered")
-    _BACKENDS[key] = backend
+    _BACKENDS.register(backend, name=backend.name, replace=replace)
     return backend
 
 
 def unregister_backend(name: str) -> None:
     """Remove a backend (mainly for tests); unknown names are ignored."""
-    _BACKENDS.pop(name.strip().lower(), None)
+    _BACKENDS.unregister(name)
 
 
 def get_backend(name: str) -> ExecutorBackend:
@@ -439,27 +438,17 @@ def get_backend(name: str) -> ExecutorBackend:
             difflib close-match suggestions and the ``--list-backends``
             pointer (the study CLI turns it into an exit-2 error).
     """
-    backend = _BACKENDS.get(name.strip().lower())
-    if backend is None:
-        suggestions = difflib.get_close_matches(name, backend_names(),
-                                                n=3, cutoff=0.5)
-        hint = (f"; did you mean {', '.join(repr(s) for s in suggestions)}?"
-                if suggestions else "")
-        raise ConfigurationError(
-            f"unknown executor backend {name!r}{hint} (run `python -m "
-            "repro.experiments.study --list-backends` for all backends)"
-        )
-    return backend
+    return _BACKENDS.get(name)
 
 
 def backend_names() -> List[str]:
     """Sorted canonical names of all registered backends."""
-    return sorted(_BACKENDS)
+    return _BACKENDS.names()
 
 
 def executor_backends() -> List[ExecutorBackend]:
     """All registered backends, sorted by name."""
-    return [_BACKENDS[name] for name in backend_names()]
+    return _BACKENDS.values()
 
 
 register_backend(ExecutorBackend(

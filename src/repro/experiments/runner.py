@@ -56,6 +56,10 @@ from repro.core.tracing import NULL_TRACER, Tracer
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.results import FlowResult, ScenarioResult
 from repro.experiments.workload import FlowSpec, ScenarioEvent, ScenarioSpec
+from repro.link.gateway import WiredNode, make_gateway
+from repro.link.plan import LinkPlan
+from repro.link.registry import get_link_layer, link_layer_profiles
+from repro.link.wired import WiredBus
 from repro.mac.timing import MacTiming, timing_for_bandwidth
 from repro.metrics import MetricsRegistry
 from repro.mobility.base import MobilityManager
@@ -140,6 +144,13 @@ class Scenario:
         self.timing: MacTiming = timing_for_bandwidth(config.bandwidth_mbps)
         propagation = RangePropagationModel(capture_threshold=config.capture_threshold)
         self.channel = WirelessChannel(self.sim, propagation=propagation, tracer=tracer)
+        self.link_plan = self._resolve_link_plan()
+        self.buses: List[WiredBus] = [
+            WiredBus(self.sim, rate_mbps=segment.rate_mbps,
+                     propagation_delay=segment.propagation_delay,
+                     bus_id=index, tracer=tracer, metrics=self.metrics)
+            for index, segment in enumerate(self.link_plan.segments)
+        ]
         self.nodes: Dict[int, Node] = {}
         self.mobility: Optional[MobilityManager] = None
         self.flow_stats: List[FlowStats] = []
@@ -152,6 +163,16 @@ class Scenario:
     # ==================================================================
     # Construction
     # ==================================================================
+    def _resolve_link_plan(self) -> LinkPlan:
+        """The topology's own link plan, or one built by the configured
+        link-layer profile (``"wireless"`` reproduces the historical
+        all-radio layout exactly)."""
+        plan = getattr(self.topology, "link_plan", None)
+        if plan is not None:
+            return plan
+        return get_link_layer(self.config.link_layer).build_plan(
+            self.topology, self.config)
+
     def _build(self) -> None:
         self._build_nodes()
         self._build_mobility()
@@ -174,20 +195,68 @@ class Scenario:
         # a build that predates the expanding-ring knob.
         aodv_config = (AodvConfig(expanding_ring=True)
                        if self.config.aodv_expanding_ring else None)
+        plan = self.link_plan
+        wireless = set(plan.wireless_nodes)
+        bus_of: Dict[int, WiredBus] = {}
+        for bus, segment in zip(self.buses, plan.segments):
+            for node_id in segment.nodes:
+                bus_of[node_id] = bus
         for node_id in self.topology.node_ids:
-            self.nodes[node_id] = Node(
-                sim=self.sim,
-                node_id=node_id,
-                position=self.topology.positions[node_id],
-                channel=self.channel,
-                timing=self.timing,
-                randomness=self.randomness,
+            if node_id in wireless:
+                self.nodes[node_id] = Node(
+                    sim=self.sim,
+                    node_id=node_id,
+                    position=self.topology.positions[node_id],
+                    channel=self.channel,
+                    timing=self.timing,
+                    randomness=self.randomness,
+                    routing=self.config.routing,
+                    queue_capacity=self.config.queue_capacity,
+                    aodv_config=aodv_config,
+                    tracer=self.tracer,
+                    metrics=self.metrics,
+                )
+            else:
+                self.nodes[node_id] = WiredNode(
+                    sim=self.sim,
+                    node_id=node_id,
+                    position=self.topology.positions[node_id],
+                    bus=bus_of[node_id],
+                    randomness=self.randomness,
+                    routing=self.config.routing,
+                    queue_capacity=self.config.queue_capacity,
+                    aodv_config=aodv_config,
+                    tracer=self.tracer,
+                    metrics=self.metrics,
+                )
+        # Gateways get their wired port (and forwarding routing) only after
+        # every port-less node registered, so bus port order is stable.
+        for gateway_id in sorted(plan.gateways):
+            subnet = plan.subnet_of.get(gateway_id)
+            make_gateway(
+                self.nodes[gateway_id], bus_of[gateway_id], self.randomness,
+                wired_next_hops=self._gateway_wired_table(gateway_id, plan),
+                wireless_subnet=plan.subnet_members(subnet),
                 routing=self.config.routing,
-                queue_capacity=self.config.queue_capacity,
+                wired_queue_capacity=self.config.queue_capacity,
                 aodv_config=aodv_config,
-                tracer=self.tracer,
-                metrics=self.metrics,
             )
+
+    def _gateway_wired_table(self, gateway_id: int, plan: LinkPlan) -> Dict[int, int]:
+        """Wired forwarding table of one gateway: bus members directly, plus
+        every node whose subnet gateway sits on the same bus via that
+        gateway."""
+        members = set(plan.segments[plan.segment_of(gateway_id)].nodes)
+        table: Dict[int, int] = {}
+        for member in members:
+            if member != gateway_id:
+                table[member] = member
+        for node_id, subnet in plan.subnet_of.items():
+            remote_gateway = plan.gateway_of_subnet.get(subnet)
+            if (remote_gateway is not None and remote_gateway != gateway_id
+                    and remote_gateway in members):
+                table.setdefault(node_id, remote_gateway)
+        return table
 
     def _build_mobility(self) -> None:
         """Attach a mobility manager when the configured model moves nodes.
@@ -231,17 +300,71 @@ class Scenario:
                 unit="packets", description="Interface-queue occupancy.")
         install_energy_probes(
             metrics, EnergyModel(), self.sim,
-            {node_id: node.radio.stats for node_id, node in self.nodes.items()})
+            {node_id: node.radio.stats for node_id, node in self.nodes.items()
+             if node.radio is not None})
 
     def _install_static_routes(self) -> None:
-        graph = self.topology.connectivity_graph(self.channel.propagation)
-        tables = all_next_hop_tables(graph)
+        plan = self.link_plan
+        if plan.is_pure_wireless:
+            graph = self.topology.connectivity_graph(self.channel.propagation)
+            tables = all_next_hop_tables(graph)
+            for node_id, node in self.nodes.items():
+                routing = node.routing
+                if not isinstance(routing, StaticRouting):
+                    continue
+                for destination, next_hop in tables.get(node_id, {}).items():
+                    routing.set_next_hop(destination, next_hop)
+            return
+        self._install_static_routes_heterogeneous(plan)
+
+    def _install_static_routes_heterogeneous(self, plan: LinkPlan) -> None:
+        """Static tables for a plan with wired segments.
+
+        Wireless nodes get shortest-path tables within their own radio
+        component plus a default route towards their subnet's gateway for
+        everything else; wired-only nodes get directly-connected routes to
+        their bus peers plus next-gateway routes for remote subnets.
+        Gateways' wired tables were installed at construction — here they
+        only receive their wireless-component table.
+        """
+        all_ids = set(self.topology.node_ids)
+        gateways = set(plan.gateways)
+        wireless_positions = {node_id: self.topology.positions[node_id]
+                              for node_id in plan.wireless_nodes}
+        tables: Dict[int, Dict[int, int]] = {}
+        if wireless_positions:
+            radio_plane = Topology(name=f"{self.topology.name}-radio-plane",
+                                   positions=wireless_positions)
+            graph = radio_plane.connectivity_graph(self.channel.propagation)
+            tables = all_next_hop_tables(graph)
+        bus_members: Dict[int, set] = {}
+        for segment in plan.segments:
+            for node_id in segment.nodes:
+                bus_members[node_id] = set(segment.nodes)
         for node_id, node in self.nodes.items():
             routing = node.routing
             if not isinstance(routing, StaticRouting):
                 continue
-            for destination, next_hop in tables.get(node_id, {}).items():
+            local = tables.get(node_id, {})
+            for destination, next_hop in local.items():
                 routing.set_next_hop(destination, next_hop)
+            if node_id in gateways:
+                continue
+            if node_id in wireless_positions:
+                subnet = plan.subnet_of.get(node_id)
+                gateway = plan.gateway_of_subnet.get(subnet)
+                toward_gateway = local.get(gateway)
+                if toward_gateway is not None:
+                    routing.set_default_next_hop(toward_gateway)
+            else:
+                members = bus_members.get(node_id, set())
+                for destination in members - {node_id}:
+                    routing.set_next_hop(destination, destination)
+                for destination in all_ids - members - {node_id}:
+                    subnet = plan.subnet_of.get(destination)
+                    gateway = plan.gateway_of_subnet.get(subnet)
+                    if gateway is not None and gateway in members:
+                        routing.set_next_hop(destination, gateway)
 
     def _flow_packet_shares(self) -> List[int]:
         """Per-flow shares of ``packet_target``, remainder spread over the
@@ -335,11 +458,21 @@ class Scenario:
         elif action == "node-up":
             self.channel.set_node_down(event.target, False)
         elif action == "link-down":
-            self.channel.set_link_blocked(event.target, event.peer, True)
+            self._set_link_blocked(event.target, event.peer, True)
         elif action == "link-up":
-            self.channel.set_link_blocked(event.target, event.peer, False)
+            self._set_link_blocked(event.target, event.peer, False)
         else:  # pragma: no cover - ScenarioEvent validates its action
             raise ConfigurationError(f"unknown timeline action {action!r}")
+
+    def _set_link_blocked(self, target: int, peer: int, blocked: bool) -> None:
+        """Route a link block to the bus carrying both endpoints, falling
+        back to the wireless channel (which validates unknown nodes)."""
+        for bus in self.buses:
+            node_ids = set(bus.node_ids)
+            if target in node_ids and peer in node_ids:
+                bus.set_link_blocked(target, peer, blocked)
+                return
+        self.channel.set_link_blocked(target, peer, blocked)
 
     # ==================================================================
     # Execution
@@ -376,6 +509,8 @@ class Scenario:
         now = self.sim.now
         metrics = self.metrics
         energy = self._energy_report(now)
+        for bus in self.buses:
+            bus.finalize_utilization(now)
 
         flow_results = []
         for stats, flow_spec, profile in zip(self.flow_stats, self.workload,
@@ -406,7 +541,8 @@ class Scenario:
     def _energy_report(self, now: float):
         model = EnergyModel()
         radio_stats = {node_id: node.radio.stats
-                       for node_id, node in self.nodes.items()}
+                       for node_id, node in self.nodes.items()
+                       if node.radio is not None}
         set_energy_gauges(self.metrics, model, now, radio_stats)
         airtimes = [
             {
@@ -509,6 +645,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "performance knob")
     parser.add_argument("--list-kernel-backends", action="store_true",
                         help="list registered kernel backends and exit")
+    parser.add_argument("--link-layer", default=None, metavar="NAME",
+                        help="link-layer profile (see --list-link-layers); "
+                             "topologies with their own link plan, e.g. the "
+                             "backbone presets, ignore this")
+    parser.add_argument("--list-link-layers", action="store_true",
+                        help="list registered link-layer profiles and exit")
     parser.add_argument("--metrics", action="store_true",
                         help="enable the time-series metrics plane")
     parser.add_argument("--metrics-interval", type=float, default=None,
@@ -534,10 +676,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         for profile in kernel_backend_profiles():
             print(f"{profile.name}: {profile.description}")
         return 0
+    if args.list_link_layers:
+        for profile in link_layer_profiles():
+            print(f"{profile.name}: {profile.description}")
+        return 0
 
     overrides: Dict[str, object] = {}
     if args.kernel_backend is not None:
         overrides["kernel_backend"] = args.kernel_backend
+    if args.link_layer is not None:
+        overrides["link_layer"] = args.link_layer
     if args.metrics:
         overrides["metrics"] = True
     if args.metrics_interval is not None:

@@ -230,7 +230,61 @@ def city_scenario_spec(
     )
 
 
+def backbone_scenario_spec(variant: str = "newreno", cells: int = 2,
+                           cell_hops: int = 7) -> ScenarioSpec:
+    """A heterogeneous backbone spec: wired gateway spine, wireless cells.
+
+    The topology (:func:`repro.topology.backbone.backbone_topology`) carries
+    its own link plan, so the runner builds gateways and the spine bus
+    regardless of ``config.link_layer``.  Routing is static: plain AODV at a
+    cell member cannot discover a destination behind the wired spine (route
+    requests do not cross subnets), which is exactly the addressing split
+    :mod:`repro.link.gateway` documents.
+
+    Args:
+        variant: Transport variant every flow runs.
+        cells: Gateways (= wireless cells) on the spine.
+        cell_hops: Wireless hops from each gateway to its cell's tail.
+    """
+    from repro.topology.backbone import backbone_topology
+
+    topology = backbone_topology(cells=cells, cell_hops=cell_hops)
+    return ScenarioSpec(
+        name=f"backbone{cells}x{cell_hops}-{variant}",
+        topology=topology,
+        workload=Workload.from_topology(topology, variant=variant),
+        config=ScenarioConfig(variant=variant, bandwidth_mbps=2.0,
+                              routing="static", max_sim_time=600.0),
+    )
+
+
+def _backbone2x7_mixed_newreno_vegas() -> ScenarioSpec:
+    """Backbone with one NewReno and one Vegas flow crossing the spine in
+    opposite directions — the variant-mix counterpart of ``chain7-mixed``."""
+    from repro.topology.backbone import backbone_tail, backbone_topology
+
+    topology = backbone_topology(cells=2, cell_hops=7)
+    tail0 = backbone_tail(2, 7, 0)
+    tail1 = backbone_tail(2, 7, 1)
+    return ScenarioSpec(
+        name="backbone2x7-mixed",
+        topology=topology,
+        workload=Workload(flows=(
+            FlowSpec(source=tail0, destination=tail1, variant="newreno"),
+            FlowSpec(source=tail1, destination=tail0, variant="vegas"),
+        )),
+        config=ScenarioConfig(variant="newreno", bandwidth_mbps=2.0,
+                              routing="static", max_sim_time=600.0),
+    )
+
+
 register_scenario("chain7-mixed-newreno-vegas", _chain7_mixed_newreno_vegas)
+register_scenario("backbone2x7-newreno",
+                  lambda: backbone_scenario_spec("newreno"))
+register_scenario("backbone2x7-vegas",
+                  lambda: backbone_scenario_spec("vegas"))
+register_scenario("backbone2x7-mixed-newreno-vegas",
+                  _backbone2x7_mixed_newreno_vegas)
 register_scenario("random50-tcp-with-udp-background",
                   _random50_tcp_with_udp_background)
 register_scenario("city1k-rwp", lambda: city_scenario_spec("random-waypoint"))

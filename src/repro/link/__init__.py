@@ -1,0 +1,44 @@
+"""Pluggable link layers: the 802.11 wireless plane, wired shared-bus
+segments, and the gateway nodes that bridge between them."""
+
+from repro.link.gateway import (
+    GatewayAodvRouting,
+    GatewayStaticRouting,
+    WiredNode,
+    make_gateway,
+)
+from repro.link.plan import (
+    LinkPlan,
+    WiredSegmentSpec,
+    all_wireless_plan,
+    single_bus_plan,
+)
+from repro.link.registry import (
+    LinkLayerProfile,
+    get_link_layer,
+    link_layer_names,
+    link_layer_profiles,
+    register_link_layer,
+    unregister_link_layer,
+)
+from repro.link.wired import WiredBus, WiredPort, WiredStats
+
+__all__ = [
+    "GatewayAodvRouting",
+    "GatewayStaticRouting",
+    "LinkLayerProfile",
+    "LinkPlan",
+    "WiredBus",
+    "WiredNode",
+    "WiredPort",
+    "WiredSegmentSpec",
+    "WiredStats",
+    "all_wireless_plan",
+    "get_link_layer",
+    "link_layer_names",
+    "link_layer_profiles",
+    "make_gateway",
+    "register_link_layer",
+    "single_bus_plan",
+    "unregister_link_layer",
+]

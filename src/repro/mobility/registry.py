@@ -29,9 +29,9 @@ Registering a custom model::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
-from repro.core.errors import ConfigurationError
+from repro.core.registry import NamedRegistry
 from repro.mobility.base import MobilityModel
 from repro.mobility.models import (
     ManhattanGridMobility,
@@ -78,8 +78,7 @@ class MobilityProfile:
         return self.builder(effective_speed, effective_pause)
 
 
-_MOBILITY: Dict[str, MobilityProfile] = {}
-_GENERATION = 0
+_MOBILITY = NamedRegistry("mobility model")
 
 
 def registry_generation() -> int:
@@ -88,7 +87,7 @@ def registry_generation() -> int:
     Lets derived caches (e.g. the generated scenario preset table) detect
     that the set of registered mobility families changed.
     """
-    return _GENERATION
+    return _MOBILITY.generation
 
 
 def register_mobility(profile: MobilityProfile, replace: bool = False) -> MobilityProfile:
@@ -104,20 +103,13 @@ def register_mobility(profile: MobilityProfile, replace: bool = False) -> Mobili
     Raises:
         ConfigurationError: On a duplicate name without ``replace``.
     """
-    global _GENERATION
-    key = profile.name.strip().lower()
-    if key in _MOBILITY and not replace:
-        raise ConfigurationError(f"mobility model {profile.name!r} is already registered")
-    _MOBILITY[key] = profile
-    _GENERATION += 1
+    _MOBILITY.register(profile, name=profile.name, replace=replace)
     return profile
 
 
 def unregister_mobility(name: str) -> None:
     """Remove a mobility family (mainly for tests); unknown names are ignored."""
-    global _GENERATION
-    if _MOBILITY.pop(name.strip().lower(), None) is not None:
-        _GENERATION += 1
+    _MOBILITY.unregister(name)
 
 
 def get_mobility(name: str) -> MobilityProfile:
@@ -126,22 +118,17 @@ def get_mobility(name: str) -> MobilityProfile:
     Raises:
         ConfigurationError: If the name is unknown.
     """
-    profile = _MOBILITY.get(name.strip().lower())
-    if profile is None:
-        raise ConfigurationError(
-            f"unknown mobility model {name!r}; registered: {', '.join(mobility_names())}"
-        )
-    return profile
+    return _MOBILITY.get(name)
 
 
 def mobility_names() -> List[str]:
     """Sorted canonical names of all registered mobility families."""
-    return sorted(_MOBILITY)
+    return _MOBILITY.names()
 
 
 def mobility_profiles() -> List[MobilityProfile]:
     """All registered mobility profiles, sorted by name."""
-    return [_MOBILITY[name] for name in mobility_names()]
+    return _MOBILITY.values()
 
 
 # ======================================================================

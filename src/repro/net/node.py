@@ -106,6 +106,14 @@ class Node:
         self.routing = self._build_routing(routing, randomness, aodv_config)
         self.mac.listener = self.routing
         self._agents: Dict[int, TransportAgent] = {}
+        #: Link-layer devices owned by this node, primary interface first.
+        #: Single-radio nodes have exactly one entry; gateway nodes append
+        #: their wired port (see :func:`repro.link.gateway.make_gateway`).
+        self.devices: list = [self.mac]
+
+    def add_device(self, device: object) -> None:
+        """Attach an additional link-layer device (e.g. a gateway's wired port)."""
+        self.devices.append(device)
 
     def _build_routing(
         self,

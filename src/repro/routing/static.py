@@ -9,7 +9,7 @@ false-route-failure effect the paper attributes to the routing layer).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping
+from typing import Callable, Dict, Mapping, Optional
 
 from repro.core.engine import Simulator
 from repro.core.tracing import NULL_TRACER, Tracer
@@ -40,10 +40,20 @@ class StaticRouting(RoutingProtocol):
     ) -> None:
         super().__init__(sim, node_id, queue, deliver_local, tracer, metrics)
         self._next_hops: Dict[int, int] = dict(next_hops)
+        self._default_next_hop: Optional[int] = None
 
     def set_next_hop(self, destination: int, next_hop: int) -> None:
         """Add or change the next hop for ``destination``."""
         self._next_hops[destination] = next_hop
+
+    def set_default_next_hop(self, next_hop: Optional[int]) -> None:
+        """Fallback next hop for destinations missing from the table.
+
+        The netmask-split addressing of heterogeneous scenarios uses this on
+        subnet members: intra-subnet routes are explicit, everything else
+        defaults towards the subnet's gateway (``None`` removes the default).
+        """
+        self._default_next_hop = next_hop
 
     def next_hop_for(self, destination: int) -> int:
         """Return the configured next hop or -1 when unreachable."""
@@ -67,7 +77,7 @@ class StaticRouting(RoutingProtocol):
         if ip.dst == BROADCAST:
             self._broadcast_to_mac(packet)
             return
-        next_hop = self._next_hops.get(ip.dst)
+        next_hop = self._next_hops.get(ip.dst, self._default_next_hop)
         if next_hop is None:
             self.stats._packets_dropped_no_route.value += 1
             self.tracer.record(self.sim.now, "route", "no_route", node=self.node_id,

@@ -5,6 +5,7 @@ addressable by name (``build_topology("chain", hops=7)``), which is how the
 declarative study API and the scenario presets resolve topologies.
 """
 
+from repro.topology.backbone import BackboneTopology, backbone_tail, backbone_topology
 from repro.topology.base import FlowSpec, Topology, all_next_hop_tables, shortest_path_next_hops
 from repro.topology.chain import chain_topology, hidden_terminal_pairs
 from repro.topology.grid import grid_topology, node_id_at
@@ -20,6 +21,9 @@ from repro.topology.registry import (
 )
 
 __all__ = [
+    "BackboneTopology",
+    "backbone_tail",
+    "backbone_topology",
     "FlowSpec",
     "TopologyProfile",
     "build_topology",

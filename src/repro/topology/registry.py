@@ -21,9 +21,10 @@ Registering a new topology family::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, List, Mapping, Optional
 
-from repro.core.errors import ConfigurationError
+from repro.core.registry import NamedRegistry
+from repro.topology.backbone import backbone_topology
 from repro.topology.base import Topology
 from repro.topology.chain import chain_topology
 from repro.topology.grid import grid_topology
@@ -57,8 +58,7 @@ class TopologyProfile:
         return self.builder(**params)
 
 
-_TOPOLOGIES: Dict[str, TopologyProfile] = {}
-_GENERATION = 0
+_TOPOLOGIES = NamedRegistry("topology")
 
 
 def registry_generation() -> int:
@@ -67,7 +67,7 @@ def registry_generation() -> int:
     Lets derived caches (e.g. the generated scenario preset table) detect
     that the set of registered topology families changed.
     """
-    return _GENERATION
+    return _TOPOLOGIES.generation
 
 
 def register_topology(profile: TopologyProfile, replace: bool = False) -> TopologyProfile:
@@ -76,20 +76,13 @@ def register_topology(profile: TopologyProfile, replace: bool = False) -> Topolo
     Raises:
         ConfigurationError: On a duplicate name without ``replace``.
     """
-    global _GENERATION
-    key = profile.name.strip().lower()
-    if key in _TOPOLOGIES and not replace:
-        raise ConfigurationError(f"topology {profile.name!r} is already registered")
-    _TOPOLOGIES[key] = profile
-    _GENERATION += 1
+    _TOPOLOGIES.register(profile, name=profile.name, replace=replace)
     return profile
 
 
 def unregister_topology(name: str) -> None:
     """Remove a topology family (mainly for tests); unknown names are ignored."""
-    global _GENERATION
-    if _TOPOLOGIES.pop(name.strip().lower(), None) is not None:
-        _GENERATION += 1
+    _TOPOLOGIES.unregister(name)
 
 
 def get_topology(name: str) -> TopologyProfile:
@@ -98,12 +91,7 @@ def get_topology(name: str) -> TopologyProfile:
     Raises:
         ConfigurationError: If the name is unknown.
     """
-    profile = _TOPOLOGIES.get(name.strip().lower())
-    if profile is None:
-        raise ConfigurationError(
-            f"unknown topology {name!r}; registered: {', '.join(topology_names())}"
-        )
-    return profile
+    return _TOPOLOGIES.get(name)
 
 
 def build_topology(name: str, **params: object) -> Topology:
@@ -113,12 +101,12 @@ def build_topology(name: str, **params: object) -> Topology:
 
 def topology_names() -> List[str]:
     """Sorted canonical names of all registered topology families."""
-    return sorted(_TOPOLOGIES)
+    return _TOPOLOGIES.names()
 
 
 def topology_profiles() -> List[TopologyProfile]:
     """All registered topology profiles, sorted by name."""
-    return [_TOPOLOGIES[name] for name in topology_names()]
+    return _TOPOLOGIES.values()
 
 
 # ======================================================================
@@ -146,4 +134,15 @@ register_topology(TopologyProfile(
     preset_prefix="random",
     preset_params={"node_count": 120, "area": (2500.0, 1000.0),
                    "flow_count": 10, "seed": 7},
+))
+
+register_topology(TopologyProfile(
+    name="backbone",
+    builder=backbone_topology,
+    description="wired Ethernet spine of M gateways, each serving a K-hop "
+                "wireless chain cell",
+    # Hand-registered presets only (repro.experiments.scenarios); the
+    # auto-generated <prefix>-<variant>-<bandwidth> matrix would multiply a
+    # heterogeneous scenario that only makes sense with static routing.
+    preset_prefix=None,
 ))

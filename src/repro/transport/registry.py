@@ -29,11 +29,12 @@ enum keeps working as a set of aliases for the built-in registrations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Mapping, Optional, Tuple
 
 from repro.app.cbr import CbrApplication
 from repro.app.ftp import FtpApplication
 from repro.core.errors import ConfigurationError
+from repro.core.registry import NamedRegistry
 from repro.transport.newreno import NewRenoSender
 from repro.transport.sink import AckThinningSink, TcpSink
 from repro.transport.udp import UdpSender, UdpSink
@@ -141,18 +142,7 @@ class TransportProfile:
             self.validate(config)
 
 
-_PROFILES: Dict[str, TransportProfile] = {}
-_LOOKUP: Dict[str, str] = {}
-_GENERATION = 0
-
-
-def _norm(key: str) -> str:
-    return key.strip().lower()
-
-
-def _bump_generation() -> None:
-    global _GENERATION
-    _GENERATION += 1
+_PROFILES = NamedRegistry("transport")
 
 
 def registry_generation() -> int:
@@ -161,7 +151,7 @@ def registry_generation() -> int:
     Lets derived caches (e.g. the generated scenario preset table) detect
     that the set of registered transports changed.
     """
-    return _GENERATION
+    return _PROFILES.generation
 
 
 def register_transport(profile: TransportProfile, replace: bool = False) -> TransportProfile:
@@ -178,36 +168,18 @@ def register_transport(profile: TransportProfile, replace: bool = False) -> Tran
     Raises:
         ConfigurationError: On a duplicate name/alias without ``replace``.
     """
-    key = _norm(profile.name)
-    if key in _PROFILES and not replace:
-        raise ConfigurationError(f"transport {profile.name!r} is already registered")
-    for alias in (profile.name, profile.label, *profile.aliases):
-        owner = _LOOKUP.get(_norm(alias))
-        if owner is not None and owner != key:
-            # replace only permits overwriting the same-name profile; it never
-            # lets a registration hijack another profile's name or aliases.
-            raise ConfigurationError(
-                f"transport alias {alias!r} already points at {owner!r}"
-            )
-    if key in _PROFILES:
-        unregister_transport(key)  # drop the replaced profile's stale aliases
-    _PROFILES[key] = profile
-    for alias in (profile.name, profile.label, *profile.aliases):
-        _LOOKUP[_norm(alias)] = key
-    _bump_generation()
+    # replace only permits overwriting the same-name profile; the shared
+    # registry never lets a registration hijack another profile's name or
+    # aliases, and it drops the replaced profile's stale aliases.
+    _PROFILES.register(profile, name=profile.name,
+                       aliases=(profile.label, *profile.aliases),
+                       replace=replace)
     return profile
 
 
 def unregister_transport(name: str) -> None:
     """Remove a profile (mainly for tests); unknown names are ignored."""
-    key = _LOOKUP.get(_norm(name), _norm(name))
-    profile = _PROFILES.pop(key, None)
-    if profile is None:
-        return
-    for alias in (profile.name, profile.label, *profile.aliases):
-        if _LOOKUP.get(_norm(alias)) == key:
-            del _LOOKUP[_norm(alias)]
-    _bump_generation()
+    _PROFILES.unregister(name)
 
 
 def transport_key(variant: object) -> str:
@@ -221,7 +193,7 @@ def transport_key(variant: object) -> str:
     """
     raw = variant if isinstance(variant, str) else getattr(variant, "value", None)
     if isinstance(raw, str):
-        key = _LOOKUP.get(_norm(raw))
+        key = _PROFILES.resolve_key(raw)
         if key is not None:
             return key
     raise ConfigurationError(
@@ -232,17 +204,17 @@ def transport_key(variant: object) -> str:
 
 def get_transport(variant: object) -> TransportProfile:
     """Resolve a variant (name, label, alias or enum member) to its profile."""
-    return _PROFILES[transport_key(variant)]
+    return _PROFILES.lookup(transport_key(variant))
 
 
 def transport_names() -> List[str]:
     """Sorted canonical names of all registered transports."""
-    return sorted(_PROFILES)
+    return _PROFILES.names()
 
 
 def transport_profiles() -> List[TransportProfile]:
     """All registered profiles, sorted by canonical name."""
-    return [_PROFILES[name] for name in transport_names()]
+    return _PROFILES.values()
 
 
 # ======================================================================

@@ -70,6 +70,22 @@ class TestRuns:
         assert data["schema"] == 1
         assert len(data["points"]) == 1
 
+    def test_link_layer_axis_sweeps_and_snapshots_wired_metrics(
+            self, tmp_path, capsys):
+        out_path = tmp_path / "study.json"
+        assert main(run_args("--backend", "serial",
+                             "--axis", "link_layer=wireless,wired",
+                             "--save", str(out_path))) == 0
+        data = json.loads(out_path.read_text())
+        by_layer = {point["values"]["link_layer"]: point
+                    for point in data["points"]}
+        assert set(by_layer) == {"wireless", "wired"}
+        wired = by_layer["wired"]["runs"][0]["metrics"]
+        assert wired["link.wired.bus0.frames_delivered"] > 0
+        assert wired["link.wired.node0.frames_sent"] > 0
+        wireless = by_layer["wireless"]["runs"][0]["metrics"]
+        assert not any(name.startswith("link.wired.") for name in wireless)
+
     def test_fail_after_exits_3_then_resume_succeeds(self, tmp_path, capsys):
         store = tmp_path / "store"
         args = run_args("--backend", "serial", "--store", str(store))

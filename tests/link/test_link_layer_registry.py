@@ -1,0 +1,107 @@
+"""Tests for the link-layer registry and the built-in plan builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.config import ScenarioConfig
+from repro.link.plan import LinkPlan, WiredSegmentSpec
+from repro.link.registry import (
+    LinkLayerProfile,
+    get_link_layer,
+    link_layer_names,
+    link_layer_profiles,
+    register_link_layer,
+    unregister_link_layer,
+)
+from repro.topology.chain import chain_topology
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "wireless" in link_layer_names()
+        assert "wired" in link_layer_names()
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_link_layer("Wireless").name == "wireless"
+        assert get_link_layer(" WIRED ").name == "wired"
+
+    def test_unknown_name_suggests_close_match(self):
+        with pytest.raises(ConfigurationError,
+                           match=r"did you mean 'wired'"):
+            get_link_layer("wried")
+        with pytest.raises(ConfigurationError,
+                           match=r"--list-link-layers"):
+            get_link_layer("wried")
+
+    def test_duplicate_rejected_without_replace(self):
+        profile = LinkLayerProfile(name="wireless",
+                                   build_plan=lambda t, c: LinkPlan())
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_link_layer(profile)
+
+    def test_register_and_unregister_custom_profile(self):
+        register_link_layer(LinkLayerProfile(
+            name="test-bus", build_plan=lambda t, c: LinkPlan(),
+            description="for the registry test"))
+        try:
+            assert get_link_layer("test-bus").description == "for the registry test"
+            assert any(p.name == "test-bus" for p in link_layer_profiles())
+        finally:
+            unregister_link_layer("test-bus")
+        assert "test-bus" not in link_layer_names()
+
+    def test_scenario_config_validates_link_layer(self):
+        with pytest.raises(ConfigurationError, match="unknown link layer"):
+            ScenarioConfig(link_layer="token-ring")
+        with pytest.raises(ConfigurationError, match="wired_rate_mbps"):
+            ScenarioConfig(link_layer="wired", wired_rate_mbps=0.0)
+        with pytest.raises(ConfigurationError, match="mobility"):
+            ScenarioConfig(link_layer="wired", routing="aodv",
+                           mobility="random-waypoint")
+
+
+class TestBuiltinPlans:
+    def test_wireless_plan_covers_all_nodes_with_no_segments(self):
+        topology = chain_topology(hops=3)
+        plan = get_link_layer("wireless").build_plan(topology, ScenarioConfig())
+        assert plan.is_pure_wireless
+        assert plan.wireless_nodes == tuple(topology.node_ids)
+        assert plan.gateways == ()
+
+    def test_wired_plan_builds_one_bus_from_config_knobs(self):
+        topology = chain_topology(hops=3)
+        config = ScenarioConfig(link_layer="wired", wired_rate_mbps=100.0,
+                                wired_propagation_delay=1e-6)
+        plan = get_link_layer("wired").build_plan(topology, config)
+        assert not plan.is_pure_wireless
+        assert plan.wireless_nodes == ()
+        (segment,) = plan.segments
+        assert segment.nodes == tuple(topology.node_ids)
+        assert segment.rate_mbps == 100.0
+        assert segment.propagation_delay == 1e-6
+        assert plan.wired_only_nodes == frozenset(topology.node_ids)
+
+
+class TestLinkPlanValidation:
+    def test_segment_needs_two_nodes(self):
+        with pytest.raises(ConfigurationError, match="at least two"):
+            WiredSegmentSpec(nodes=(1,))
+
+    def test_gateway_must_be_on_both_planes(self):
+        segment = WiredSegmentSpec(nodes=(0, 1))
+        with pytest.raises(ConfigurationError, match="no wireless interface"):
+            LinkPlan(wireless_nodes=(2, 3), segments=(segment,), gateways=(0,))
+        with pytest.raises(ConfigurationError, match="not attached to any"):
+            LinkPlan(wireless_nodes=(2, 3), segments=(segment,), gateways=(2,))
+
+    def test_dual_plane_node_must_be_a_gateway(self):
+        segment = WiredSegmentSpec(nodes=(0, 1))
+        with pytest.raises(ConfigurationError, match="not a gateway"):
+            LinkPlan(wireless_nodes=(0, 2), segments=(segment,))
+
+    def test_node_on_one_segment_only(self):
+        with pytest.raises(ConfigurationError, match="more than one"):
+            LinkPlan(segments=(WiredSegmentSpec(nodes=(0, 1)),
+                               WiredSegmentSpec(nodes=(1, 2))))

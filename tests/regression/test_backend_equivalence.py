@@ -50,6 +50,7 @@ PRESET_SAMPLE = [
     "chain7-mixed-newreno-vegas",
     "chain7-mht-vegas-at-2mbps",
     "grid-newreno-5.5mbps",
+    "backbone2x7-mixed-newreno-vegas",
 ]
 
 
@@ -80,11 +81,18 @@ def _golden_builders():
                                     mobility_pause=1.0,
                                     kernel_backend=backend)
 
+    def backbone(tracer, backend):
+        return build_named_scenario("backbone2x7-newreno", tracer=tracer,
+                                    packet_target=80, seed=9,
+                                    max_sim_time=120.0,
+                                    kernel_backend=backend)
+
     return {
         "chain7-vegas-2mbps": chain,
         "grid-newreno-2mbps": grid,
         "random50-vegas-2mbps": random50,
         "mobile-chain7-rwp-vegas-2mbps": mobile_chain,
+        "backbone2x7-newreno": backbone,
     }
 
 

@@ -64,11 +64,20 @@ def _build_mobile_chain(tracer: Tracer) -> Scenario:
                                 mobility_speed=20.0, mobility_pause=1.0)
 
 
+def _build_backbone(tracer: Tracer) -> Scenario:
+    # Heterogeneous plan: two 7-hop wireless cells bridged by an Ethernet
+    # spine.  Pins the wired CSMA/CD plane (carrier sense, backoff draws,
+    # gateway forwarding) alongside the 802.11 cells bit-for-bit.
+    return build_named_scenario("backbone2x7-newreno", tracer=tracer,
+                                packet_target=80, seed=9, max_sim_time=120.0)
+
+
 SCENARIOS = {
     "chain7-vegas-2mbps": _build_chain,
     "grid-newreno-2mbps": _build_grid,
     "random50-vegas-2mbps": _build_random,
     "mobile-chain7-rwp-vegas-2mbps": _build_mobile_chain,
+    "backbone2x7-newreno": _build_backbone,
 }
 
 
